@@ -1,0 +1,103 @@
+// E5 — Figure 7: potential barriers and tunneling.
+//
+// The paper's 4-node instance: home server (node "1"), intermediate
+// server "2", leaves "3" and "4" (our ids 0,1,2,3).  d1 and d2 are
+// requested by "4" at 120 req/s each, d3 by "3" at 120 req/s.  With the
+// Figure 7(a) placement (d1 cached at "4", d2 at "2") server "2" is a
+// potential barrier: it is as loaded as its parent, its other child is
+// loaded, and it caches nothing that its idle child "3" requests.  Plain
+// diffusion stalls; tunneling fetches d3 across the barrier and the system
+// reaches the TLB assignment of 90 req/s per node (Figure 7(b)).
+#include <cstdio>
+#include <string>
+
+#include "core/webfold.h"
+#include "doc/barrier.h"
+#include "doc/catalog.h"
+#include "doc/doc_webwave.h"
+#include "tree/routing_tree.h"
+#include "util/ascii.h"
+
+namespace webwave {
+namespace {
+
+DocWebWave MakeProtocol(const RoutingTree& tree, const DemandMatrix& demand,
+                        bool tunneling) {
+  DocWebWaveOptions opt;
+  opt.enable_tunneling = tunneling;
+  DocWebWave protocol(tree, demand, opt);
+  protocol.SeedCopy(3, 0, 120);  // d1 at node "4"
+  protocol.SeedCopy(1, 1, 120);  // d2 at node "2"
+  return protocol;
+}
+
+void PrintLoads(const char* label, const std::vector<double>& loads) {
+  std::printf("%-28s", label);
+  for (const double l : loads) std::printf("  %8.2f", l);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace webwave
+
+int main() {
+  using namespace webwave;
+  const RoutingTree tree = RoutingTree::FromParents({kNoNode, 0, 1, 1});
+  DemandMatrix demand(4, 3);
+  demand.set(3, 0, 120);  // d1 from node "4"
+  demand.set(3, 1, 120);  // d2 from node "4"
+  demand.set(2, 2, 120);  // d3 from node "3"
+
+  const WebFoldResult tlb = WebFold(tree, demand.NodeTotals());
+  std::printf("E5 / Figure 7 — potential barrier and tunneling\n\n");
+  std::printf("Tree: home 0 <- 1 <- {2, 3};  demand: d1,d2@node3 = 120 each, "
+              "d3@node2 = 120\n");
+  std::printf("TLB assignment: %.0f req/s per node (paper: 90)\n\n",
+              tlb.load[0]);
+
+  std::printf("node:                        %9d  %8d  %8d  %8d\n", 0, 1, 2, 3);
+
+  {
+    DocWebWave stuck = MakeProtocol(tree, demand, /*tunneling=*/false);
+    PrintLoads("initial loads (Fig 7a)", stuck.NodeLoads());
+    const bool barrier = IsPotentialBarrier(
+        tree, 1, 2, stuck.NodeLoads(), stuck.CacheSnapshot(),
+        stuck.ForwardedSnapshot());
+    std::printf("IsPotentialBarrier(j=1,k=2): %s\n\n", barrier ? "yes" : "no");
+    for (int t = 0; t < 200; ++t) stuck.Step();
+    PrintLoads("tunneling OFF, t=200", stuck.NodeLoads());
+    std::printf("  distance to TLB: %.3f  (STUCK: node 2 cannot acquire d3)\n\n",
+                stuck.DistanceTo(tlb.load));
+  }
+
+  {
+    DocWebWave fixed = MakeProtocol(tree, demand, /*tunneling=*/true);
+    AsciiTable table({"period", "L0", "L1", "L2", "L3", "dist to TLB",
+                      "tunnels", "copies(d3)"});
+    const int checkpoints[] = {0, 3, 5, 10, 20, 40, 80, 160, 320};
+    int next = 0;
+    for (int t = 0; t <= 320; ++t) {
+      if (next < 9 && t == checkpoints[next]) {
+        const auto l = fixed.NodeLoads();
+        table.AddRow({std::to_string(t), AsciiTable::Num(l[0], 1),
+                      AsciiTable::Num(l[1], 1), AsciiTable::Num(l[2], 1),
+                      AsciiTable::Num(l[3], 1),
+                      AsciiTable::Num(fixed.DistanceTo(tlb.load), 3),
+                      std::to_string(fixed.tunnel_events().size()),
+                      std::to_string(fixed.CopyCount(2))});
+        ++next;
+      }
+      fixed.Step();
+    }
+    std::printf("tunneling ON:\n%s\n", table.Render().c_str());
+    for (const TunnelEvent& ev : fixed.tunnel_events())
+      std::printf(
+          "  tunnel @period %d: node %d fetched doc d%d from node %d across "
+          "barrier node %d (quota %.2f)\n",
+          ev.period, ev.node, ev.doc + 1, ev.source, ev.barrier, ev.quota);
+    std::printf("\nFinal loads: ");
+    for (const double l : fixed.NodeLoads()) std::printf(" %.2f", l);
+    std::printf("  (paper's Figure 7b: 90 each)\n");
+  }
+  return 0;
+}

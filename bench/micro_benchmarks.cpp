@@ -1,0 +1,105 @@
+// E7 — micro-benchmarks (google-benchmark).
+//
+// The paper's architectural feasibility argument rests on cheap packet
+// filtering (Engler & Kaashoek's DPF: 1.51 µs per packet on 1996
+// hardware).  BM_PacketFilterIntercept measures our filter's per-packet
+// decision cost; the rest measure the algorithmic building blocks so the
+// simulator's own scalability is on record: WebFold (offline TLB),
+// one WebWave diffusion step, a discrete-event simulator round-trip, and
+// Zipf sampling.
+#include <benchmark/benchmark.h>
+
+#include "core/tlb.h"
+#include "core/webfold.h"
+#include "core/webwave.h"
+#include "doc/catalog.h"
+#include "net/simulator.h"
+#include "proto/packet_filter.h"
+#include "stats/zipf.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+
+namespace webwave {
+namespace {
+
+void BM_PacketFilterIntercept(benchmark::State& state) {
+  const int docs = static_cast<int>(state.range(0));
+  PacketFilter filter(docs);
+  Rng rng(1);
+  for (DocId d = 0; d < docs; d += 3) filter.Install(d, 0.5);
+  DocId d = 0;
+  double u = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Intercept(d, u));
+    d = (d + 7) % docs;
+    u = u < 0.5 ? u + 0.3 : u - 0.5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketFilterIntercept)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_WebFold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<double> spont(static_cast<std::size_t>(n));
+  for (auto& e : spont) e = rng.NextDouble(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WebFold(tree, spont));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WebFold)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TlbMaxMeanRegions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(43);
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<double> spont(static_cast<std::size_t>(n));
+  for (auto& e : spont) e = rng.NextDouble(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTlbByMaxMeanRegions(tree, spont));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TlbMaxMeanRegions)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WebWaveStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(44);
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<double> spont(static_cast<std::size_t>(n));
+  for (auto& e : spont) e = rng.NextDouble(0, 100);
+  WebWaveSimulator sim(tree, spont);
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WebWaveStep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EventSimulatorRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.ScheduleIn(i, [&counter] { ++counter; });
+    sim.RunAll();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventSimulatorRoundTrip);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(static_cast<int>(state.range(0)), 1.0);
+  Rng rng(45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+}  // namespace
+}  // namespace webwave

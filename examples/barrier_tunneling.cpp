@@ -1,0 +1,84 @@
+// Walkthrough of §5.2: a potential barrier blocks diffusion, and
+// tunneling recovers — with per-period state dumps so you can watch the
+// mechanism operate.
+//
+// Build & run:  ./build/examples/barrier_tunneling
+#include <cstdio>
+#include <string>
+
+#include "core/webfold.h"
+#include "doc/barrier.h"
+#include "doc/catalog.h"
+#include "doc/doc_webwave.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+namespace {
+
+void Dump(const DocWebWave& protocol, const RoutingTree& tree, int docs) {
+  const auto loads = protocol.NodeLoads();
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    std::printf("    node %d: load %7.2f | caches:", v, loads[v]);
+    for (DocId d = 0; d < docs; ++d)
+      if (protocol.IsCached(v, d))
+        std::printf(" d%d(q=%.1f)", d + 1, protocol.ServedRate(v, d));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace webwave
+
+int main() {
+  using namespace webwave;
+  // Figure 7's instance: home 0 <- 1 <- {2, 3}.
+  const RoutingTree tree = RoutingTree::FromParents({kNoNode, 0, 1, 1});
+  DemandMatrix demand(4, 3);
+  demand.set(3, 0, 120);  // node 3 requests d1
+  demand.set(3, 1, 120);  // node 3 requests d2
+  demand.set(2, 2, 120);  // node 2 requests d3
+
+  DocWebWaveOptions options;
+  options.enable_tunneling = true;
+  DocWebWave protocol(tree, demand, options);
+  // The paper's initial placement: d1 is already replicated at node 3,
+  // d2 at node 1; d3 only at the home server.
+  protocol.SeedCopy(3, 0, 120);
+  protocol.SeedCopy(1, 1, 120);
+
+  std::printf("Initial state (Figure 7a):\n");
+  Dump(protocol, tree, 3);
+  const bool barrier =
+      IsPotentialBarrier(tree, 1, 2, protocol.NodeLoads(),
+                         protocol.CacheSnapshot(),
+                         protocol.ForwardedSnapshot());
+  std::printf("  node 1 is a potential barrier for child 2: %s\n\n",
+              barrier ? "YES" : "no");
+
+  std::printf("Running the protocol (tunneling after >2 stalled periods):\n");
+  std::size_t seen_tunnels = 0;
+  for (int period = 1; period <= 300; ++period) {
+    protocol.Step();
+    if (protocol.tunnel_events().size() > seen_tunnels) {
+      const TunnelEvent& ev = protocol.tunnel_events().back();
+      std::printf(
+          "  period %3d: TUNNEL — node %d fetched d%d from node %d, "
+          "across barrier node %d\n",
+          period, ev.node, ev.doc + 1, ev.source, ev.barrier);
+      seen_tunnels = protocol.tunnel_events().size();
+    }
+    if (period == 3 || period == 10 || period == 50 || period == 300) {
+      std::printf("  state after period %d:\n", period);
+      Dump(protocol, tree, 3);
+    }
+  }
+
+  const WebFoldResult tlb = WebFold(tree, demand.NodeTotals());
+  std::printf("\nTLB says %.0f req/s per node; the protocol reached:\n",
+              tlb.load[0]);
+  for (NodeId v = 0; v < 4; ++v)
+    std::printf("  node %d: %.2f\n", v, protocol.NodeLoads()[v]);
+  protocol.CheckInvariants();
+  std::printf("(all protocol invariants verified)\n");
+  return 0;
+}

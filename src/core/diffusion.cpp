@@ -1,0 +1,329 @@
+#include "core/diffusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "stats/summary.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+UndirectedGraph::UndirectedGraph(int n)
+    : adjacency_(static_cast<std::size_t>(n)) {
+  WEBWAVE_REQUIRE(n >= 1, "graph needs at least one node");
+}
+
+void UndirectedGraph::AddEdge(int u, int v) {
+  WEBWAVE_REQUIRE(u >= 0 && u < size() && v >= 0 && v < size(),
+                  "edge endpoint out of range");
+  WEBWAVE_REQUIRE(u != v, "self loops not allowed");
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  ++edge_count_;
+}
+
+const std::vector<int>& UndirectedGraph::neighbors(int v) const {
+  WEBWAVE_REQUIRE(v >= 0 && v < size(), "node out of range");
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int UndirectedGraph::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+bool UndirectedGraph::IsConnected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const int w : adjacency_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == size();
+}
+
+int UndirectedGraph::MaxDegree() const {
+  int m = 0;
+  for (int v = 0; v < size(); ++v) m = std::max(m, degree(v));
+  return m;
+}
+
+UndirectedGraph MakeRingGraph(int n) {
+  WEBWAVE_REQUIRE(n >= 3, "ring needs >= 3 nodes");
+  UndirectedGraph g(n);
+  for (int v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+UndirectedGraph MakePathGraph(int n) {
+  UndirectedGraph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+UndirectedGraph MakeCompleteGraph(int n) {
+  UndirectedGraph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  return g;
+}
+
+UndirectedGraph MakeHypercubeGraph(int dimensions) {
+  WEBWAVE_REQUIRE(dimensions >= 1 && dimensions <= 20, "dimensions in 1..20");
+  const int n = 1 << dimensions;
+  UndirectedGraph g(n);
+  for (int v = 0; v < n; ++v)
+    for (int d = 0; d < dimensions; ++d)
+      if ((v ^ (1 << d)) > v) g.AddEdge(v, v ^ (1 << d));
+  return g;
+}
+
+UndirectedGraph MakeTorusGraph(int width, int height) {
+  WEBWAVE_REQUIRE(width >= 2 && height >= 2, "torus needs >= 2x2");
+  UndirectedGraph g(width * height);
+  auto id = [&](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (width > 2 || x + 1 < width) g.AddEdge(id(x, y), id((x + 1) % width, y));
+      if (height > 2 || y + 1 < height) g.AddEdge(id(x, y), id(x, (y + 1) % height));
+    }
+  }
+  return g;
+}
+
+UndirectedGraph MakeKAryNCubeGraph(int k, int n) {
+  WEBWAVE_REQUIRE(k >= 2, "k must be >= 2");
+  WEBWAVE_REQUIRE(n >= 1, "n must be >= 1");
+  int total = 1;
+  for (int i = 0; i < n; ++i) {
+    WEBWAVE_REQUIRE(total <= 1'000'000 / k, "k-ary n-cube too large");
+    total *= k;
+  }
+  UndirectedGraph g(total);
+  // Node id encodes its coordinate vector in base k.  Every node links to
+  // its +1 neighbor in each dimension; that enumerates each cycle edge
+  // exactly once, except for k = 2 where both endpoints generate the same
+  // pair (a 2-cycle collapses to a single edge).
+  std::vector<int> stride(static_cast<std::size_t>(n), 1);
+  for (int d = 1; d < n; ++d)
+    stride[static_cast<std::size_t>(d)] = stride[static_cast<std::size_t>(d - 1)] * k;
+  for (int v = 0; v < total; ++v) {
+    for (int d = 0; d < n; ++d) {
+      const int coord = (v / stride[static_cast<std::size_t>(d)]) % k;
+      const int next = (coord + 1) % k;
+      const int w = v + (next - coord) * stride[static_cast<std::size_t>(d)];
+      if (k == 2 && w < v) continue;
+      g.AddEdge(v, w);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph GraphFromTree(const RoutingTree& tree) {
+  UndirectedGraph g(tree.size());
+  for (NodeId v = 0; v < tree.size(); ++v)
+    if (!tree.is_root(v)) g.AddEdge(v, tree.parent(v));
+  return g;
+}
+
+DiffusionMatrix DiffusionMatrix::Uniform(const UndirectedGraph& graph,
+                                         double alpha) {
+  WEBWAVE_REQUIRE(alpha > 0, "alpha must be positive");
+  WEBWAVE_REQUIRE(alpha * graph.MaxDegree() < 1.0 + 1e-12,
+                  "alpha too large: diagonal would go negative");
+  DiffusionMatrix m(graph.size());
+  for (int i = 0; i < graph.size(); ++i) {
+    double off = 0;
+    for (const int j : graph.neighbors(i)) {
+      m.data_[static_cast<std::size_t>(i) * m.n_ + j] = alpha;
+      off += alpha;
+    }
+    m.data_[static_cast<std::size_t>(i) * m.n_ + i] = 1.0 - off;
+  }
+  return m;
+}
+
+DiffusionMatrix DiffusionMatrix::DegreeBased(const UndirectedGraph& graph) {
+  DiffusionMatrix m(graph.size());
+  for (int i = 0; i < graph.size(); ++i) {
+    double off = 0;
+    for (const int j : graph.neighbors(i)) {
+      const double a = 1.0 / (1.0 + std::max(graph.degree(i), graph.degree(j)));
+      m.data_[static_cast<std::size_t>(i) * m.n_ + j] = a;
+      off += a;
+    }
+    m.data_[static_cast<std::size_t>(i) * m.n_ + i] = 1.0 - off;
+  }
+  return m;
+}
+
+std::vector<double> DiffusionMatrix::Apply(const std::vector<double>& x) const {
+  WEBWAVE_REQUIRE(x.size() == static_cast<std::size_t>(n_), "size mismatch");
+  std::vector<double> y(x.size(), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0;
+    const double* row = data_.data() + static_cast<std::size_t>(i) * n_;
+    for (int j = 0; j < n_; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+double DiffusionMatrix::SpectralGamma(int iterations) const {
+  if (n_ == 1) return 0;
+  // Power iteration orthogonal to the all-ones eigenvector (eigenvalue 1).
+  // D is symmetric for our constructors, so this converges to the
+  // second-largest |eigenvalue|.
+  std::vector<double> x(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    x[static_cast<std::size_t>(i)] =
+        std::sin(1.0 + 0.7 * i) + (i % 2 != 0 ? 0.3 : 0.0);
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = 0;
+    for (const double e : v) mean += e;
+    mean /= static_cast<double>(n_);
+    for (double& e : v) e -= mean;
+  };
+  deflate(x);
+  double gamma = 0;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> y = Apply(x);
+    deflate(y);
+    double norm = 0;
+    for (const double e : y) norm += e * e;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return 0;
+    // Rayleigh-style estimate of |λ₂| from the norm growth.
+    double xnorm = 0;
+    for (const double e : x) xnorm += e * e;
+    xnorm = std::sqrt(xnorm);
+    gamma = norm / xnorm;
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] /= norm;
+    x = std::move(y);
+  }
+  return gamma;
+}
+
+double OptimalAlphaKAryNCube(int k, int n) {
+  WEBWAVE_REQUIRE(k >= 2 && n >= 1, "invalid k-ary n-cube");
+  // Laplacian eigenvalues of the k-ary n-cube are Σ_d 2(1 − cos(2π m_d/k)).
+  const double pi = 3.14159265358979323846;
+  const double mu_min = 2.0 * (1.0 - std::cos(2.0 * pi / k));
+  // Max over a single dimension: m = floor(k/2).
+  const double mu_dim_max =
+      2.0 * (1.0 - std::cos(2.0 * pi * std::floor(k / 2.0) / k));
+  const double mu_max = n * mu_dim_max;
+  return 2.0 / (mu_min + mu_max);
+}
+
+DiffusionRun RunDiffusion(const DiffusionMatrix& matrix,
+                          std::vector<double> initial, double tol,
+                          int max_steps) {
+  WEBWAVE_REQUIRE(initial.size() == static_cast<std::size_t>(matrix.size()),
+                  "size mismatch");
+  double total = 0;
+  for (const double v : initial) total += v;
+  const std::vector<double> uniform(initial.size(),
+                                    total / static_cast<double>(initial.size()));
+  DiffusionRun run;
+  run.distances.push_back(EuclideanDistance(initial, uniform));
+  std::vector<double> x = std::move(initial);
+  for (int t = 0; t < max_steps; ++t) {
+    if (run.distances.back() <= tol) {
+      run.reached_tolerance = true;
+      break;
+    }
+    x = matrix.Apply(x);
+    run.distances.push_back(EuclideanDistance(x, uniform));
+  }
+  if (run.distances.back() <= tol) run.reached_tolerance = true;
+  run.final_load = std::move(x);
+  return run;
+}
+
+DiffusionRun RunAsyncDiffusion(const UndirectedGraph& graph, double alpha,
+                               std::vector<double> initial,
+                               const AsyncDiffusionOptions& options,
+                               double tol, int max_steps) {
+  WEBWAVE_REQUIRE(initial.size() == static_cast<std::size_t>(graph.size()),
+                  "size mismatch");
+  WEBWAVE_REQUIRE(alpha > 0 && alpha * graph.MaxDegree() < 1.0 + 1e-12,
+                  "alpha violates the positive-diagonal condition");
+  WEBWAVE_REQUIRE(options.activation > 0 && options.activation <= 1,
+                  "activation probability in (0, 1]");
+  WEBWAVE_REQUIRE(options.max_delay >= 0, "delay must be non-negative");
+  Rng rng(options.seed);
+
+  double total = 0;
+  for (const double v : initial) total += v;
+  const std::vector<double> uniform(
+      initial.size(), total / static_cast<double>(initial.size()));
+
+  // History ring for stale reads: history.front() is the current sweep.
+  // Transfers are edge-atomic (the donor decides from its own current
+  // value and a possibly stale view of the receiver, then both endpoints
+  // are updated together), so total load is conserved *exactly* no matter
+  // how stale the views are — the same discipline WebWave uses.
+  std::deque<std::vector<double>> history = {initial};
+  DiffusionRun run;
+  run.distances.push_back(EuclideanDistance(initial, uniform));
+  std::vector<double> x = std::move(initial);
+  for (int t = 0; t < max_steps && run.distances.back() > tol; ++t) {
+    for (int i = 0; i < graph.size(); ++i) {
+      for (const int j : graph.neighbors(i)) {
+        if (j < i) continue;  // each undirected edge considered once
+        if (!rng.NextBernoulli(options.activation)) continue;
+        const std::size_t di = static_cast<std::size_t>(rng.NextBelow(
+            static_cast<std::uint64_t>(options.max_delay) + 1));
+        const std::size_t dj = static_cast<std::size_t>(rng.NextBelow(
+            static_cast<std::uint64_t>(options.max_delay) + 1));
+        const double view_of_j =
+            history[std::min(di, history.size() - 1)]
+                   [static_cast<std::size_t>(j)];
+        const double view_of_i =
+            history[std::min(dj, history.size() - 1)]
+                   [static_cast<std::size_t>(i)];
+        double transfer = 0;  // positive: i -> j
+        if (x[static_cast<std::size_t>(i)] > view_of_j) {
+          transfer = alpha * (x[static_cast<std::size_t>(i)] - view_of_j);
+          transfer = std::min(transfer, x[static_cast<std::size_t>(i)]);
+        } else if (x[static_cast<std::size_t>(j)] > view_of_i) {
+          transfer = -alpha * (x[static_cast<std::size_t>(j)] - view_of_i);
+          transfer = std::max(transfer, -x[static_cast<std::size_t>(j)]);
+        }
+        x[static_cast<std::size_t>(i)] -= transfer;
+        x[static_cast<std::size_t>(j)] += transfer;
+      }
+    }
+    history.push_front(x);
+    while (history.size() >
+           static_cast<std::size_t>(options.max_delay) + 1)
+      history.pop_back();
+    run.distances.push_back(EuclideanDistance(x, uniform));
+  }
+  run.reached_tolerance = run.distances.back() <= tol;
+  run.final_load = std::move(x);
+  return run;
+}
+
+bool CybenkoBoundHolds(const DiffusionRun& run, double gamma, double slack) {
+  const double d0 = run.distances.empty() ? 0 : run.distances.front();
+  double bound = d0;
+  for (std::size_t t = 1; t < run.distances.size(); ++t) {
+    bound *= gamma;
+    if (run.distances[t] > bound + slack * (1 + d0)) return false;
+  }
+  return true;
+}
+
+}  // namespace webwave

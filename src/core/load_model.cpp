@@ -1,0 +1,78 @@
+#include "core/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace webwave {
+
+std::vector<double> ForwardedRates(const RoutingTree& tree,
+                                   const std::vector<double>& spontaneous,
+                                   const std::vector<double>& served) {
+  const std::size_t n = static_cast<std::size_t>(tree.size());
+  WEBWAVE_REQUIRE(spontaneous.size() == n, "spontaneous size mismatch");
+  WEBWAVE_REQUIRE(served.size() == n, "served size mismatch");
+  std::vector<double> forwarded(n, 0);
+  for (const NodeId v : tree.postorder()) {
+    double in = spontaneous[static_cast<std::size_t>(v)];
+    for (const NodeId c : tree.children(v))
+      in += forwarded[static_cast<std::size_t>(c)];
+    forwarded[static_cast<std::size_t>(v)] =
+        in - served[static_cast<std::size_t>(v)];
+  }
+  return forwarded;
+}
+
+FeasibilityReport CheckFeasible(const RoutingTree& tree,
+                                const std::vector<double>& spontaneous,
+                                const std::vector<double>& served,
+                                double tol) {
+  const std::vector<double> forwarded =
+      ForwardedRates(tree, spontaneous, served);
+  FeasibilityReport report;
+  report.served_nonnegative = true;
+  report.nss = true;
+  double worst = 0;
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    if (served[i] < -tol) report.served_nonnegative = false;
+    worst = std::min(worst, served[i]);
+    if (forwarded[i] < -tol) report.nss = false;
+    worst = std::min(worst, forwarded[i]);
+  }
+  const double root_a = forwarded[static_cast<std::size_t>(tree.root())];
+  report.root_forwards_nothing = std::abs(root_a) <= tol;
+  worst = std::min(worst, -std::abs(root_a));
+  report.worst_violation = worst;
+  return report;
+}
+
+std::vector<double> GleAssignment(int node_count, double total_rate) {
+  WEBWAVE_REQUIRE(node_count > 0, "need at least one node");
+  return std::vector<double>(static_cast<std::size_t>(node_count),
+                             total_rate / node_count);
+}
+
+bool GleIsFeasible(const RoutingTree& tree,
+                   const std::vector<double>& spontaneous, double tol) {
+  const double total = TotalRate(spontaneous);
+  return CheckFeasible(tree, spontaneous, GleAssignment(tree.size(), total),
+                       tol)
+      .ok();
+}
+
+bool IsUniform(const std::vector<double>& load, double tol) {
+  WEBWAVE_REQUIRE(!load.empty(), "empty load vector");
+  const double mean = TotalRate(load) / static_cast<double>(load.size());
+  return std::all_of(load.begin(), load.end(), [&](double v) {
+    return std::abs(v - mean) <= tol;
+  });
+}
+
+double TotalRate(const std::vector<double>& rates) {
+  double sum = 0;
+  for (const double r : rates) sum += r;
+  return sum;
+}
+
+}  // namespace webwave

@@ -1,0 +1,61 @@
+// The load model of §3 (Table 1, Figure 1).
+//
+// Every node i of a routing tree receives requests at rate E_i + Σ_{j∈C_i} A_j
+// (its own spontaneous requests plus what its children forward), serves L_i
+// of them, and forwards the remainder A_i = E_i + Σ_j A_j − L_i to its
+// parent.  A load assignment L is *feasible* iff
+//
+//   * L_i >= 0 for every node,
+//   * A_i >= 0 for every node        (Constraint 2, "no sibling sharing"),
+//   * A_root = 0                     (Constraint 1, the root forwards nothing).
+//
+// A_root = 0 is equivalent to Σ L = Σ E: every generated request is served
+// somewhere on its path.  The paper chooses arrival rate as the load metric
+// precisely because it obeys this flow conservation.
+#pragma once
+
+#include <vector>
+
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+// Computes the forwarded rates A implied by spontaneous rates E and served
+// rates L, bottom-up.  No feasibility is implied; entries may be negative.
+std::vector<double> ForwardedRates(const RoutingTree& tree,
+                                   const std::vector<double>& spontaneous,
+                                   const std::vector<double>& served);
+
+struct FeasibilityReport {
+  bool served_nonnegative = false;  // L_i >= -tol
+  bool nss = false;                 // A_i >= -tol for all i (Constraint 2)
+  bool root_forwards_nothing = false;  // |A_root| <= tol   (Constraint 1)
+  double worst_violation = 0;          // most negative margin observed
+
+  bool ok() const {
+    return served_nonnegative && nss && root_forwards_nothing;
+  }
+};
+
+// Checks the three feasibility conditions above with absolute tolerance.
+FeasibilityReport CheckFeasible(const RoutingTree& tree,
+                                const std::vector<double>& spontaneous,
+                                const std::vector<double>& served,
+                                double tol = 1e-9);
+
+// The Global Load Equality assignment (§2): every node serves Σ E / n.
+std::vector<double> GleAssignment(int node_count, double total_rate);
+
+// True when the GLE assignment is feasible on this tree — i.e. when the
+// uniform distribution violates no subtree constraint.  Figure 2(a) is a
+// tree where this holds; Figure 2(b) one where it does not.
+bool GleIsFeasible(const RoutingTree& tree,
+                   const std::vector<double>& spontaneous, double tol = 1e-9);
+
+// True when every entry of `load` equals the mean within tolerance.
+bool IsUniform(const std::vector<double>& load, double tol = 1e-9);
+
+// Sum of a rate vector.
+double TotalRate(const std::vector<double>& rates);
+
+}  // namespace webwave

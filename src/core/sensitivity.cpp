@@ -1,0 +1,46 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/webfold.h"
+#include "util/check.h"
+
+namespace webwave {
+
+double TlbSensitivity::Derivative(NodeId i, NodeId j) const {
+  WEBWAVE_REQUIRE(i >= 0 && i < static_cast<NodeId>(fold_index.size()) &&
+                      j >= 0 && j < static_cast<NodeId>(fold_index.size()),
+                  "node out of range");
+  const int fi = fold_index[static_cast<std::size_t>(i)];
+  const int fj = fold_index[static_cast<std::size_t>(j)];
+  if (fi != fj) return 0.0;
+  return 1.0 / fold_size[static_cast<std::size_t>(fj)];
+}
+
+TlbSensitivity ComputeTlbSensitivity(const RoutingTree& tree,
+                                     const std::vector<double>& spontaneous) {
+  const WebFoldResult r = WebFold(tree, spontaneous);
+  TlbSensitivity s;
+  s.fold_index = r.fold_index;
+  s.load = r.load;
+  s.fold_size.reserve(r.folds.size());
+  for (const Fold& f : r.folds)
+    s.fold_size.push_back(static_cast<int>(f.members.size()));
+
+  // The gap between each fold and its parent fold (fold roots other than
+  // the tree root have a parent in another fold; foldability stopped
+  // because parent per-node load >= child per-node load).
+  double gap = std::numeric_limits<double>::infinity();
+  for (const Fold& f : r.folds) {
+    if (f.root == tree.root()) continue;
+    const NodeId parent = tree.parent(f.root);
+    const int pf = r.fold_index[static_cast<std::size_t>(parent)];
+    gap = std::min(gap, r.folds[static_cast<std::size_t>(pf)].per_node -
+                            f.per_node);
+  }
+  s.min_fold_gap = r.folds.size() <= 1 ? 0.0 : gap;
+  return s;
+}
+
+}  // namespace webwave

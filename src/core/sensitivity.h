@@ -1,0 +1,39 @@
+// Sensitivity of the TLB assignment to demand changes.
+//
+// Within a fold, WebFold spreads the fold's spontaneous rate evenly, so
+// for a (generic) instance whose fold structure is locally stable, adding
+// δ requests/sec at node j raises the load of *every* node in j's fold by
+// δ/|fold| and changes nothing elsewhere:
+//
+//     ∂L_i/∂E_j = 1/|F(j)|  if fold(i) == fold(j),  else 0.
+//
+// This is the capacity-planning view of Theorem 1: a fold is the exact
+// blast radius of a demand change.  The derivative is valid until the
+// perturbation changes the fold structure itself (a fold split/merge),
+// which happens only at ties between neighboring folds' per-node loads.
+#pragma once
+
+#include <vector>
+
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+struct TlbSensitivity {
+  std::vector<int> fold_index;  // per node
+  std::vector<int> fold_size;   // per fold
+  std::vector<double> load;     // the TLB assignment itself
+
+  // dL_i / dE_j at the current fold structure.
+  double Derivative(NodeId i, NodeId j) const;
+
+  // The smallest per-node-load gap between any fold and its parent fold —
+  // a perturbation concentrated on one node smaller than
+  // gap * min fold size cannot change the fold structure.
+  double min_fold_gap = 0;
+};
+
+TlbSensitivity ComputeTlbSensitivity(const RoutingTree& tree,
+                                     const std::vector<double>& spontaneous);
+
+}  // namespace webwave

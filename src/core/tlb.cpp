@@ -1,0 +1,225 @@
+#include "core/tlb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/load_model.h"
+#include "util/check.h"
+
+namespace webwave {
+
+int LexCompareMinimax(const std::vector<double>& a,
+                      const std::vector<double>& b, double tol) {
+  WEBWAVE_REQUIRE(a.size() == b.size(), "vector sizes differ");
+  std::vector<double> sa(a), sb(b);
+  std::sort(sa.rbegin(), sa.rend());
+  std::sort(sb.rbegin(), sb.rend());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] < sb[i] - tol) return -1;
+    if (sa[i] > sb[i] + tol) return 1;
+  }
+  return 0;
+}
+
+bool SatisfiesTlb(const RoutingTree& tree,
+                  const std::vector<double>& spontaneous,
+                  const std::vector<double>& load, double tol) {
+  const std::size_t n = static_cast<std::size_t>(tree.size());
+  WEBWAVE_REQUIRE(spontaneous.size() == n && load.size() == n,
+                  "size mismatch");
+  if (!CheckFeasible(tree, spontaneous, load, tol).ok()) return false;
+
+  const std::vector<double> forwarded =
+      ForwardedRates(tree, spontaneous, load);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (tree.is_root(v)) continue;
+    const NodeId p = tree.parent(v);
+    const double lv = load[static_cast<std::size_t>(v)];
+    const double lp = load[static_cast<std::size_t>(p)];
+    // Lemma 1: monotone non-increasing down the tree.
+    if (lv > lp + tol) return false;
+    // Lemma 2 / fold structure: load crosses an edge only between nodes of
+    // equal load (an edge interior to a fold); across a strict decrease the
+    // forwarded rate must vanish.
+    if (lv < lp - tol && forwarded[static_cast<std::size_t>(v)] > tol)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+// State for the max-mean-region solver: finds, within the remaining
+// subtree rooted at `root` (nodes with alive[v] == true), the upward-closed
+// connected region of maximum mean spontaneous rate, via Dinkelbach
+// iteration on the parametric problem  max Σ_{v∈R} (E_v − λ).
+class MaxMeanRegionFinder {
+ public:
+  MaxMeanRegionFinder(const RoutingTree& tree,
+                      const std::vector<double>& spontaneous)
+      : tree_(tree),
+        spontaneous_(spontaneous),
+        alive_(static_cast<std::size_t>(tree.size()), true),
+        gain_(static_cast<std::size_t>(tree.size()), 0),
+        chosen_(static_cast<std::size_t>(tree.size()), false) {}
+
+  // Returns the members of the max-mean region rooted at `root` and its
+  // mean; marks them dead.  Appends roots of the detached subtrees (alive
+  // children of region members outside the region) to `next_roots`.
+  std::pair<std::vector<NodeId>, double> ExtractRegion(
+      NodeId root, std::vector<NodeId>& next_roots) {
+    double lambda = spontaneous_[static_cast<std::size_t>(root)];
+    std::vector<NodeId> region;
+    double mean = lambda;
+    // Dinkelbach: at each step solve the parametric DP at λ; the optimal
+    // region's mean strictly improves until a fixed point (finite, since
+    // each λ corresponds to a distinct region value).
+    for (int guard = 0; guard < tree_.size() + 2; ++guard) {
+      ComputeGains(root, lambda);
+      region = CollectChosen(root);
+      double sum = 0;
+      for (const NodeId v : region) sum += spontaneous_[static_cast<std::size_t>(v)];
+      mean = sum / static_cast<double>(region.size());
+      if (mean <= lambda + 1e-12) break;
+      lambda = mean;
+    }
+    for (const NodeId v : region) {
+      alive_[static_cast<std::size_t>(v)] = false;
+    }
+    for (const NodeId v : region)
+      for (const NodeId c : tree_.children(v))
+        if (alive_[static_cast<std::size_t>(c)]) next_roots.push_back(c);
+    return {std::move(region), mean};
+  }
+
+ private:
+  // Bottom-up DP over the alive subtree rooted at `root`:
+  //   gain(v) = (E_v − λ) + Σ_{alive child c} max(0, gain(c)).
+  // chosen_[c] records whether child c's subregion is included.
+  void ComputeGains(NodeId root, double lambda) {
+    const std::vector<NodeId> order = AliveSubtreePostorder(root);
+    for (const NodeId v : order) {
+      double g = spontaneous_[static_cast<std::size_t>(v)] - lambda;
+      for (const NodeId c : tree_.children(v)) {
+        if (!alive_[static_cast<std::size_t>(c)]) continue;
+        if (gain_[static_cast<std::size_t>(c)] > 0) {
+          g += gain_[static_cast<std::size_t>(c)];
+          chosen_[static_cast<std::size_t>(c)] = true;
+        } else {
+          chosen_[static_cast<std::size_t>(c)] = false;
+        }
+      }
+      gain_[static_cast<std::size_t>(v)] = g;
+    }
+  }
+
+  std::vector<NodeId> AliveSubtreePostorder(NodeId root) const {
+    std::vector<NodeId> pre;
+    std::vector<NodeId> stack = {root};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      pre.push_back(v);
+      for (const NodeId c : tree_.children(v))
+        if (alive_[static_cast<std::size_t>(c)]) stack.push_back(c);
+    }
+    std::reverse(pre.begin(), pre.end());
+    return pre;
+  }
+
+  // The region: root plus every chosen child subregion, top-down.
+  std::vector<NodeId> CollectChosen(NodeId root) const {
+    std::vector<NodeId> region;
+    std::vector<NodeId> stack = {root};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      region.push_back(v);
+      for (const NodeId c : tree_.children(v))
+        if (alive_[static_cast<std::size_t>(c)] &&
+            chosen_[static_cast<std::size_t>(c)])
+          stack.push_back(c);
+    }
+    return region;
+  }
+
+  const RoutingTree& tree_;
+  const std::vector<double>& spontaneous_;
+  std::vector<bool> alive_;
+  std::vector<double> gain_;
+  std::vector<bool> chosen_;
+};
+
+}  // namespace
+
+std::vector<double> SolveTlbByMaxMeanRegions(
+    const RoutingTree& tree, const std::vector<double>& spontaneous) {
+  WEBWAVE_REQUIRE(
+      spontaneous.size() == static_cast<std::size_t>(tree.size()),
+      "spontaneous size mismatch");
+  std::vector<double> load(spontaneous.size(), 0);
+  MaxMeanRegionFinder finder(tree, spontaneous);
+  std::vector<NodeId> roots = {tree.root()};
+  while (!roots.empty()) {
+    const NodeId r = roots.back();
+    roots.pop_back();
+    const auto [region, mean] = finder.ExtractRegion(r, roots);
+    for (const NodeId v : region) load[static_cast<std::size_t>(v)] = mean;
+  }
+  return load;
+}
+
+std::vector<double> SolveTlbBruteForce(const RoutingTree& tree,
+                                       const std::vector<double>& spontaneous) {
+  const int n = tree.size();
+  WEBWAVE_REQUIRE(n <= 20, "brute force limited to 20 nodes");
+  WEBWAVE_REQUIRE(spontaneous.size() == static_cast<std::size_t>(n),
+                  "spontaneous size mismatch");
+
+  // Non-root nodes in a fixed order; bit b of the mask means "the edge from
+  // edge_child[b] to its parent is cut", i.e. edge_child[b] roots a fold.
+  std::vector<NodeId> edge_child;
+  edge_child.reserve(static_cast<std::size_t>(n - 1));
+  for (NodeId v = 0; v < n; ++v)
+    if (!tree.is_root(v)) edge_child.push_back(v);
+
+  std::vector<double> best;
+  std::vector<double> load(static_cast<std::size_t>(n));
+  const std::uint64_t masks = 1ULL << (n - 1);
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    // Fold root of each node: itself if its up-edge is cut (or it is the
+    // tree root), else its parent's fold root — computable in preorder.
+    std::vector<NodeId> fold_root(static_cast<std::size_t>(n));
+    std::vector<bool> cut(static_cast<std::size_t>(n), false);
+    cut[static_cast<std::size_t>(tree.root())] = true;
+    for (int b = 0; b < n - 1; ++b)
+      if (mask & (1ULL << b))
+        cut[static_cast<std::size_t>(edge_child[static_cast<std::size_t>(b)])] =
+            true;
+    std::vector<double> fold_rate(static_cast<std::size_t>(n), 0);
+    std::vector<int> fold_count(static_cast<std::size_t>(n), 0);
+    for (const NodeId v : tree.preorder()) {
+      fold_root[static_cast<std::size_t>(v)] =
+          cut[static_cast<std::size_t>(v)]
+              ? v
+              : fold_root[static_cast<std::size_t>(tree.parent(v))];
+      const NodeId r = fold_root[static_cast<std::size_t>(v)];
+      fold_rate[static_cast<std::size_t>(r)] +=
+          spontaneous[static_cast<std::size_t>(v)];
+      ++fold_count[static_cast<std::size_t>(r)];
+    }
+    for (const NodeId v : tree.preorder()) {
+      const NodeId r = fold_root[static_cast<std::size_t>(v)];
+      load[static_cast<std::size_t>(v)] =
+          fold_rate[static_cast<std::size_t>(r)] /
+          fold_count[static_cast<std::size_t>(r)];
+    }
+    if (!CheckFeasible(tree, spontaneous, load, 1e-9).ok()) continue;
+    if (best.empty() || LexCompareMinimax(load, best, 1e-12) < 0) best = load;
+  }
+  WEBWAVE_ASSERT(!best.empty(), "no feasible partition found");
+  return best;
+}
+
+}  // namespace webwave

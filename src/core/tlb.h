@@ -1,0 +1,53 @@
+// Tree Load Balance (TLB) — definitions, checkers, and reference solvers.
+//
+// Definition 1 (LB): a load assignment L is load-balanced iff its maximum
+// is minimum over all feasible assignments, and the same holds recursively
+// after removing the maximum component.  Equivalently: the vector of loads
+// sorted in descending order is lexicographically minimal.
+//
+// Definition 2 (TLB): L is *tree* load balanced iff it is load-balanced
+// subject to Constraint 1 (A_root = 0) and Constraint 2 (NSS: A_i >= 0).
+//
+// Besides structural checks, this header provides two TLB solvers that are
+// algorithmically independent of WebFold, used as oracles in the test
+// suite:
+//
+//  * SolveTlbByMaxMeanRegions — "water-filling": the fold containing the
+//    root is the upward-closed region of maximum mean spontaneous rate
+//    (found by Dinkelbach iteration over a tree DP); assign that mean,
+//    detach the region, recurse on the hanging subtrees.
+//  * SolveTlbBruteForce — enumerates all 2^(n-1) edge-cut partitions of
+//    the tree into contiguous folds, keeps the feasible ones, and returns
+//    the lexicographically minimax assignment (n <= 20 enforced).
+#pragma once
+
+#include <vector>
+
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+// Compares two load vectors as multisets sorted in descending order.
+// Returns -1 when a is lexicographically smaller (better balanced), 0 when
+// equal within tolerance, +1 when larger.
+int LexCompareMinimax(const std::vector<double>& a,
+                      const std::vector<double>& b, double tol = 1e-9);
+
+// Structural TLB check: L is feasible, constant on each maximal connected
+// equal-load region, region means are non-increasing from root to leaves,
+// and no load crosses region boundaries.  These are exactly the optimality
+// conditions WebFold's folds satisfy (Lemmas 1-3); together with
+// feasibility they characterize the unique TLB assignment.
+bool SatisfiesTlb(const RoutingTree& tree,
+                  const std::vector<double>& spontaneous,
+                  const std::vector<double>& load, double tol = 1e-6);
+
+// Reference solver via max-mean upward-closed regions (see file comment).
+std::vector<double> SolveTlbByMaxMeanRegions(
+    const RoutingTree& tree, const std::vector<double>& spontaneous);
+
+// Exhaustive reference solver; requires tree.size() <= 20.
+std::vector<double> SolveTlbBruteForce(const RoutingTree& tree,
+                                       const std::vector<double>& spontaneous);
+
+}  // namespace webwave

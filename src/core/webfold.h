@@ -1,0 +1,81 @@
+// WebFold — the paper's provably optimal offline algorithm (§4, Figure 3).
+//
+// WebFold partitions the routing tree into *folds*: contiguous regions that
+// can all be assigned equal load with no load crossing fold boundaries.
+// Initially every node is its own fold carrying its spontaneous rate.  A
+// fold j is *foldable* into its parent fold i when j's per-node load
+// exceeds i's; WebFold repeatedly folds the foldable fold with maximum
+// per-node load until none remains, then assigns every node the average
+// spontaneous rate of its fold.
+//
+// The resulting assignment satisfies (proofs in the tech report, checked
+// here by tests):
+//   Lemma 1   — loads are monotone non-increasing from root to leaves,
+//   Lemma 2   — no load is exchanged between folds (A = 0 at fold roots),
+//   Lemma 3   — no sibling sharing (A_i >= 0 everywhere),
+//   Theorem 1 — the assignment is tree load balanced (TLB): it minimizes
+//               the maximum load, and recursively so after removing the
+//               maximum, over all feasible assignments.
+//
+// This implementation runs in O(n log n + f·c) where f is the number of
+// folds performed and c the child-fold re-examinations they trigger, and
+// records the complete folding sequence so Figure 4 can be reproduced
+// verbatim.
+#pragma once
+
+#include <vector>
+
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+// One final fold: the contiguous region `members` (preorder), rooted at the
+// member closest to the tree root.
+struct Fold {
+  NodeId root = kNoNode;
+  std::vector<NodeId> members;
+  double rate_sum = 0;      // Σ spontaneous over members
+  double capacity_sum = 0;  // Σ capacity over members (|members| when uniform)
+  // rate_sum / capacity_sum: the TLB load per unit capacity.  With the
+  // paper's uniform capacities this is the per-node load.
+  double per_node = 0;
+};
+
+// One step of the folding sequence, for tracing (Figure 4).
+struct FoldStep {
+  NodeId folded_root = kNoNode;  // root of the fold that was absorbed
+  NodeId into_root = kNoNode;    // root of the fold that absorbed it
+  double folded_per_node = 0;    // per-node load of the absorbed fold
+  double into_per_node = 0;      // per-node load of the absorbing fold, before
+  double merged_per_node = 0;    // per-node load after the fold
+  int merged_size = 0;           // members in the merged fold
+};
+
+struct WebFoldResult {
+  // The TLB load assignment L_i (Theorem 1).
+  std::vector<double> load;
+  // For each node, the root node of its final fold.
+  std::vector<NodeId> fold_root;
+  // Final folds, ordered by the preorder position of their roots.
+  std::vector<Fold> folds;
+  // The folding sequence that produced them.
+  std::vector<FoldStep> trace;
+
+  // Index into `folds` for each node.
+  std::vector<int> fold_index;
+};
+
+// Runs WebFold.  `spontaneous` must be non-negative with one entry per node.
+WebFoldResult WebFold(const RoutingTree& tree,
+                      const std::vector<double>& spontaneous);
+
+// Capacity-weighted generalization (the paper assumes uniform capacity;
+// §5.1 flags that as a simplifying assumption).  Server i has capacity
+// c_i > 0; balance means lexicographically minimizing the *utilizations*
+// L_i / c_i.  Folding compares fold densities Σ E / Σ c, and each member
+// receives load c_i · density.  WebFold(t, E) == WebFoldWeighted(t, E, 1s).
+WebFoldResult WebFoldWeighted(const RoutingTree& tree,
+                              const std::vector<double>& spontaneous,
+                              const std::vector<double>& capacity);
+
+}  // namespace webwave

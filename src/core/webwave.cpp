@@ -1,0 +1,237 @@
+#include "core/webwave.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/load_model.h"
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace webwave {
+
+WebWaveSimulator::WebWaveSimulator(const RoutingTree& tree,
+                                   std::vector<double> spontaneous,
+                                   WebWaveOptions options)
+    : tree_(tree),
+      spontaneous_(std::move(spontaneous)),
+      options_(options),
+      rng_(options.seed) {
+  const int n = tree_.size();
+  WEBWAVE_REQUIRE(spontaneous_.size() == static_cast<std::size_t>(n),
+                  "spontaneous size mismatch");
+  for (const double e : spontaneous_)
+    WEBWAVE_REQUIRE(e >= 0, "spontaneous rates must be non-negative");
+  WEBWAVE_REQUIRE(options_.gossip_period >= 1, "gossip period must be >= 1");
+  WEBWAVE_REQUIRE(options_.gossip_delay >= 0, "gossip delay must be >= 0");
+  if (options_.alpha_policy == AlphaPolicy::kFixed ||
+      options_.alpha_policy == AlphaPolicy::kFixedUncapped)
+    WEBWAVE_REQUIRE(options_.alpha > 0 && options_.alpha <= 0.5,
+                    "fixed alpha must be in (0, 0.5]");
+  if (options_.capacities.empty()) {
+    capacity_.assign(static_cast<std::size_t>(n), 1.0);
+  } else {
+    WEBWAVE_REQUIRE(
+        options_.capacities.size() == static_cast<std::size_t>(n),
+        "capacities size mismatch");
+    for (const double c : options_.capacities)
+      WEBWAVE_REQUIRE(c > 0, "capacities must be positive");
+    capacity_ = options_.capacities;
+  }
+
+  // Initial condition.
+  served_.assign(static_cast<std::size_t>(n), 0.0);
+  switch (options_.initial_load) {
+    case InitialLoad::kAllAtRoot:
+      served_[static_cast<std::size_t>(tree_.root())] =
+          TotalRate(spontaneous_);
+      break;
+    case InitialLoad::kSelfService:
+      served_ = spontaneous_;
+      break;
+  }
+  forwarded_ = ForwardedRates(tree_, spontaneous_, served_);
+
+  // Edges, parent side first, with their diffusion parameter.
+  edges_.reserve(static_cast<std::size_t>(n - 1));
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree_.is_root(v)) continue;
+    Edge e;
+    e.parent = tree_.parent(v);
+    e.child = v;
+    const double stable =
+        1.0 /
+        (1.0 + std::max(tree_.degree(e.parent), tree_.degree(e.child)));
+    switch (options_.alpha_policy) {
+      case AlphaPolicy::kFixed:
+        e.alpha = std::min(options_.alpha, stable);
+        break;
+      case AlphaPolicy::kFixedUncapped:
+        e.alpha = options_.alpha;
+        break;
+      case AlphaPolicy::kDegree:
+        e.alpha = stable;
+        break;
+    }
+    edges_.push_back(e);
+  }
+
+  // Every node starts with a fresh view of its neighbors.
+  estimates_.assign(static_cast<std::size_t>(n), {});
+  for (const Edge& e : edges_) {
+    estimates_[static_cast<std::size_t>(e.parent)].push_back({e.child, 0});
+    estimates_[static_cast<std::size_t>(e.child)].push_back({e.parent, 0});
+  }
+  history_.push_back(served_);
+  RefreshEstimates();
+}
+
+double WebWaveSimulator::Estimate(NodeId a, NodeId b) const {
+  for (const auto& [node, load] : estimates_[static_cast<std::size_t>(a)])
+    if (node == b) return load;
+  WEBWAVE_ASSERT(false, "estimate requested for a non-neighbor");
+  return 0;
+}
+
+void WebWaveSimulator::RefreshEstimates() {
+  // Gossip delivers the load vector as it was gossip_delay steps ago.
+  const std::size_t lag =
+      std::min<std::size_t>(static_cast<std::size_t>(options_.gossip_delay),
+                            history_.size() - 1);
+  const std::vector<double>& view = history_[history_.size() - 1 - lag];
+  for (auto& per_node : estimates_)
+    for (auto& [neighbor, load] : per_node)
+      load = view[static_cast<std::size_t>(neighbor)];
+}
+
+void WebWaveSimulator::Step() {
+  // Phase 1: every server decides its transfers from the same snapshot —
+  // this models the synchronous rounds of Figure 5, where step (2.1)-(2.2)
+  // read the estimates gathered at the end of the previous period.
+  //
+  // A transfer on edge (p, c) is positive when load moves down (p -> c).
+  // The *parent* decides downward shifts using its true load and its
+  // estimate of the child, capped by the observed A_c (an exactly known
+  // local quantity: it is the rate of requests arriving from c).  The
+  // *child* decides upward shifts symmetrically, capped by its own served
+  // rate.
+  std::vector<double> delta(edges_.size(), 0.0);
+  for (std::size_t k = 0; k < edges_.size(); ++k) {
+    const Edge& e = edges_[k];
+    if (options_.asynchronous &&
+        !rng_.NextBernoulli(options_.activation_probability))
+      continue;
+    const double cp = capacity_[static_cast<std::size_t>(e.parent)];
+    const double cc = capacity_[static_cast<std::size_t>(e.child)];
+    // Diffusion equalizes utilization (load with uniform capacities).  The
+    // transfer scale min(c_p, c_c) reduces to the paper's load difference
+    // when capacities are uniform.
+    const double up = served_[static_cast<std::size_t>(e.parent)] / cp;
+    const double uc = served_[static_cast<std::size_t>(e.child)] / cc;
+    const double parent_view = Estimate(e.parent, e.child) / cc;
+    const double child_view = Estimate(e.child, e.parent) / cp;
+    const double scale = std::min(cp, cc);
+    double d = 0;
+    if (up > parent_view) {
+      // Parent believes the child is less utilized: delegate future
+      // requests to it (cap: the child can only absorb its own subtree's
+      // flow).
+      d = std::min(e.alpha * (up - parent_view) * scale,
+                   forwarded_[static_cast<std::size_t>(e.child)]);
+    } else if (uc > child_view) {
+      // Child believes the parent is less utilized: relinquish requests
+      // upward (cap: it can give up at most what it currently serves).
+      d = -std::min(e.alpha * (uc - child_view) * scale,
+                    served_[static_cast<std::size_t>(e.child)]);
+    }
+    delta[k] = d;
+  }
+
+  // Phase 2: apply transfers atomically per edge, clamping against the
+  // evolving state so that L >= 0 and A >= 0 hold exactly even when a node
+  // participates in several transfers within one round.
+  for (std::size_t k = 0; k < edges_.size(); ++k) {
+    const Edge& e = edges_[k];
+    double d = delta[k];
+    if (d == 0) continue;
+    const std::size_t p = static_cast<std::size_t>(e.parent);
+    const std::size_t c = static_cast<std::size_t>(e.child);
+    if (d > 0) {
+      d = std::min({d, forwarded_[c], served_[p]});
+      if (d <= 0) continue;
+      served_[p] -= d;
+      served_[c] += d;
+      forwarded_[c] -= d;
+    } else {
+      double up = std::min(-d, served_[c]);
+      if (up <= 0) continue;
+      served_[c] -= up;
+      served_[p] += up;
+      forwarded_[c] += up;
+    }
+  }
+
+  ++steps_;
+  history_.push_back(served_);
+  const std::size_t keep =
+      static_cast<std::size_t>(options_.gossip_delay) + 1;
+  while (history_.size() > keep) history_.pop_front();
+  if (steps_ % options_.gossip_period == 0) RefreshEstimates();
+}
+
+void WebWaveSimulator::UpdateSpontaneous(std::vector<double> spontaneous) {
+  WEBWAVE_REQUIRE(
+      spontaneous.size() == static_cast<std::size_t>(tree_.size()),
+      "spontaneous size mismatch");
+  for (const double e : spontaneous)
+    WEBWAVE_REQUIRE(e >= 0, "spontaneous rates must be non-negative");
+  spontaneous_ = std::move(spontaneous);
+
+  // Project the served vector onto the new feasible set: each node may
+  // serve at most what now arrives at it; the shortfall travels up and the
+  // root absorbs whatever remains unclaimed (it is the authoritative
+  // copy).  This models servers instantly noticing their streams thinned.
+  for (const NodeId v : tree_.postorder()) {
+    double arrive = spontaneous_[static_cast<std::size_t>(v)];
+    for (const NodeId c : tree_.children(v))
+      arrive += forwarded_[static_cast<std::size_t>(c)];
+    double serve = std::min(served_[static_cast<std::size_t>(v)], arrive);
+    if (tree_.is_root(v)) serve = arrive;  // Constraint 1: A_root = 0
+    served_[static_cast<std::size_t>(v)] = serve;
+    forwarded_[static_cast<std::size_t>(v)] = arrive - serve;
+  }
+  // Estimates survive the change (gossip will refresh them); history must
+  // restart so stale pre-churn vectors are not gossiped.
+  history_.clear();
+  history_.push_back(served_);
+}
+
+double WebWaveSimulator::DistanceTo(const std::vector<double>& target) const {
+  return EuclideanDistance(served_, target);
+}
+
+std::vector<double> WebWaveSimulator::RunUntil(
+    const std::vector<double>& target, double tol, int max_steps) {
+  std::vector<double> trajectory = {DistanceTo(target)};
+  for (int s = 0; s < max_steps && trajectory.back() > tol; ++s) {
+    Step();
+    trajectory.push_back(DistanceTo(target));
+  }
+  return trajectory;
+}
+
+void WebWaveSimulator::CheckInvariants(double tol) const {
+  const double total = TotalRate(spontaneous_);
+  WEBWAVE_ASSERT(std::abs(TotalRate(served_) - total) <=
+                     tol * (1 + std::abs(total)),
+                 "flow conservation violated");
+  const std::vector<double> expect =
+      ForwardedRates(tree_, spontaneous_, served_);
+  for (std::size_t i = 0; i < served_.size(); ++i) {
+    WEBWAVE_ASSERT(served_[i] >= -tol, "negative served rate");
+    WEBWAVE_ASSERT(forwarded_[i] >= -tol, "NSS violated (negative A)");
+    WEBWAVE_ASSERT(std::abs(forwarded_[i] - expect[i]) <= tol * (1 + total),
+                   "tracked A diverged from flow-conservation A");
+  }
+}
+
+}  // namespace webwave

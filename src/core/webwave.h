@@ -1,0 +1,128 @@
+// WebWave — the fully distributed diffusion protocol (§5, Figure 5).
+//
+// Each server i periodically tries to equalize its load with its tree
+// neighbors, using only local information: its own served rate L_i, the
+// request rate A_j it observes arriving from each child j, and gossiped
+// estimates L_ij of its neighbors' loads.  The amount of load a parent can
+// shift *down* to child j is capped by A_j — under NSS a child can only
+// take over requests that already flow through it from its own subtree.
+// Shifts *up* are capped by the child's own served rate.
+//
+// This engine simulates the protocol at the rate level (the paper's own
+// evaluation methodology, §5.1): one Step() is one diffusion period.  It
+// supports the paper's simplifying assumptions (synchronous rounds,
+// instantaneous gossip) and their relaxations (gossip period > diffusion
+// period, bounded-delay stale estimates, asynchronous activation), which
+// §5.1 lists as the knobs a real deployment would have.
+//
+// Invariants maintained exactly (checked by tests after every step):
+//   Σ L = Σ E (flow conservation),  L >= 0,  A >= 0 (NSS),  A_root = 0.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+// How the diffusion parameter α_ij of an edge is chosen.  The paper's
+// Figure 5 notes "other values of α_i are possible"; the standard choice
+// guaranteeing Cybenko's convergence conditions (1 − Σ_j α_ij > 0) is
+// 1/(1 + max degree of the endpoints).
+enum class AlphaPolicy {
+  // α_ij = min(alpha, 1/(1 + max degree)): the requested value, capped so
+  // Cybenko's stability condition always holds.
+  kFixed,
+  // α_ij = alpha exactly, even when it violates the stability condition —
+  // used by the ablation bench to demonstrate why the condition matters.
+  kFixedUncapped,
+  // α_ij = 1 / (1 + max(deg(i), deg(j))) (the default).
+  kDegree,
+};
+
+// Where the load sits before the protocol starts.
+enum class InitialLoad {
+  kAllAtRoot,    // cold start: no caches yet, the home server serves all
+  kSelfService,  // every node serves exactly its spontaneous requests
+};
+
+struct WebWaveOptions {
+  AlphaPolicy alpha_policy = AlphaPolicy::kDegree;
+  double alpha = 0.25;        // used when alpha_policy == kFixed
+  InitialLoad initial_load = InitialLoad::kAllAtRoot;
+  int gossip_period = 1;      // steps between neighbor-estimate refreshes
+  int gossip_delay = 0;       // estimates lag the true load by this many steps
+  bool asynchronous = false;  // edges activate independently at random
+  double activation_probability = 0.5;  // per-edge, in asynchronous mode
+  // Per-node service capacities.  Empty reproduces the paper's uniform-
+  // capacity assumption.  When set, diffusion equalizes *utilizations*
+  // L_i / c_i and converges to the WebFoldWeighted assignment.
+  std::vector<double> capacities;
+  std::uint64_t seed = 1;
+};
+
+class WebWaveSimulator {
+ public:
+  WebWaveSimulator(const RoutingTree& tree, std::vector<double> spontaneous,
+                   WebWaveOptions options = {});
+
+  // Executes one diffusion period for every server.
+  void Step();
+
+  // Replaces the spontaneous request rates mid-run ("erratic request
+  // rates", §5.1's ongoing-study scenario).  The current served vector is
+  // projected onto the new feasible set: in postorder, every node keeps
+  // min(L_v, arriving flow) and the remainder shifts toward the root,
+  // which always absorbs it.  Invariants hold immediately afterwards.
+  void UpdateSpontaneous(std::vector<double> spontaneous);
+
+  int steps() const { return steps_; }
+  const std::vector<double>& served() const { return served_; }
+  const std::vector<double>& forwarded() const { return forwarded_; }
+  const std::vector<double>& spontaneous() const { return spontaneous_; }
+
+  // Euclidean distance from the current served vector to a target
+  // assignment — the paper's convergence metric.
+  double DistanceTo(const std::vector<double>& target) const;
+
+  // Steps until DistanceTo(target) <= tol or max_steps is reached; returns
+  // the distance trajectory including the initial state (index 0 = before
+  // the first step).
+  std::vector<double> RunUntil(const std::vector<double>& target, double tol,
+                               int max_steps);
+
+  // Verifies the state invariants listed in the file comment.
+  // Throws std::logic_error on violation.
+  void CheckInvariants(double tol = 1e-6) const;
+
+ private:
+  struct Edge {
+    NodeId parent;
+    NodeId child;
+    double alpha;
+  };
+
+  // The load estimate node a currently holds for neighbor b.
+  double Estimate(NodeId a, NodeId b) const;
+  void RefreshEstimates();
+
+  const RoutingTree& tree_;
+  std::vector<double> spontaneous_;
+  std::vector<double> capacity_;   // all ones under the paper's assumption
+  std::vector<double> served_;     // L
+  std::vector<double> forwarded_;  // A
+  std::vector<Edge> edges_;
+  WebWaveOptions options_;
+  Rng rng_;
+  int steps_ = 0;
+
+  // estimates_[v] holds v's view of each neighbor's load, refreshed every
+  // gossip_period steps from a history delayed by gossip_delay steps.
+  std::vector<std::vector<std::pair<NodeId, double>>> estimates_;
+  std::deque<std::vector<double>> history_;  // recent served vectors
+};
+
+}  // namespace webwave

@@ -1,0 +1,73 @@
+#include "doc/placement.h"
+
+#include <algorithm>
+
+#include "core/webfold.h"
+#include "util/check.h"
+
+namespace webwave {
+
+PlacementResult DerivePlacement(const RoutingTree& tree,
+                                const DemandMatrix& demand) {
+  WEBWAVE_REQUIRE(demand.node_count() == tree.size(),
+                  "demand matrix does not match tree");
+  const int docs = demand.doc_count();
+  const WebFoldResult tlb = WebFold(tree, demand.NodeTotals());
+
+  PlacementResult result;
+  result.node_loads = tlb.load;
+  result.quota.assign(static_cast<std::size_t>(tree.size()),
+                      std::vector<double>(static_cast<std::size_t>(docs), 0.0));
+  result.copies.assign(static_cast<std::size_t>(docs), {});
+  result.copy_count.assign(static_cast<std::size_t>(docs), 1);  // home copy
+
+  // Bottom-up: at each node the passing flow per document is its own
+  // demand plus what children forwarded; the node claims its TLB load
+  // from the hottest flows first, forwarding the rest.
+  std::vector<std::vector<double>> fwd(
+      static_cast<std::size_t>(tree.size()),
+      std::vector<double>(static_cast<std::size_t>(docs), 0.0));
+  for (const NodeId v : tree.postorder()) {
+    std::vector<double> arrive(static_cast<std::size_t>(docs));
+    for (DocId d = 0; d < docs; ++d)
+      arrive[static_cast<std::size_t>(d)] = demand.at(v, d);
+    for (const NodeId c : tree.children(v))
+      for (DocId d = 0; d < docs; ++d)
+        arrive[static_cast<std::size_t>(d)] +=
+            fwd[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)];
+
+    std::vector<DocId> order(static_cast<std::size_t>(docs));
+    for (DocId d = 0; d < docs; ++d) order[static_cast<std::size_t>(d)] = d;
+    std::sort(order.begin(), order.end(), [&](DocId a, DocId b) {
+      const double ra = arrive[static_cast<std::size_t>(a)];
+      const double rb = arrive[static_cast<std::size_t>(b)];
+      if (ra != rb) return ra > rb;
+      return a < b;
+    });
+    double remaining = tlb.load[static_cast<std::size_t>(v)];
+    for (const DocId d : order) {
+      if (remaining <= 1e-12) break;
+      const double take =
+          std::min(remaining, arrive[static_cast<std::size_t>(d)]);
+      if (take <= 1e-12) continue;
+      result.quota[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)] =
+          take;
+      arrive[static_cast<std::size_t>(d)] -= take;
+      remaining -= take;
+      result.copies[static_cast<std::size_t>(d)].push_back({v, take});
+      if (!tree.is_root(v)) ++result.copy_count[static_cast<std::size_t>(d)];
+    }
+    WEBWAVE_ASSERT(remaining <= 1e-6 * (1 + tlb.load[static_cast<std::size_t>(v)]),
+                   "TLB load exceeded the flow passing the node");
+    fwd[static_cast<std::size_t>(v)] = std::move(arrive);
+  }
+  // The root absorbs everything left over (it holds all copies).
+  for (DocId d = 0; d < docs; ++d)
+    WEBWAVE_ASSERT(
+        fwd[static_cast<std::size_t>(tree.root())][static_cast<std::size_t>(d)] <=
+            1e-6 * (1 + demand.Total()),
+        "flow escaped past the home server");
+  return result;
+}
+
+}  // namespace webwave

@@ -1,0 +1,46 @@
+// Offline copy placement implied by TLB (§7).
+//
+// "WebWave implicitly determines the number and placement of cache copies
+// as well as the number of requests allocated to each copy."  This module
+// makes that explicit: given the per-(node, document) demand, it computes
+// the TLB assignment of node loads (WebFold on the row sums) and then
+// realizes it document-by-document — every node is allocated service
+// quotas over the documents actually flowing through it, bottom-up, so
+// per-document NSS holds by construction.  The result is, for each
+// document, the set of nodes that must hold a copy and the request rate
+// allocated to each copy.
+//
+// The allocation is the fewest-copies greedy: each node fills its TLB
+// load from its hottest passing documents first, which concentrates each
+// document's copies where its demand flows.
+#pragma once
+
+#include <vector>
+
+#include "doc/catalog.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+struct CopyAssignment {
+  NodeId node = kNoNode;
+  double rate = 0;  // requests/sec this copy serves
+};
+
+struct PlacementResult {
+  // quota[v][d]: the service rate node v is allocated for document d
+  // (> 0 implies v holds a copy; the home server holds everything).
+  std::vector<std::vector<double>> quota;
+  // For each document, its copies (excluding zero-rate home copies).
+  std::vector<std::vector<CopyAssignment>> copies;
+  // The TLB node loads this placement realizes.
+  std::vector<double> node_loads;
+  // Total copies per document (including the home's authoritative copy).
+  std::vector<int> copy_count;
+};
+
+// Computes the TLB-realizing placement.  Throws on mismatched sizes.
+PlacementResult DerivePlacement(const RoutingTree& tree,
+                                const DemandMatrix& demand);
+
+}  // namespace webwave

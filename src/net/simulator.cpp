@@ -1,0 +1,72 @@
+#include "net/simulator.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace webwave {
+
+void Simulator::ScheduleIn(SimTime delay, std::function<void()> fn) {
+  WEBWAVE_REQUIRE(delay >= 0, "cannot schedule into the past");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  WEBWAVE_REQUIRE(when >= now_, "cannot schedule into the past");
+  WEBWAVE_REQUIRE(static_cast<bool>(fn), "empty event");
+  queue_.push({when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::RunUntil(SimTime horizon) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    // The callback may schedule new events; copy out before popping.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  if (queue_.empty() || queue_.top().when > horizon) now_ = horizon;
+  return ran;
+}
+
+std::size_t Simulator::RunAll(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  WEBWAVE_ASSERT(queue_.empty(), "event budget exhausted — runaway schedule?");
+  return ran;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime start, SimTime period,
+                             std::function<void()> fn)
+    : sim_(sim),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true)) {
+  WEBWAVE_REQUIRE(period > 0, "period must be positive");
+  Arm(sim_.now() + start);
+}
+
+PeriodicTimer::~PeriodicTimer() { Cancel(); }
+
+void PeriodicTimer::Cancel() { *alive_ = false; }
+
+void PeriodicTimer::Arm(SimTime when) {
+  sim_.ScheduleAt(when, [this, guard = std::weak_ptr<bool>(alive_), when]() {
+    const auto alive = guard.lock();
+    if (!alive || !*alive) return;
+    fn_();
+    if (*alive) Arm(when + period_);
+  });
+}
+
+}  // namespace webwave

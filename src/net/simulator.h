@@ -1,0 +1,86 @@
+// A deterministic discrete-event simulator.
+//
+// The packet-level WebWave experiments (§5.1's relaxed assumptions, and
+// the §7 network-traffic questions) need message passing with latency.
+// This simulator provides exactly that: an event queue ordered by
+// (time, sequence number) so same-time events fire in scheduling order,
+// making every run bit-reproducible.
+//
+// Time is kept in integer microseconds to avoid floating-point event-order
+// ambiguity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace webwave {
+
+using SimTime = std::int64_t;  // microseconds
+
+inline constexpr SimTime kMicrosPerMilli = 1000;
+inline constexpr SimTime kMicrosPerSecond = 1000000;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay (delay >= 0).
+  void ScheduleIn(SimTime delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs events until the queue is empty or the horizon is passed.
+  // Returns the number of events executed.
+  std::size_t RunUntil(SimTime horizon);
+  std::size_t RunAll(std::size_t max_events = 100000000);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// A repeating timer helper: schedules `fn` every `period` starting at
+// `start`, until `cancel()` or the simulator stops running events.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimTime start, SimTime period,
+                std::function<void()> fn);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Cancel();
+
+ private:
+  void Arm(SimTime when);
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace webwave

@@ -1,0 +1,90 @@
+#include "proto/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/load_model.h"
+#include "util/check.h"
+
+namespace webwave {
+
+std::vector<double> NoCachingLoad(const RoutingTree& tree,
+                                  const std::vector<double>& spontaneous) {
+  WEBWAVE_REQUIRE(
+      spontaneous.size() == static_cast<std::size_t>(tree.size()),
+      "size mismatch");
+  std::vector<double> load(spontaneous.size(), 0.0);
+  load[static_cast<std::size_t>(tree.root())] = TotalRate(spontaneous);
+  return load;
+}
+
+std::vector<double> SelfCachingLoad(const std::vector<double>& spontaneous) {
+  return spontaneous;
+}
+
+std::vector<double> EnRouteLruLoad(const RoutingTree& tree,
+                                   const DemandMatrix& demand,
+                                   int capacity_docs) {
+  WEBWAVE_REQUIRE(demand.node_count() == tree.size(), "size mismatch");
+  WEBWAVE_REQUIRE(capacity_docs >= 0, "capacity must be non-negative");
+  const int docs = demand.doc_count();
+  std::vector<double> load(static_cast<std::size_t>(tree.size()), 0.0);
+  // fwd[d] per node, built bottom-up.
+  std::vector<std::vector<double>> fwd(
+      static_cast<std::size_t>(tree.size()),
+      std::vector<double>(static_cast<std::size_t>(docs), 0.0));
+  for (const NodeId v : tree.postorder()) {
+    std::vector<double> arrive(static_cast<std::size_t>(docs), 0.0);
+    for (DocId d = 0; d < docs; ++d) arrive[static_cast<std::size_t>(d)] = demand.at(v, d);
+    for (const NodeId c : tree.children(v))
+      for (DocId d = 0; d < docs; ++d)
+        arrive[static_cast<std::size_t>(d)] +=
+            fwd[static_cast<std::size_t>(c)][static_cast<std::size_t>(d)];
+
+    if (tree.is_root(v)) {
+      // Home server: absorbs everything remaining.
+      load[static_cast<std::size_t>(v)] = std::accumulate(
+          arrive.begin(), arrive.end(), 0.0);
+      continue;
+    }
+    // Steady-state LRU: the `capacity_docs` hottest documents stick.
+    std::vector<DocId> order(static_cast<std::size_t>(docs));
+    for (DocId d = 0; d < docs; ++d) order[static_cast<std::size_t>(d)] = d;
+    std::sort(order.begin(), order.end(), [&](DocId a, DocId b) {
+      const double ra = arrive[static_cast<std::size_t>(a)];
+      const double rb = arrive[static_cast<std::size_t>(b)];
+      if (ra != rb) return ra > rb;
+      return a < b;
+    });
+    double served = 0;
+    const int keep = std::min(capacity_docs, docs);
+    for (int k = 0; k < keep; ++k) {
+      const DocId d = order[static_cast<std::size_t>(k)];
+      served += arrive[static_cast<std::size_t>(d)];
+      arrive[static_cast<std::size_t>(d)] = 0;
+    }
+    load[static_cast<std::size_t>(v)] = served;
+    fwd[static_cast<std::size_t>(v)] = std::move(arrive);
+  }
+  return load;
+}
+
+std::vector<double> IdealGleLoad(const RoutingTree& tree,
+                                 const std::vector<double>& spontaneous) {
+  return GleAssignment(tree.size(), TotalRate(spontaneous));
+}
+
+double CappedThroughput(const std::vector<double>& loads, double capacity) {
+  WEBWAVE_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  double sum = 0;
+  for (const double l : loads) sum += std::min(l, capacity);
+  return sum;
+}
+
+double IdleFraction(const std::vector<double>& loads, double capacity) {
+  WEBWAVE_REQUIRE(capacity > 0, "capacity must be positive");
+  const double total_capacity = capacity * static_cast<double>(loads.size());
+  return 1.0 - CappedThroughput(loads, capacity) / total_capacity;
+}
+
+}  // namespace webwave

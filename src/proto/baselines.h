@@ -1,0 +1,50 @@
+// Rate-level baseline policies for the scalability comparison (E8).
+//
+// The paper motivates WebWave against the contemporary alternatives:
+// serving everything from the home server, demand-driven hierarchical
+// caching (Harvest/Blaze/Dahlin-style: nodes greedily cache what passes
+// by, with no load awareness), and idealized global load equality (which
+// caching cannot implement without violating NSS).  These functions
+// compute each policy's steady-state served-load vector so benches can
+// compare max load, balance and capacity-bounded throughput across system
+// sizes.
+#pragma once
+
+#include <vector>
+
+#include "doc/catalog.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+// No caching: every request is served by the home server.
+std::vector<double> NoCachingLoad(const RoutingTree& tree,
+                                  const std::vector<double>& spontaneous);
+
+// Demand-driven client caching in steady state: after warm-up every node
+// holds what its own clients keep asking for, so each node serves exactly
+// its spontaneous demand.
+std::vector<double> SelfCachingLoad(const std::vector<double>& spontaneous);
+
+// En-route LRU with a capacity of `capacity_docs` copies per node: in
+// steady state a node retains the documents with the highest arrival rate
+// at it, serves all of their passing flow, and forwards the rest up.
+// Computed bottom-up (leaves first), which mirrors how hits at lower
+// levels strip flow from higher levels.  The home server absorbs the rest.
+std::vector<double> EnRouteLruLoad(const RoutingTree& tree,
+                                   const DemandMatrix& demand,
+                                   int capacity_docs);
+
+// Idealized GLE: uniform split, ignoring NSS (not implementable by
+// on-path caching; shown as the unreachable upper bound).
+std::vector<double> IdealGleLoad(const RoutingTree& tree,
+                                 const std::vector<double>& spontaneous);
+
+// Aggregate throughput when every server can serve at most `capacity`
+// requests/sec: Σ min(L_v, capacity).
+double CappedThroughput(const std::vector<double>& loads, double capacity);
+
+// Fraction of total server capacity left idle by this load distribution.
+double IdleFraction(const std::vector<double>& loads, double capacity);
+
+}  // namespace webwave

@@ -1,0 +1,25 @@
+#include "proto/packet_filter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webwave {
+
+PacketFilter::PacketFilter(int doc_count)
+    : fraction_(static_cast<std::size_t>(doc_count), 0.0) {
+  WEBWAVE_REQUIRE(doc_count >= 1, "filter needs a document universe");
+}
+
+void PacketFilter::Install(DocId d, double fraction) {
+  WEBWAVE_REQUIRE(d >= 0 && d < doc_count(), "doc id out of range");
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  double& slot = fraction_[static_cast<std::size_t>(d)];
+  if (slot == 0 && clamped > 0) ++rules_;
+  if (slot > 0 && clamped == 0) --rules_;
+  slot = clamped;
+}
+
+void PacketFilter::Remove(DocId d) { Install(d, 0.0); }
+
+}  // namespace webwave

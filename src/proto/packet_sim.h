@@ -1,0 +1,95 @@
+// Packet-level WebWave: the protocol running on the discrete-event
+// simulator with real messages, latencies and measured (EWMA) rates.
+//
+// This validates what §5.1 assumes away: gossip takes time, load estimates
+// are stale, rates are measured from discrete arrivals, and load can only
+// be shifted in document-sized quota grants.  It also hosts the protocol
+// baselines the paper argues against:
+//   * kNoCaching   — every request travels to the home server.
+//   * kEnRouteLru  — demand-driven hierarchical caching: every node caches
+//                    the documents of responses passing through it (LRU,
+//                    finite capacity), serves anything it holds, no load
+//                    awareness.
+//   * kIcpLike     — on a local miss, the origin first queries its tree
+//                    neighbors (one round trip) and fetches from a nearby
+//                    copy if any — the discovery-protocol cost the paper
+//                    rejects, measured in messages and latency.
+//   * kWebWave     — filters + gossip + diffusion quota exchange +
+//                    tunneling; no discovery traffic at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "doc/catalog.h"
+#include "net/simulator.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+enum class CachePolicy { kNoCaching, kEnRouteLru, kIcpLike, kWebWave };
+
+const char* PolicyName(CachePolicy policy);
+
+struct PacketSimOptions {
+  CachePolicy policy = CachePolicy::kWebWave;
+  SimTime link_latency = 5 * kMicrosPerMilli;
+  SimTime gossip_period = 100 * kMicrosPerMilli;
+  SimTime diffusion_period = 200 * kMicrosPerMilli;
+  SimTime duration = 60 * kMicrosPerSecond;
+  SimTime warmup = 5 * kMicrosPerSecond;   // excluded from averages
+  int lru_capacity = 4;                    // copies per node, LRU policies
+  double ewma_alpha = 0.3;
+  int barrier_patience = 2;
+  bool enable_tunneling = true;
+  // Failure injection: each gossip message is lost independently with
+  // this probability (the estimate simply stays stale).
+  double gossip_loss = 0.0;
+  // Payload sizes for the network-traffic accounting (§7): a request
+  // packet and a document transfer, in KB per link traversal.
+  double request_kb = 0.5;
+  double doc_size_kb = 8.0;
+  std::uint64_t seed = 1;
+};
+
+struct PacketSimReport {
+  // Served requests/sec per node, measured after warmup.
+  std::vector<double> measured_loads;
+  // Mean number of hops a request travelled before being served.
+  double mean_hit_depth = 0;
+  // Mean request->response latency in milliseconds.
+  double mean_response_ms = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t served_requests = 0;
+  // Control-plane traffic: gossip + quota/replication + discovery queries.
+  std::uint64_t control_messages = 0;
+  std::uint64_t doc_transfers = 0;
+  std::uint64_t tunnel_events = 0;
+  // Euclidean distance from the per-window load vector to `target_loads`
+  // (one sample per diffusion period; empty when no target given).
+  std::vector<double> distance_trajectory;
+  double control_messages_per_request = 0;
+  // Network traffic: link traversals of request packets and responses,
+  // and total bytes moved (requests up + document payloads down +
+  // replication transfers), per §7's traffic question.
+  std::uint64_t link_traversals = 0;
+  double network_kb = 0;
+  double network_kb_per_request = 0;
+  // Per-edge data traffic in KB, indexed by the edge's child node (the
+  // root's slot stays 0).  Sums to network_kb minus gossip (gossip is
+  // control-plane and not byte-accounted).
+  std::vector<double> edge_traffic_kb;
+  // Cache copies per document at the end of the run (WebWave policy; for
+  // LRU policies this reflects the LRU contents, home always included).
+  std::vector<int> copies_per_doc;
+};
+
+// Runs the simulation.  `demand` gives per-(node, doc) Poisson request
+// rates (requests/sec); `target_loads` (optional, empty to skip) is the
+// TLB assignment used for the distance trajectory.
+PacketSimReport RunPacketSimulation(const RoutingTree& tree,
+                                    const DemandMatrix& demand,
+                                    const PacketSimOptions& options,
+                                    const std::vector<double>& target_loads = {});
+
+}  // namespace webwave

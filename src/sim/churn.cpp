@@ -1,0 +1,59 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+
+#include "core/load_model.h"
+#include "core/webfold.h"
+#include "util/check.h"
+
+namespace webwave {
+
+ChurnRun RunChurn(const RoutingTree& tree, std::vector<double> initial,
+                  const ChurnOptions& options) {
+  WEBWAVE_REQUIRE(options.epochs >= 1, "need at least one epoch");
+  WEBWAVE_REQUIRE(options.period >= 1, "period must be positive");
+  WEBWAVE_REQUIRE(
+      options.churn_fraction >= 0 && options.churn_fraction <= 1,
+      "churn fraction in [0,1]");
+  Rng rng(options.seed);
+
+  WebWaveSimulator sim(tree, initial, options.protocol);
+  std::vector<double> rates = std::move(initial);
+
+  ChurnRun run;
+  double distance_accum = 0;
+  long distance_samples = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Shock: re-draw a fraction of the nodes' spontaneous rates.
+    for (NodeId v = 0; v < tree.size(); ++v)
+      if (rng.NextBernoulli(options.churn_fraction))
+        rates[static_cast<std::size_t>(v)] =
+            rng.NextDouble(0, options.max_rate);
+    sim.UpdateSpontaneous(rates);
+    const WebFoldResult target = WebFold(tree, rates);
+    const double total = TotalRate(rates);
+
+    ChurnEpoch e;
+    e.distance_after_shock = sim.DistanceTo(target.load);
+    const double recovered_level = 0.05 * e.distance_after_shock;
+    e.recovery_steps = options.period;
+    for (int s = 0; s < options.period; ++s) {
+      sim.Step();
+      const double d = sim.DistanceTo(target.load);
+      distance_accum += total > 0 ? d / total : 0;
+      ++distance_samples;
+      if (d <= recovered_level && e.recovery_steps == options.period)
+        e.recovery_steps = s + 1;
+    }
+    e.distance_at_end = sim.DistanceTo(target.load);
+    run.worst_end_relative_distance =
+        std::max(run.worst_end_relative_distance,
+                 total > 0 ? e.distance_at_end / total : 0);
+    run.epochs.push_back(e);
+  }
+  run.mean_relative_distance =
+      distance_samples > 0 ? distance_accum / distance_samples : 0;
+  return run;
+}
+
+}  // namespace webwave

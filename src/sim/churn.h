@@ -1,0 +1,52 @@
+// Tracking under erratic request rates.
+//
+// §5.1 closes with: "the dynamics of WebWave under erratic request rates
+// is the subject of an ongoing simulation study."  This module is that
+// study: the spontaneous rates are re-drawn periodically while the
+// protocol runs, and we measure how closely WebWave tracks the *moving*
+// TLB optimum — the steady-state tracking error and the recovery speed
+// after each shock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/webwave.h"
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+struct ChurnOptions {
+  int epochs = 20;           // number of demand shocks
+  int period = 50;           // diffusion steps between shocks
+  double churn_fraction = 0.3;  // share of nodes re-drawn per shock
+  double max_rate = 50.0;       // re-drawn rates are U(0, max_rate)
+  std::uint64_t seed = 1;
+  WebWaveOptions protocol;
+};
+
+struct ChurnEpoch {
+  // Distance to the *new* TLB right after the shock, and at the epoch end.
+  double distance_after_shock = 0;
+  double distance_at_end = 0;
+  // Steps until within 5% of the shock distance's decay (==period if never).
+  int recovery_steps = 0;
+};
+
+struct ChurnRun {
+  std::vector<ChurnEpoch> epochs;
+  // Time-averaged relative distance to the instantaneous TLB, over the
+  // whole run (distance / total offered rate).
+  double mean_relative_distance = 0;
+  // Worst relative distance observed at any epoch end.
+  double worst_end_relative_distance = 0;
+};
+
+// Runs WebWave under periodic demand shocks.  The tree's rates start at
+// `initial` and `churn_fraction` of the nodes are re-drawn every
+// `period` steps.
+ChurnRun RunChurn(const RoutingTree& tree, std::vector<double> initial,
+                  const ChurnOptions& options);
+
+}  // namespace webwave

@@ -1,0 +1,68 @@
+// Coordinated WebWave over a forest of overlapping routing trees.
+//
+// §7: "it will be important, in the future, to evaluate how WebWave
+// functions in the context of the forest of overlapping routing trees
+// that is the Internet."  Each home server induces its own routing tree
+// over the same physical nodes, and a node's capacity is shared by every
+// tree passing through it.  Running the paper's protocol independently
+// per tree optimizes each tree in isolation and can pile several trees'
+// load onto shared interior nodes (bench/tab_forest_overlap measures how
+// badly).
+//
+// The coordinated variant implemented here changes exactly one thing:
+// the load a server gossips — and the imbalance the diffusion reacts to —
+// is its *total* load across all trees, while every transfer still honours
+// its own tree's NSS cap.  All decisions stay local; no tree learns
+// anything about another tree's structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+struct ForestWebWaveOptions {
+  // Diffusion parameter per edge; <= 0 means 1/(1 + max endpoint degree)
+  // within that edge's tree.
+  double alpha = -1;
+  // Balance against total node load across trees (the coordinated
+  // variant) or each tree against its own load only (the independent
+  // baseline, equivalent to running the paper's protocol per tree).
+  bool coordinate_across_trees = true;
+  std::uint64_t seed = 1;
+};
+
+class ForestWebWave {
+ public:
+  // All trees must be over the same node set (same size).  demands[t][v]
+  // is the spontaneous rate for tree t's document family at node v.
+  // Initial condition: each tree's home serves its whole family.
+  ForestWebWave(const std::vector<RoutingTree>& trees,
+                std::vector<std::vector<double>> demands,
+                ForestWebWaveOptions options = {});
+
+  void Step();
+  int steps() const { return steps_; }
+
+  // Served rate of node v on behalf of tree t.
+  const std::vector<std::vector<double>>& served() const { return served_; }
+  // Total served rate per node, across trees.
+  std::vector<double> TotalLoads() const;
+  double MaxTotalLoad() const;
+
+  // Per-tree flow conservation, NSS and non-negativity.
+  void CheckInvariants(double tol = 1e-6) const;
+
+ private:
+  std::vector<RoutingTree> trees_;  // owned: callers may pass temporaries
+  std::vector<std::vector<double>> demands_;    // [tree][node]
+  std::vector<std::vector<double>> served_;     // [tree][node]
+  std::vector<std::vector<double>> forwarded_;  // [tree][node]
+  ForestWebWaveOptions options_;
+  int steps_ = 0;
+};
+
+}  // namespace webwave

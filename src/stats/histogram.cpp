@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace webwave {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo),
+      width_((hi - lo) / bins),
+      counts_(static_cast<std::size_t>(bins), 0.0) {
+  WEBWAVE_REQUIRE(bins >= 1, "need at least one bin");
+  WEBWAVE_REQUIRE(hi > lo, "hi must exceed lo");
+}
+
+int Histogram::BinOf(double value) const {
+  const int b = static_cast<int>(std::floor((value - lo_) / width_));
+  return std::clamp(b, 0, bin_count() - 1);
+}
+
+void Histogram::Add(double value, double weight) {
+  WEBWAVE_REQUIRE(weight >= 0, "weight must be non-negative");
+  counts_[static_cast<std::size_t>(BinOf(value))] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(int b) const {
+  WEBWAVE_REQUIRE(b >= 0 && b < bin_count(), "bin out of range");
+  return lo_ + b * width_;
+}
+
+double Histogram::bin_hi(int b) const { return bin_lo(b) + width_; }
+
+double Histogram::count(int b) const {
+  WEBWAVE_REQUIRE(b >= 0 && b < bin_count(), "bin out of range");
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+double Histogram::CdfAt(double value) const {
+  if (total_ == 0) return 0;
+  const int upto = BinOf(value);
+  double mass = 0;
+  for (int b = 0; b <= upto; ++b) mass += counts_[static_cast<std::size_t>(b)];
+  return mass / total_;
+}
+
+std::string Histogram::Render(int width) const {
+  double max_count = 0;
+  for (const double c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (int b = 0; b < bin_count(); ++b) {
+    const double c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    const int bar =
+        max_count > 0
+            ? static_cast<int>(std::lround(c / max_count * width))
+            : 0;
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ")  " << c << "  "
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace webwave

@@ -1,0 +1,39 @@
+// A fixed-bin histogram for run-time distributions (hit depth, degree
+// distributions, response times).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace webwave {
+
+class Histogram {
+ public:
+  // Bins of equal width covering [lo, hi); values outside are clamped to
+  // the first/last bin.
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double value, double weight = 1.0);
+
+  int bin_count() const { return static_cast<int>(counts_.size()); }
+  double bin_lo(int b) const;
+  double bin_hi(int b) const;
+  double count(int b) const;
+  double total() const { return total_; }
+
+  // Fraction of mass at or below `value`.
+  double CdfAt(double value) const;
+
+  // One line per non-empty bin: "[lo, hi)  count  ###".
+  std::string Render(int width = 40) const;
+
+ private:
+  int BinOf(double value) const;
+
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0;
+};
+
+}  // namespace webwave

@@ -1,0 +1,157 @@
+#include "topology/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace webwave {
+
+namespace {
+
+// Links the connected components of `net` with random edges until the
+// network is connected (component representatives chosen uniformly).
+void PatchConnectivity(Network& net, Rng& rng) {
+  const int n = net.size();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int comp_count = 0;
+  for (int start = 0; start < n; ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    std::vector<int> stack = {start};
+    comp[static_cast<std::size_t>(start)] = comp_count;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const auto& nb : net.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(nb.node)] == -1) {
+          comp[static_cast<std::size_t>(nb.node)] = comp_count;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+    ++comp_count;
+  }
+  if (comp_count == 1) return;
+  // One random member per component; chain them together.
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(comp_count));
+  for (int v = 0; v < n; ++v)
+    members[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (int c = 1; c < comp_count; ++c) {
+    const auto& a = members[static_cast<std::size_t>(c - 1)];
+    const auto& b = members[static_cast<std::size_t>(c)];
+    const int u = a[static_cast<std::size_t>(rng.NextBelow(a.size()))];
+    const int v = b[static_cast<std::size_t>(rng.NextBelow(b.size()))];
+    if (!net.HasEdge(u, v)) net.AddEdge(u, v);
+  }
+}
+
+}  // namespace
+
+Network MakeErdosRenyi(int n, double p, Rng& rng) {
+  WEBWAVE_REQUIRE(n >= 1, "need at least one node");
+  WEBWAVE_REQUIRE(p >= 0 && p <= 1, "probability out of range");
+  Network net(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.NextBernoulli(p)) net.AddEdge(u, v);
+  PatchConnectivity(net, rng);
+  return net;
+}
+
+Network MakeWaxman(int n, double a, double b, Rng& rng) {
+  WEBWAVE_REQUIRE(n >= 1, "need at least one node");
+  WEBWAVE_REQUIRE(a > 0 && a <= 1, "Waxman a in (0,1]");
+  WEBWAVE_REQUIRE(b > 0, "Waxman b must be positive");
+  std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.NextDouble();
+    y[static_cast<std::size_t>(i)] = rng.NextDouble();
+  }
+  const double diagonal = std::sqrt(2.0);
+  Network net(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.NextBernoulli(a * std::exp(-d / (b * diagonal))))
+        net.AddEdge(u, v, std::max(d, 1e-6));
+    }
+  }
+  PatchConnectivity(net, rng);
+  return net;
+}
+
+Network MakeBarabasiAlbert(int n, int m, Rng& rng) {
+  WEBWAVE_REQUIRE(m >= 1, "m must be >= 1");
+  WEBWAVE_REQUIRE(n > m, "need n > m");
+  Network net(n);
+  // Seed clique of m+1 nodes.
+  for (int u = 0; u <= m; ++u)
+    for (int v = u + 1; v <= m; ++v) net.AddEdge(u, v);
+  // Degree-proportional sampling via a repeated-endpoints urn.
+  std::vector<int> urn;
+  for (const auto& e : net.edges()) {
+    urn.push_back(e.u);
+    urn.push_back(e.v);
+  }
+  for (int v = m + 1; v < n; ++v) {
+    std::vector<int> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const int t = urn[static_cast<std::size_t>(rng.NextBelow(urn.size()))];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (const int t : targets) {
+      net.AddEdge(v, t);
+      urn.push_back(v);
+      urn.push_back(t);
+    }
+  }
+  return net;
+}
+
+Network MakeTransitStub(int core_size, int stubs_per_core, int stub_size,
+                        Rng& rng) {
+  WEBWAVE_REQUIRE(core_size >= 1, "core must be non-empty");
+  WEBWAVE_REQUIRE(stubs_per_core >= 0 && stub_size >= 1, "invalid stub shape");
+  const int n = core_size + core_size * stubs_per_core * stub_size;
+  Network net(n);
+  // Core: ring plus random chords for redundancy.
+  for (int u = 0; u < core_size; ++u)
+    if (core_size > 1) {
+      const int v = (u + 1) % core_size;
+      if (!net.HasEdge(u, v)) net.AddEdge(u, v, 0.2);
+    }
+  for (int u = 0; u < core_size; ++u) {
+    if (core_size > 3 && rng.NextBernoulli(0.3)) {
+      const int v = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(core_size)));
+      if (v != u && !net.HasEdge(u, v)) net.AddEdge(u, v, 0.2);
+    }
+  }
+  // Stubs: random recursive trees hanging off their core gateway.
+  int next = core_size;
+  for (int c = 0; c < core_size; ++c) {
+    for (int s = 0; s < stubs_per_core; ++s) {
+      std::vector<int> stub_nodes;
+      for (int i = 0; i < stub_size; ++i) {
+        const int v = next++;
+        if (i == 0) {
+          net.AddEdge(v, c, 1.0);
+        } else {
+          const int p = stub_nodes[static_cast<std::size_t>(
+              rng.NextBelow(stub_nodes.size()))];
+          net.AddEdge(v, p, 1.0);
+        }
+        stub_nodes.push_back(v);
+      }
+    }
+  }
+  WEBWAVE_ASSERT(next == n, "node accounting mismatch");
+  return net;
+}
+
+}  // namespace webwave

@@ -1,0 +1,34 @@
+// Internet-like topology generators.
+//
+// The generators used in 1990s networking simulation plus the modern
+// standard: Waxman's random geometric model (the one contemporary with the
+// paper), Barabási–Albert preferential attachment (power-law degrees, the
+// accepted Internet AS-level shape), and Erdős–Rényi kept connected.
+// All take explicit seeds and always return connected networks.
+#pragma once
+
+#include "topology/network.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+// G(n, p) conditioned on connectivity: edges sampled independently, then
+// missing connectivity patched by linking components with random edges.
+Network MakeErdosRenyi(int n, double p, Rng& rng);
+
+// Waxman (1988): nodes uniform in the unit square; edge probability
+// a·exp(−d/(b·L)) with d the Euclidean distance and L the diagonal.
+// Edge weights are the distances.  Connectivity patched like Erdős–Rényi.
+Network MakeWaxman(int n, double a, double b, Rng& rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to m
+// distinct existing nodes chosen with probability proportional to degree.
+Network MakeBarabasiAlbert(int n, int m, Rng& rng);
+
+// Transit-stub-like two-level hierarchy: a small random "transit" core and
+// star/tree "stub" domains hanging off core nodes — the closest simple
+// analogue of mid-90s Internet maps.
+Network MakeTransitStub(int core_size, int stubs_per_core, int stub_size,
+                        Rng& rng);
+
+}  // namespace webwave

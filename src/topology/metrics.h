@@ -1,0 +1,42 @@
+// Structural metrics for generated topologies and routing trees —
+// used to verify that the synthetic networks standing in for the paper's
+// "Internet" actually look Internet-like (heavy-tailed degrees, small
+// diameter) and to characterize the trees routing induces on them.
+#pragma once
+
+#include <vector>
+
+#include "topology/network.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+struct NetworkMetrics {
+  int nodes = 0;
+  int edges = 0;
+  double mean_degree = 0;
+  int max_degree = 0;
+  // Hop diameter and mean shortest-path hop count (unweighted BFS),
+  // exact for n up to a few thousand.
+  int diameter_hops = 0;
+  double mean_distance_hops = 0;
+  // Degree distribution tail weight: fraction of nodes with degree more
+  // than 3x the mean — near zero for Erdős–Rényi, substantial for
+  // preferential attachment.
+  double hub_fraction = 0;
+};
+
+NetworkMetrics ComputeNetworkMetrics(const Network& net);
+
+struct TreeMetrics {
+  int nodes = 0;
+  int height = 0;
+  int leaves = 0;
+  double mean_depth = 0;
+  double mean_children_of_interior = 0;
+  int max_children = 0;
+};
+
+TreeMetrics ComputeTreeMetrics(const RoutingTree& tree);
+
+}  // namespace webwave

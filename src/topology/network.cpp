@@ -1,0 +1,59 @@
+#include "topology/network.h"
+
+#include "util/check.h"
+
+namespace webwave {
+
+Network::Network(int node_count)
+    : adjacency_(static_cast<std::size_t>(node_count)) {
+  WEBWAVE_REQUIRE(node_count >= 1, "network needs at least one node");
+}
+
+void Network::AddEdge(int u, int v, double weight) {
+  WEBWAVE_REQUIRE(u >= 0 && u < size() && v >= 0 && v < size(),
+                  "edge endpoint out of range");
+  WEBWAVE_REQUIRE(u != v, "self loops not allowed");
+  WEBWAVE_REQUIRE(weight > 0, "edge weight must be positive");
+  WEBWAVE_REQUIRE(!HasEdge(u, v), "parallel edge");
+  adjacency_[static_cast<std::size_t>(u)].push_back({v, weight});
+  adjacency_[static_cast<std::size_t>(v)].push_back({u, weight});
+  edges_.push_back({u, v, weight});
+}
+
+bool Network::HasEdge(int u, int v) const {
+  WEBWAVE_REQUIRE(u >= 0 && u < size() && v >= 0 && v < size(),
+                  "node out of range");
+  for (const Neighbor& n : adjacency_[static_cast<std::size_t>(u)])
+    if (n.node == v) return true;
+  return false;
+}
+
+const std::vector<Network::Neighbor>& Network::neighbors(int v) const {
+  WEBWAVE_REQUIRE(v >= 0 && v < size(), "node out of range");
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+bool Network::IsConnected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const Neighbor& n : adjacency_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(n.node)]) {
+        seen[static_cast<std::size_t>(n.node)] = true;
+        stack.push_back(n.node);
+      }
+    }
+  }
+  return count == size();
+}
+
+int Network::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+}  // namespace webwave

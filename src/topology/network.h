@@ -1,0 +1,46 @@
+// Weighted network topologies.
+//
+// The paper models the Internet as "a forest of trees" induced by routing
+// on the real topology (§3).  This module supplies the underlying
+// topology: a weighted undirected multigraph-free network from which
+// per-home-server routing trees are derived by shortest-path routing
+// (spt.h) and on which the Internet-like generators (generators.h) build.
+#pragma once
+
+#include <vector>
+
+namespace webwave {
+
+struct NetworkEdge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;  // link cost / latency
+};
+
+class Network {
+ public:
+  explicit Network(int node_count);
+
+  int size() const { return static_cast<int>(adjacency_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  // Adds an undirected edge; parallel edges and self-loops are rejected.
+  void AddEdge(int u, int v, double weight = 1.0);
+  bool HasEdge(int u, int v) const;
+
+  struct Neighbor {
+    int node;
+    double weight;
+  };
+  const std::vector<Neighbor>& neighbors(int v) const;
+  const std::vector<NetworkEdge>& edges() const { return edges_; }
+
+  bool IsConnected() const;
+  int degree(int v) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<NetworkEdge> edges_;
+};
+
+}  // namespace webwave

@@ -1,0 +1,65 @@
+#include "topology/spt.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace webwave {
+
+RoutingTree ShortestPathTree(const Network& net, int home) {
+  WEBWAVE_REQUIRE(home >= 0 && home < net.size(), "home out of range");
+  WEBWAVE_REQUIRE(net.IsConnected(), "network must be connected");
+
+  const int n = net.size();
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  using Item = std::pair<double, int>;  // (distance, node), min-heap
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[static_cast<std::size_t>(home)] = 0;
+  heap.push({0, home});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    for (const auto& nb : net.neighbors(v)) {
+      const double nd = d + nb.weight;
+      double& cur = dist[static_cast<std::size_t>(nb.node)];
+      // Strict improvement, or equal distance with a smaller parent id —
+      // the deterministic tie-break that makes routing stable.
+      if (nd < cur - 1e-15 ||
+          (nd <= cur + 1e-15 &&
+           parent[static_cast<std::size_t>(nb.node)] != kNoNode &&
+           v < parent[static_cast<std::size_t>(nb.node)])) {
+        cur = std::min(cur, nd);
+        parent[static_cast<std::size_t>(nb.node)] = v;
+        heap.push({nd, nb.node});
+      }
+    }
+  }
+  parent[static_cast<std::size_t>(home)] = kNoNode;
+  return RoutingTree::FromParents(std::move(parent));
+}
+
+RoutingForest MakeRoutingForest(const Network& net,
+                                const std::vector<int>& homes) {
+  WEBWAVE_REQUIRE(!homes.empty(), "need at least one home server");
+  RoutingForest forest;
+  forest.homes = homes;
+  forest.trees.reserve(homes.size());
+  for (const int h : homes) forest.trees.push_back(ShortestPathTree(net, h));
+  return forest;
+}
+
+std::vector<int> InteriorMultiplicity(const RoutingForest& forest) {
+  WEBWAVE_REQUIRE(!forest.trees.empty(), "empty forest");
+  const int n = forest.trees.front().size();
+  std::vector<int> multiplicity(static_cast<std::size_t>(n), 0);
+  for (const RoutingTree& t : forest.trees)
+    for (NodeId v = 0; v < n; ++v)
+      if (!t.is_leaf(v)) ++multiplicity[static_cast<std::size_t>(v)];
+  return multiplicity;
+}
+
+}  // namespace webwave

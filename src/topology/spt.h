@@ -1,0 +1,37 @@
+// Shortest-path routing trees and routing forests.
+//
+// "We model the Internet as a forest of trees, each rooted at a different
+// home server" (§3).  Given a topology and a home-server node, routing
+// induces the tree of routes from every client to that server; requests
+// flow up this tree.  ShortestPathTree derives it by Dijkstra with
+// deterministic tie-breaking (lowest parent id), so results are stable
+// across runs.  RoutingForest derives one tree per home server; the trees
+// overlap on the shared topology — the paper's §7 future-work setting,
+// explored by bench/tab_forest_overlap.
+#pragma once
+
+#include <vector>
+
+#include "topology/network.h"
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+// The routing tree rooted at `home`.  Node ids are preserved (the tree has
+// exactly the network's nodes).  Requires a connected network.
+RoutingTree ShortestPathTree(const Network& net, int home);
+
+struct RoutingForest {
+  std::vector<int> homes;
+  std::vector<RoutingTree> trees;  // trees[i] rooted at homes[i]
+};
+
+RoutingForest MakeRoutingForest(const Network& net,
+                                const std::vector<int>& homes);
+
+// For a node, how many of the forest's trees use it as an interior
+// (non-leaf) node — a measure of how much trees overlap and hence how much
+// cache-server capacity is shared between document families.
+std::vector<int> InteriorMultiplicity(const RoutingForest& forest);
+
+}  // namespace webwave

@@ -1,0 +1,116 @@
+#include "tree/builders.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace webwave {
+
+RoutingTree MakeChain(int n) {
+  WEBWAVE_REQUIRE(n >= 1, "chain needs at least one node");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  parents[0] = kNoNode;
+  for (int i = 1; i < n; ++i) parents[static_cast<std::size_t>(i)] = i - 1;
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeStar(int n) {
+  WEBWAVE_REQUIRE(n >= 1, "star needs at least one node");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n), 0);
+  parents[0] = kNoNode;
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeKaryTree(int arity, int depth) {
+  WEBWAVE_REQUIRE(arity >= 1, "arity must be >= 1");
+  WEBWAVE_REQUIRE(depth >= 0, "depth must be >= 0");
+  std::vector<NodeId> parents = {kNoNode};
+  // Breadth-first generation: `frontier` holds the nodes at the current
+  // depth, each of which receives `arity` children.
+  std::vector<NodeId> frontier = {0};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(arity));
+    for (const NodeId p : frontier) {
+      for (int k = 0; k < arity; ++k) {
+        next.push_back(static_cast<NodeId>(parents.size()));
+        parents.push_back(p);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeCaterpillar(int spine, int legs) {
+  WEBWAVE_REQUIRE(spine >= 1, "caterpillar needs a spine");
+  WEBWAVE_REQUIRE(legs >= 0, "legs must be >= 0");
+  std::vector<NodeId> parents;
+  parents.reserve(static_cast<std::size_t>(spine) * (1 + legs));
+  std::vector<NodeId> spine_ids;
+  for (int i = 0; i < spine; ++i) {
+    spine_ids.push_back(static_cast<NodeId>(parents.size()));
+    parents.push_back(i == 0 ? kNoNode : spine_ids[static_cast<std::size_t>(i - 1)]);
+    for (int l = 0; l < legs; ++l) parents.push_back(spine_ids.back());
+  }
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeRandomTree(int n, Rng& rng) {
+  WEBWAVE_REQUIRE(n >= 1, "tree needs at least one node");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  parents[0] = kNoNode;
+  for (int i = 1; i < n; ++i)
+    parents[static_cast<std::size_t>(i)] =
+        static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(i)));
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeRandomTreeOfHeight(int n, int height, Rng& rng) {
+  WEBWAVE_REQUIRE(height >= 0, "height must be >= 0");
+  WEBWAVE_REQUIRE(n >= height + 1, "need at least height+1 nodes");
+  WEBWAVE_REQUIRE(height >= 1 || n == 1,
+                  "height 0 admits only the single-node tree");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  std::vector<int> depth(static_cast<std::size_t>(n));
+  parents[0] = kNoNode;
+  depth[0] = 0;
+  // The first height+1 nodes form a chain pinning the tree's height.
+  for (int i = 1; i <= height; ++i) {
+    parents[static_cast<std::size_t>(i)] = i - 1;
+    depth[static_cast<std::size_t>(i)] = i;
+  }
+  // Remaining nodes attach uniformly among nodes that would not deepen the
+  // tree beyond `height`.
+  for (int i = height + 1; i < n; ++i) {
+    NodeId p;
+    do {
+      p = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(i)));
+    } while (depth[static_cast<std::size_t>(p)] >= height);
+    parents[static_cast<std::size_t>(i)] = p;
+    depth[static_cast<std::size_t>(i)] = depth[static_cast<std::size_t>(p)] + 1;
+  }
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+RoutingTree MakeRandomBinaryTree(int n, Rng& rng) {
+  WEBWAVE_REQUIRE(n >= 1, "tree needs at least one node");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  std::vector<int> child_count(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> open = {0};  // nodes with < 2 children
+  parents[0] = kNoNode;
+  for (int i = 1; i < n; ++i) {
+    const std::size_t k =
+        static_cast<std::size_t>(rng.NextBelow(open.size()));
+    const NodeId p = open[k];
+    parents[static_cast<std::size_t>(i)] = p;
+    if (++child_count[static_cast<std::size_t>(p)] == 2) {
+      open[k] = open.back();
+      open.pop_back();
+    }
+    open.push_back(static_cast<NodeId>(i));
+  }
+  return RoutingTree::FromParents(std::move(parents));
+}
+
+}  // namespace webwave

@@ -1,0 +1,39 @@
+// Constructors for the tree shapes used throughout the paper's evaluation:
+// hand-crafted figure trees, regular families for analytical checks, and
+// the random trees of bounded depth used in §5.1's γ-estimation experiment.
+#pragma once
+
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+// A path 0 - 1 - ... - n-1 rooted at node 0 (each node's parent is its
+// predecessor).
+RoutingTree MakeChain(int n);
+
+// Node 0 is the root; nodes 1..n-1 are its children.
+RoutingTree MakeStar(int n);
+
+// Complete tree where every internal node has `arity` children and leaves
+// sit at the given depth (depth 0 = a single root).
+RoutingTree MakeKaryTree(int arity, int depth);
+
+// A caterpillar: a spine chain of `spine` nodes, each with `legs` leaf
+// children.  Exercises folds that mix chains with bushy nodes.
+RoutingTree MakeCaterpillar(int spine, int legs);
+
+// Uniform random recursive tree on n nodes: node i attaches to a uniformly
+// random earlier node.  Depth grows as O(log n).
+RoutingTree MakeRandomTree(int n, Rng& rng);
+
+// Random tree of exactly the requested height: first a random chain of
+// `height`+1 nodes establishes the depth, then the remaining nodes attach
+// to random existing nodes at depth < height.  This is the family used for
+// the paper's "random tree with depth 9" convergence-rate fit.
+RoutingTree MakeRandomTreeOfHeight(int n, int height, Rng& rng);
+
+// Random binary tree (each node has at most two children).
+RoutingTree MakeRandomBinaryTree(int n, Rng& rng);
+
+}  // namespace webwave

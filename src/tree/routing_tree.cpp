@@ -1,0 +1,124 @@
+#include "tree/routing_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webwave {
+
+RoutingTree RoutingTree::FromParents(std::vector<NodeId> parents) {
+  const int n = static_cast<int>(parents.size());
+  WEBWAVE_REQUIRE(n > 0, "tree must have at least one node");
+
+  RoutingTree t;
+  t.parents_ = std::move(parents);
+  t.children_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = t.parents_[v];
+    if (p == kNoNode) {
+      WEBWAVE_REQUIRE(t.root_ == kNoNode, "tree must have exactly one root");
+      t.root_ = v;
+    } else {
+      WEBWAVE_REQUIRE(p >= 0 && p < n, "parent id out of range");
+      WEBWAVE_REQUIRE(p != v, "node cannot be its own parent");
+      t.children_[p].push_back(v);
+    }
+  }
+  WEBWAVE_REQUIRE(t.root_ != kNoNode, "tree must have a root (parent == -1)");
+  for (auto& c : t.children_) std::sort(c.begin(), c.end());
+
+  // BFS/DFS from the root establishes reachability (hence acyclicity, since
+  // we have n-1 parent edges), depths and traversal orders.
+  t.depth_.assign(n, -1);
+  t.preorder_.reserve(n);
+  std::vector<NodeId> stack = {t.root_};
+  t.depth_[t.root_] = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    t.preorder_.push_back(v);
+    t.height_ = std::max(t.height_, t.depth_[v]);
+    // Push children in reverse so preorder visits them in ascending order.
+    for (auto it = t.children_[v].rbegin(); it != t.children_[v].rend(); ++it) {
+      WEBWAVE_REQUIRE(t.depth_[*it] == -1, "cycle detected in parent array");
+      t.depth_[*it] = t.depth_[v] + 1;
+      stack.push_back(*it);
+    }
+  }
+  WEBWAVE_REQUIRE(static_cast<int>(t.preorder_.size()) == n,
+                  "parent array contains a cycle or disconnected node");
+
+  t.postorder_.assign(t.preorder_.rbegin(), t.preorder_.rend());
+  // Reversed preorder is a valid postorder for this traversal: every node
+  // appears after all nodes of its subtree.
+  t.subtree_size_.assign(n, 1);
+  for (const NodeId v : t.postorder_) {
+    if (t.parents_[v] != kNoNode) t.subtree_size_[t.parents_[v]] += t.subtree_size_[v];
+  }
+  WEBWAVE_ASSERT(t.subtree_size_[t.root_] == n, "subtree sizes inconsistent");
+  return t;
+}
+
+void RoutingTree::CheckNode(NodeId v) const {
+  WEBWAVE_REQUIRE(v >= 0 && v < size(), "node id out of range");
+}
+
+NodeId RoutingTree::parent(NodeId v) const {
+  CheckNode(v);
+  return parents_[v];
+}
+
+const std::vector<NodeId>& RoutingTree::children(NodeId v) const {
+  CheckNode(v);
+  return children_[v];
+}
+
+int RoutingTree::degree(NodeId v) const {
+  CheckNode(v);
+  return static_cast<int>(children_[v].size()) + (v == root_ ? 0 : 1);
+}
+
+int RoutingTree::depth(NodeId v) const {
+  CheckNode(v);
+  return depth_[v];
+}
+
+int RoutingTree::subtree_size(NodeId v) const {
+  CheckNode(v);
+  return subtree_size_[v];
+}
+
+std::vector<NodeId> RoutingTree::subtree(NodeId v) const {
+  CheckNode(v);
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(subtree_size_[v]));
+  std::vector<NodeId> stack = {v};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (auto it = children_[u].rbegin(); it != children_[u].rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+bool RoutingTree::is_ancestor(NodeId ancestor, NodeId v) const {
+  CheckNode(ancestor);
+  CheckNode(v);
+  // Walk up from v; depths bound the walk.
+  while (v != kNoNode && depth_[v] >= depth_[ancestor]) {
+    if (v == ancestor) return true;
+    v = parents_[v];
+  }
+  return false;
+}
+
+std::vector<NodeId> RoutingTree::path_to_root(NodeId v) const {
+  CheckNode(v);
+  std::vector<NodeId> path;
+  for (NodeId u = v; u != kNoNode; u = parents_[u]) path.push_back(u);
+  return path;
+}
+
+}  // namespace webwave

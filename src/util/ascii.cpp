@@ -1,0 +1,82 @@
+#include "util/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace webwave {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  WEBWAVE_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  WEBWAVE_REQUIRE(cells.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::Int(long long v) { return std::to_string(v); }
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string AsciiBarChart(
+    const std::vector<std::pair<std::string, double>>& rows, int width) {
+  double max_value = 0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : rows) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : rows) {
+    const int bar =
+        max_value > 0
+            ? static_cast<int>(std::lround(value / max_value * width))
+            : 0;
+    os << label << std::string(label_width - label.size(), ' ') << "  "
+       << AsciiTable::Num(value, 4) << "  " << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace webwave

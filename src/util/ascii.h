@@ -1,0 +1,37 @@
+// Plain-text rendering helpers for examples and bench binaries.
+//
+// Bench binaries reproduce the paper's figures as aligned text tables and
+// ASCII trees; keeping the formatting in one place makes their output
+// uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace webwave {
+
+// A simple aligned text table.  Columns are right-aligned except the first,
+// which is left-aligned (row labels).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 4);
+  static std::string Int(long long v);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders one line per value: a label, the numeric value, and a
+// proportional bar — used for convergence plots in terminal output.
+std::string AsciiBarChart(const std::vector<std::pair<std::string, double>>& rows,
+                          int width = 50);
+
+}  // namespace webwave

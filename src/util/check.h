@@ -1,0 +1,51 @@
+// Error-handling helpers shared by every webwave module.
+//
+// Precondition violations throw std::invalid_argument, broken internal
+// invariants throw std::logic_error.  Both macros evaluate their condition
+// exactly once and embed the failing expression and source location in the
+// exception message, so test failures and misuse of the public API produce
+// actionable diagnostics instead of undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace webwave {
+
+namespace detail {
+
+[[noreturn]] inline void ThrowRequire(const char* expr, const char* file,
+                                      int line, const std::string& what) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void ThrowInvariant(const char* expr, const char* file,
+                                        int line, const std::string& what) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+// Validates a caller-supplied argument.
+#define WEBWAVE_REQUIRE(cond, what)                                        \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::webwave::detail::ThrowRequire(#cond, __FILE__, __LINE__, (what));  \
+  } while (0)
+
+// Validates an internal invariant that callers cannot break through the
+// public API; firing indicates a bug in webwave itself.
+#define WEBWAVE_ASSERT(cond, what)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::webwave::detail::ThrowInvariant(#cond, __FILE__, __LINE__, (what)); \
+  } while (0)
+
+}  // namespace webwave

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in webwave takes an explicit seed so that
+// simulations, tests and benchmarks are exactly reproducible across runs
+// and platforms.  The generator is xoshiro256++ seeded via SplitMix64, a
+// small, fast, well-tested combination with 256 bits of state; we do not
+// use std::mt19937 because its distributions are not portable across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace webwave {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256++ generator with portable, explicitly-seeded behaviour.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Raw 64 uniformly distributed bits.
+  std::uint64_t Next();
+
+  // Uniform integer in [0, bound); bound must be positive.  Uses rejection
+  // sampling, so the result is exactly uniform.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard exponential variate with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // true with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Poisson variate with the given mean (Knuth for small means, normal
+  // approximation with rejection for large ones).
+  int NextPoisson(double mean);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A new generator seeded from this one's stream; use to give independent
+  // deterministic streams to sub-components.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace webwave

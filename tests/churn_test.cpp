@@ -1,0 +1,129 @@
+// Tests for tracking under erratic request rates (§5.1 ongoing study):
+// UpdateSpontaneous keeps the protocol state feasible, and WebWave tracks
+// a moving TLB target across demand shocks.
+#include "core/load_model.h"
+#include "core/webfold.h"
+#include "core/webwave.h"
+#include "sim/churn.h"
+#include "tree/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace webwave {
+namespace {
+
+TEST(UpdateSpontaneous, KeepsInvariantsAfterArbitraryShock) {
+  Rng rng(3);
+  const RoutingTree tree = MakeRandomTree(25, rng);
+  std::vector<double> rates(25);
+  for (auto& e : rates) e = rng.NextDouble(0, 10);
+  WebWaveSimulator sim(tree, rates);
+  for (int round = 0; round < 20; ++round) {
+    for (int s = 0; s < 10; ++s) sim.Step();
+    for (auto& e : rates) e = rng.NextDouble(0, 10);
+    sim.UpdateSpontaneous(rates);
+    ASSERT_NO_THROW(sim.CheckInvariants()) << "round " << round;
+    EXPECT_NEAR(TotalRate(sim.served()), TotalRate(rates), 1e-6);
+  }
+}
+
+TEST(UpdateSpontaneous, DemandDropPushesExcessTowardRoot) {
+  // A leaf was serving 50; its demand vanishes — it cannot keep serving
+  // requests that no longer exist, so its load must shrink and the root
+  // absorbs the books' balance.
+  const RoutingTree tree = MakeChain(3);
+  WebWaveOptions opt;
+  opt.initial_load = InitialLoad::kSelfService;
+  WebWaveSimulator sim(tree, {10, 10, 50}, opt);
+  sim.UpdateSpontaneous({10, 10, 0});
+  EXPECT_NEAR(sim.served()[2], 0, 1e-9);
+  EXPECT_NEAR(TotalRate(sim.served()), 20, 1e-9);
+  sim.CheckInvariants();
+}
+
+TEST(UpdateSpontaneous, DemandIncreaseIsServedSomewhere) {
+  const RoutingTree tree = MakeChain(3);
+  WebWaveSimulator sim(tree, {0, 0, 10});
+  sim.UpdateSpontaneous({0, 0, 100});
+  EXPECT_NEAR(TotalRate(sim.served()), 100, 1e-9);
+  sim.CheckInvariants();
+  // And from there it converges to the new TLB.
+  const WebFoldResult target = WebFold(tree, {0, 0, 100});
+  const auto traj = sim.RunUntil(target.load, 1e-6, 5000);
+  EXPECT_LE(traj.back(), 1e-6);
+}
+
+TEST(UpdateSpontaneous, RejectsBadRates) {
+  const RoutingTree tree = MakeChain(2);
+  WebWaveSimulator sim(tree, {1, 1});
+  EXPECT_THROW(sim.UpdateSpontaneous({1}), std::invalid_argument);
+  EXPECT_THROW(sim.UpdateSpontaneous({1, -1}), std::invalid_argument);
+}
+
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, TracksMovingTlbWithinEpochBudget) {
+  const int period = GetParam();
+  Rng rng(17);
+  const RoutingTree tree = MakeRandomTree(30, rng);
+  std::vector<double> initial(30);
+  for (auto& e : initial) e = rng.NextDouble(0, 50);
+  ChurnOptions opt;
+  opt.period = period;
+  opt.epochs = 12;
+  opt.seed = 5;
+  const ChurnRun run = RunChurn(tree, initial, opt);
+  ASSERT_EQ(run.epochs.size(), 12u);
+  // The longer the quiet period, the closer each epoch ends to its TLB.
+  for (const ChurnEpoch& e : run.epochs)
+    EXPECT_LE(e.distance_at_end, e.distance_after_shock + 1e-9)
+        << "an epoch must not end farther away than it started";
+  EXPECT_GT(run.mean_relative_distance, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, ChurnSweep, ::testing::Values(10, 50, 200));
+
+TEST(ChurnBehavior, LongerQuietPeriodsTrackBetter) {
+  Rng rng(29);
+  const RoutingTree tree = MakeRandomTree(40, rng);
+  std::vector<double> initial(40);
+  for (auto& e : initial) e = rng.NextDouble(0, 50);
+  auto run_with_period = [&](int period) {
+    ChurnOptions opt;
+    opt.period = period;
+    opt.epochs = 10;
+    opt.seed = 7;  // same shock sequence for both runs
+    return RunChurn(tree, initial, opt);
+  };
+  const ChurnRun fast = run_with_period(10);
+  const ChurnRun slow = run_with_period(100);
+  EXPECT_LT(slow.worst_end_relative_distance,
+            fast.worst_end_relative_distance + 1e-9)
+      << "ten times the settling time must not track worse";
+}
+
+TEST(ChurnBehavior, ZeroChurnReducesToPlainConvergence) {
+  Rng rng(31);
+  const RoutingTree tree = MakeRandomTree(20, rng);
+  std::vector<double> initial(20);
+  for (auto& e : initial) e = rng.NextDouble(1, 10);
+  ChurnOptions opt;
+  opt.churn_fraction = 0;  // no shocks: the target never moves
+  opt.epochs = 4;
+  opt.period = 300;
+  const ChurnRun run = RunChurn(tree, initial, opt);
+  EXPECT_LT(run.epochs.back().distance_at_end, 1e-4);
+}
+
+TEST(ChurnOptionsTest, Validation) {
+  const RoutingTree tree = MakeChain(2);
+  ChurnOptions opt;
+  opt.epochs = 0;
+  EXPECT_THROW(RunChurn(tree, {1, 1}, opt), std::invalid_argument);
+  opt.epochs = 1;
+  opt.churn_fraction = 1.5;
+  EXPECT_THROW(RunChurn(tree, {1, 1}, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webwave

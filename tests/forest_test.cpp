@@ -1,0 +1,104 @@
+// Tests for coordinated WebWave over overlapping routing trees (§7's
+// future work, implemented in sim/forest_webwave.h).
+#include "core/load_model.h"
+#include "core/webfold.h"
+#include "sim/forest_webwave.h"
+#include "topology/generators.h"
+#include "topology/spt.h"
+#include "tree/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace webwave {
+namespace {
+
+// Two chains over 4 nodes, rooted at opposite ends: 0->1->2->3 and the
+// reverse.  Every interior node is shared by both trees.
+struct TwoChains {
+  std::vector<RoutingTree> trees = {
+      RoutingTree::FromParents({kNoNode, 0, 1, 2}),
+      RoutingTree::FromParents({1, 2, 3, kNoNode})};
+  std::vector<std::vector<double>> demands = {{0, 0, 0, 80},  // family A
+                                              {80, 0, 0, 0}}; // family B
+};
+
+TEST(ForestWebWave, SingleTreeMatchesPlainWebWaveFixedPoint) {
+  Rng rng(3);
+  const RoutingTree tree = MakeKaryTree(2, 3);
+  std::vector<double> demand(static_cast<std::size_t>(tree.size()), 0.0);
+  for (NodeId v = 0; v < tree.size(); ++v)
+    if (tree.is_leaf(v)) demand[static_cast<std::size_t>(v)] = rng.NextDouble(5, 40);
+  const WebFoldResult tlb = WebFold(tree, demand);
+
+  ForestWebWave forest({tree}, {demand});
+  for (int s = 0; s < 4000; ++s) forest.Step();
+  forest.CheckInvariants();
+  for (NodeId v = 0; v < tree.size(); ++v)
+    EXPECT_NEAR(forest.served()[0][v], tlb.load[v], 1e-3) << "node " << v;
+}
+
+TEST(ForestWebWave, InvariantsHoldPerTreeThroughout) {
+  const TwoChains f;
+  ForestWebWave forest(f.trees, f.demands);
+  for (int s = 0; s < 300; ++s) {
+    forest.Step();
+    ASSERT_NO_THROW(forest.CheckInvariants()) << "step " << s;
+  }
+}
+
+TEST(ForestWebWave, CoordinationBalancesTotalLoadOnTwoChains) {
+  // Independent per-tree optimization puts 40/40 on every node *per tree*
+  // (each chain spreads its 80 evenly), so totals stack unevenly only if
+  // trees ignore each other; coordination should reach totals of 40 per
+  // node (160 over 4 nodes).
+  const TwoChains f;
+  ForestWebWaveOptions coordinated;
+  coordinated.coordinate_across_trees = true;
+  ForestWebWave forest(f.trees, f.demands, coordinated);
+  for (int s = 0; s < 5000; ++s) forest.Step();
+  forest.CheckInvariants();
+  for (const double total : forest.TotalLoads())
+    EXPECT_NEAR(total, 40.0, 1.0);
+}
+
+TEST(ForestWebWave, CoordinationNeverWorseThanIndependentOnWaxman) {
+  Rng rng(11);
+  const Network net = MakeWaxman(40, 0.5, 0.2, rng);
+  const RoutingForest rf = MakeRoutingForest(net, {0, 7, 19});
+  std::vector<std::vector<double>> demands;
+  for (const RoutingTree& tree : rf.trees) {
+    std::vector<double> d(static_cast<std::size_t>(tree.size()), 0.0);
+    for (NodeId v = 0; v < tree.size(); ++v)
+      if (tree.is_leaf(v)) d[static_cast<std::size_t>(v)] = rng.NextDouble(5, 30);
+    demands.push_back(std::move(d));
+  }
+
+  ForestWebWaveOptions indep;
+  indep.coordinate_across_trees = false;
+  ForestWebWave independent(rf.trees, demands, indep);
+  ForestWebWaveOptions coord;
+  coord.coordinate_across_trees = true;
+  ForestWebWave coordinated(rf.trees, demands, coord);
+  for (int s = 0; s < 3000; ++s) {
+    independent.Step();
+    coordinated.Step();
+  }
+  independent.CheckInvariants();
+  coordinated.CheckInvariants();
+  EXPECT_LE(coordinated.MaxTotalLoad(),
+            independent.MaxTotalLoad() * 1.02)
+      << "coordination must not increase the hottest node's total load";
+}
+
+TEST(ForestWebWave, RejectsMismatchedInputs) {
+  const RoutingTree a = MakeChain(3);
+  const RoutingTree b = MakeChain(4);
+  EXPECT_THROW(ForestWebWave({a, b}, {{1, 1, 1}, {1, 1, 1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(ForestWebWave({a}, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(ForestWebWave({a}, {{1, -1, 1}}), std::invalid_argument);
+  EXPECT_THROW(ForestWebWave({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webwave

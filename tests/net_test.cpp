@@ -1,0 +1,101 @@
+// Tests for the deterministic discrete-event simulator.
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace webwave {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleIn(30, [&] { order.push_back(3); });
+  sim.ScheduleIn(10, [&] { order.push_back(1); });
+  sim.ScheduleIn(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.ScheduleIn(7, [&order, i] { order.push_back(i); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  std::function<void()> hop = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.ScheduleIn(5, hop);
+  };
+  sim.ScheduleIn(5, hop);
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10, 15, 20}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleIn(10, [&] { ++fired; });
+  sim.ScheduleIn(20, [&] { ++fired; });
+  sim.ScheduleIn(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.RunUntil(100), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, HorizonAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, RejectsPastScheduling) {
+  Simulator sim;
+  sim.ScheduleIn(10, [] {});
+  sim.RunAll();
+  EXPECT_THROW(sim.ScheduleAt(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleIn(-1, [] {}), std::invalid_argument);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriodUntilCancelled) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, 10, 10, [&] { ++fired; });
+  sim.RunUntil(45);
+  EXPECT_EQ(fired, 4);  // t = 10, 20, 30, 40
+  timer.Cancel();
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(PeriodicTimerTest, CancelInsideCallbackStops) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer* handle = nullptr;
+  PeriodicTimer timer(sim, 5, 5, [&] {
+    if (++fired == 3) handle->Cancel();
+  });
+  handle = &timer;
+  sim.RunUntil(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleIn(i, [] {});
+  sim.RunAll();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace webwave

@@ -1,0 +1,336 @@
+// Tests for the packet-level machinery: filters, cache servers, the
+// event-driven simulation and the rate-level baselines.
+#include "core/load_model.h"
+#include "core/webfold.h"
+#include "doc/catalog.h"
+#include "proto/baselines.h"
+#include "proto/cache_server.h"
+#include "proto/packet_filter.h"
+#include "proto/packet_sim.h"
+#include "stats/summary.h"
+#include "tree/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace webwave {
+namespace {
+
+TEST(PacketFilterTest, InstallMatchIntercept) {
+  PacketFilter f(10);
+  EXPECT_FALSE(f.Matches(3));
+  f.Install(3, 0.5);
+  EXPECT_TRUE(f.Matches(3));
+  EXPECT_EQ(f.rule_count(), 1);
+  EXPECT_TRUE(f.Intercept(3, 0.4));
+  EXPECT_FALSE(f.Intercept(3, 0.6));
+  EXPECT_FALSE(f.Intercept(2, 0.0));
+  f.Install(3, 2.0);  // clamps to 1
+  EXPECT_DOUBLE_EQ(f.fraction(3), 1.0);
+  f.Remove(3);
+  EXPECT_FALSE(f.Matches(3));
+  EXPECT_EQ(f.rule_count(), 0);
+}
+
+TEST(CacheServerTest, HomeServesEverything) {
+  CacheServer home(0, 4, /*is_home=*/true);
+  EXPECT_TRUE(home.IsCached(2));
+  EXPECT_TRUE(home.AcceptRequest(2, kNoNode, 0.99));
+  EXPECT_EQ(home.copy_count(), 4);
+}
+
+TEST(CacheServerTest, QuotaDrivesFilterFraction) {
+  CacheServer server(1, 2, false);
+  server.StoreCopy(0);
+  server.SetQuota(0, 5.0);
+  // Feed a window: 10 arrivals/sec for doc 0.
+  for (int i = 0; i < 10; ++i) server.AcceptRequest(0, kNoNode, 0.0);
+  server.RollWindow(1.0, 1.0);
+  server.RefreshFilter();
+  EXPECT_NEAR(server.filter().fraction(0), 0.5, 1e-9)
+      << "quota 5 over arrival 10";
+  EXPECT_FALSE(server.filter().Matches(1)) << "uncached doc has no rule";
+}
+
+TEST(CacheServerTest, EwmaTracksChildArrivals) {
+  CacheServer server(1, 2, false);
+  for (int i = 0; i < 6; ++i) server.AcceptRequest(1, /*from_child=*/7, 0.0);
+  server.RollWindow(2.0, 1.0);
+  EXPECT_NEAR(server.child_arrival_rate(7, 1), 3.0, 1e-9);
+  EXPECT_NEAR(server.arrival_rate(1), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(server.child_arrival_rate(9, 1), 0.0);
+}
+
+TEST(CacheServerTest, GossipEstimates) {
+  CacheServer server(1, 2, false);
+  EXPECT_DOUBLE_EQ(server.NeighborLoad(5), 0.0);
+  server.RecordNeighborLoad(5, 42.0);
+  EXPECT_DOUBLE_EQ(server.NeighborLoad(5), 42.0);
+}
+
+// --- rate-level baselines ------------------------------------------------
+
+TEST(BaselinesTest, NoCachingConcentratesAtRoot) {
+  const RoutingTree t = MakeKaryTree(2, 2);
+  std::vector<double> spont(t.size(), 5.0);
+  const auto load = NoCachingLoad(t, spont);
+  EXPECT_DOUBLE_EQ(load[t.root()], 5.0 * t.size());
+  for (NodeId v = 1; v < t.size(); ++v) EXPECT_DOUBLE_EQ(load[v], 0.0);
+}
+
+TEST(BaselinesTest, EnRouteLruServesHotDocsLow) {
+  // One hot doc at a leaf; with capacity >= 1 the leaf's own cache captures
+  // it and the home only sees cold traffic.
+  const RoutingTree t = MakeChain(3);
+  DemandMatrix demand(3, 3);
+  demand.set(2, 0, 90);  // hot at leaf
+  demand.set(2, 1, 10);
+  demand.set(2, 2, 5);
+  const auto load1 = EnRouteLruLoad(t, demand, 1);
+  EXPECT_DOUBLE_EQ(load1[2], 90) << "leaf retains only the hottest doc";
+  EXPECT_DOUBLE_EQ(load1[1], 10) << "next node captures the second doc";
+  EXPECT_DOUBLE_EQ(load1[0], 5);
+  const auto load0 = EnRouteLruLoad(t, demand, 0);
+  EXPECT_DOUBLE_EQ(load0[0], 105) << "no capacity = no caching";
+}
+
+TEST(BaselinesTest, ThroughputAndIdleUnderCapacity) {
+  const std::vector<double> loads = {100, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(CappedThroughput(loads, 30), 30 + 10 + 10 + 0);
+  EXPECT_NEAR(IdleFraction(loads, 30), 1.0 - 50.0 / 120.0, 1e-12);
+  // Perfectly balanced load at capacity has zero idle.
+  EXPECT_NEAR(IdleFraction({30, 30, 30, 30}, 30), 0.0, 1e-12);
+}
+
+// --- end-to-end packet simulations ---------------------------------------
+
+struct PolicyCase {
+  CachePolicy policy;
+};
+
+class PacketSimPolicies : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PacketSimPolicies, ServesAllRequestsAndReportsSaneMetrics) {
+  Rng rng(23);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 6, 40, 1.0, rng);
+  PacketSimOptions opt;
+  opt.policy = GetParam().policy;
+  opt.duration = 20 * kMicrosPerSecond;
+  opt.warmup = 4 * kMicrosPerSecond;
+  opt.seed = 5;
+  const PacketSimReport report = RunPacketSimulation(t, demand, opt);
+  EXPECT_GT(report.total_requests, 1000u);
+  // Requests in flight at the end may be unserved; allow a small gap.
+  EXPECT_GE(report.served_requests + 50, report.total_requests);
+  EXPECT_GE(report.mean_hit_depth, 0.0);
+  EXPECT_LE(report.mean_hit_depth, t.height() + 1.0);
+  const double measured_total = TotalRate(report.measured_loads);
+  const double offered = demand.Total();
+  EXPECT_NEAR(measured_total, offered, 0.15 * offered)
+      << "measured service rate should match offered load";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PacketSimPolicies,
+    ::testing::Values(PolicyCase{CachePolicy::kNoCaching},
+                      PolicyCase{CachePolicy::kEnRouteLru},
+                      PolicyCase{CachePolicy::kIcpLike},
+                      PolicyCase{CachePolicy::kWebWave}));
+
+TEST(PacketSimShapes, NoCachingPutsAllLoadAtHome) {
+  Rng rng(29);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 4, 30, 1.0, rng);
+  PacketSimOptions opt;
+  opt.policy = CachePolicy::kNoCaching;
+  opt.duration = 10 * kMicrosPerSecond;
+  opt.warmup = 2 * kMicrosPerSecond;
+  const PacketSimReport report = RunPacketSimulation(t, demand, opt);
+  const double total = TotalRate(report.measured_loads);
+  EXPECT_GT(report.measured_loads[t.root()], 0.95 * total);
+  EXPECT_NEAR(report.mean_hit_depth, t.height(), 0.3)
+      << "every request walks the full path";
+  EXPECT_EQ(report.control_messages, 0u);
+}
+
+TEST(PacketSimShapes, WebWaveBalancesBetterThanNoCaching) {
+  Rng rng(31);
+  const RoutingTree t = MakeKaryTree(2, 3);
+  const DemandMatrix demand = LeafZipfDemand(t, 8, 40, 1.0, rng);
+  PacketSimOptions opt;
+  opt.duration = 40 * kMicrosPerSecond;
+  opt.warmup = 20 * kMicrosPerSecond;
+  opt.seed = 11;
+
+  opt.policy = CachePolicy::kNoCaching;
+  const auto none = RunPacketSimulation(t, demand, opt);
+  opt.policy = CachePolicy::kWebWave;
+  const auto wave = RunPacketSimulation(t, demand, opt);
+
+  EXPECT_LT(CoefficientOfVariation(wave.measured_loads),
+            CoefficientOfVariation(none.measured_loads))
+      << "WebWave must spread load more evenly";
+  EXPECT_LT(wave.mean_hit_depth, none.mean_hit_depth)
+      << "copies en route shorten the path";
+}
+
+TEST(PacketSimShapes, IcpPaysDiscoveryMessages) {
+  // ICP-like discovery costs messages per *request*; WebWave gossip costs
+  // messages per *period*.  With a realistic request volume and a small
+  // LRU (high miss rate), the per-request overhead gap must show.
+  Rng rng(37);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 12, 200, 1.0, rng);
+  PacketSimOptions opt;
+  opt.duration = 20 * kMicrosPerSecond;
+  opt.warmup = 4 * kMicrosPerSecond;
+  opt.lru_capacity = 2;
+  opt.gossip_period = 500 * kMicrosPerMilli;
+
+  opt.policy = CachePolicy::kIcpLike;
+  const auto icp = RunPacketSimulation(t, demand, opt);
+  opt.policy = CachePolicy::kWebWave;
+  const auto wave = RunPacketSimulation(t, demand, opt);
+
+  EXPECT_GT(icp.control_messages_per_request, 0.3)
+      << "ICP queries neighbors on misses";
+  EXPECT_LT(wave.control_messages_per_request,
+            icp.control_messages_per_request)
+      << "WebWave's gossip is periodic, not per-request";
+}
+
+TEST(PacketSimShapes, WebWaveApproachesTlbDistance) {
+  Rng rng(41);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 6, 60, 1.0, rng);
+  const WebFoldResult target = WebFold(t, demand.NodeTotals());
+  PacketSimOptions opt;
+  opt.policy = CachePolicy::kWebWave;
+  opt.duration = 60 * kMicrosPerSecond;
+  opt.warmup = 5 * kMicrosPerSecond;
+  opt.seed = 3;
+  const PacketSimReport report =
+      RunPacketSimulation(t, demand, opt, target.load);
+  ASSERT_GT(report.distance_trajectory.size(), 20u);
+  // The cold-start state (home serves everything) is far from TLB; the
+  // EWMA-load trajectory must come down substantially as copies spread.
+  double head = 0, tail = 0;
+  const std::size_t k = 5;
+  for (std::size_t i = 0; i < k; ++i) {
+    head += report.distance_trajectory[i + 1];  // skip the all-zero EWMA start
+    tail += report.distance_trajectory[report.distance_trajectory.size() - 1 - i];
+  }
+  EXPECT_LT(tail, 0.5 * head)
+      << "measured loads must drift toward the TLB assignment";
+}
+
+TEST(PacketSimShapes, NetworkTrafficAccountedAndLowerWithCaching) {
+  Rng rng(43);
+  const RoutingTree t = MakeKaryTree(2, 3);
+  const DemandMatrix demand = LeafZipfDemand(t, 8, 60, 1.0, rng);
+  PacketSimOptions opt;
+  opt.duration = 20 * kMicrosPerSecond;
+  opt.warmup = 5 * kMicrosPerSecond;
+  opt.seed = 9;
+
+  opt.policy = CachePolicy::kNoCaching;
+  const auto none = RunPacketSimulation(t, demand, opt);
+  opt.policy = CachePolicy::kWebWave;
+  const auto wave = RunPacketSimulation(t, demand, opt);
+
+  EXPECT_GT(none.network_kb, 0);
+  EXPECT_GT(none.link_traversals, 0u);
+  EXPECT_LT(wave.network_kb_per_request, none.network_kb_per_request)
+      << "copies en route must cut bytes moved per request";
+}
+
+TEST(PacketSimShapes, PerEdgeTrafficSumsToTotalAndConcentratesAtRootWithoutCaching) {
+  Rng rng(53);
+  const RoutingTree t = MakeKaryTree(2, 3);
+  const DemandMatrix demand = LeafZipfDemand(t, 6, 60, 1.0, rng);
+  PacketSimOptions opt;
+  opt.policy = CachePolicy::kNoCaching;
+  opt.duration = 15 * kMicrosPerSecond;
+  opt.warmup = 3 * kMicrosPerSecond;
+  const auto report = RunPacketSimulation(t, demand, opt);
+  ASSERT_EQ(report.edge_traffic_kb.size(),
+            static_cast<std::size_t>(t.size()));
+  double edge_sum = 0;
+  for (const double kb : report.edge_traffic_kb) edge_sum += kb;
+  // In-flight requests at the end leave a small gap (request bytes logged,
+  // response bytes not yet).
+  EXPECT_GE(edge_sum + 1e-9, report.network_kb);
+  EXPECT_LT(edge_sum - report.network_kb, 0.02 * report.network_kb + 100);
+  // Without caching every byte crosses a depth-1 edge.
+  double depth1 = 0;
+  for (NodeId v = 0; v < t.size(); ++v)
+    if (!t.is_root(v) && t.depth(v) == 1)
+      depth1 += report.edge_traffic_kb[static_cast<std::size_t>(v)];
+  EXPECT_GT(depth1, 0.3 * edge_sum)
+      << "the root links must carry a major share of the traffic";
+}
+
+TEST(PacketSimFailures, GossipLossSlowsButDoesNotBreakBalancing) {
+  Rng rng(47);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 6, 80, 1.0, rng);
+  PacketSimOptions opt;
+  opt.policy = CachePolicy::kWebWave;
+  opt.duration = 40 * kMicrosPerSecond;
+  opt.warmup = 20 * kMicrosPerSecond;
+  opt.seed = 13;
+  opt.gossip_loss = 0.5;  // half of all load gossip vanishes
+  const auto lossy = RunPacketSimulation(t, demand, opt);
+
+  opt.policy = CachePolicy::kNoCaching;
+  opt.gossip_loss = 0;
+  const auto none = RunPacketSimulation(t, demand, opt);
+
+  EXPECT_LT(CoefficientOfVariation(lossy.measured_loads),
+            CoefficientOfVariation(none.measured_loads))
+      << "even with 50% gossip loss WebWave must beat no caching";
+}
+
+TEST(PacketSimShapes, CopyCountsRespectPolicySemantics) {
+  Rng rng(59);
+  const RoutingTree t = MakeKaryTree(2, 2);
+  const DemandMatrix demand = LeafZipfDemand(t, 6, 60, 1.0, rng);
+  PacketSimOptions opt;
+  opt.duration = 15 * kMicrosPerSecond;
+  opt.warmup = 3 * kMicrosPerSecond;
+  opt.lru_capacity = 2;
+
+  opt.policy = CachePolicy::kNoCaching;
+  const auto none = RunPacketSimulation(t, demand, opt);
+  for (const int c : none.copies_per_doc)
+    EXPECT_EQ(c, 1) << "no caching: only the home copy exists";
+
+  opt.policy = CachePolicy::kWebWave;
+  const auto wave = RunPacketSimulation(t, demand, opt);
+  int replicated = 0;
+  for (const int c : wave.copies_per_doc) {
+    EXPECT_GE(c, 1);
+    if (c > 1) ++replicated;
+  }
+  EXPECT_GT(replicated, 0) << "WebWave must have replicated something";
+
+  opt.policy = CachePolicy::kEnRouteLru;
+  const auto lru = RunPacketSimulation(t, demand, opt);
+  int total_lru_copies = 0;
+  for (const int c : lru.copies_per_doc) total_lru_copies += c - 1;
+  EXPECT_LE(total_lru_copies, (t.size() - 1) * opt.lru_capacity)
+      << "LRU copies bounded by per-node capacity";
+}
+
+TEST(PacketSimOptionsTest, Validation) {
+  const RoutingTree t = MakeChain(2);
+  DemandMatrix demand(2, 1);
+  demand.set(1, 0, 5);
+  PacketSimOptions opt;
+  opt.duration = 5;
+  opt.warmup = 10;
+  EXPECT_THROW(RunPacketSimulation(t, demand, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webwave

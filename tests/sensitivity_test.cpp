@@ -1,0 +1,101 @@
+// Tests for TLB sensitivity analysis: the fold is the exact blast radius
+// of a demand change, with derivative 1/|fold| inside and 0 outside.
+#include "core/sensitivity.h"
+#include "core/webfold.h"
+#include "tree/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace webwave {
+namespace {
+
+TEST(Sensitivity, MatchesNumericalDerivativeOnFigure4Tree) {
+  const RoutingTree tree =
+      RoutingTree::FromParents({kNoNode, 0, 0, 1, 1, 2, 3, 5});
+  const std::vector<double> spont = {5, 0, 10, 0, 30, 8, 40, 2};
+  const TlbSensitivity s = ComputeTlbSensitivity(tree, spont);
+  const double eps = 1e-6;
+  for (NodeId j = 0; j < tree.size(); ++j) {
+    std::vector<double> bumped(spont);
+    bumped[static_cast<std::size_t>(j)] += eps;
+    const WebFoldResult after = WebFold(tree, bumped);
+    for (NodeId i = 0; i < tree.size(); ++i) {
+      const double numeric =
+          (after.load[static_cast<std::size_t>(i)] -
+           s.load[static_cast<std::size_t>(i)]) /
+          eps;
+      EXPECT_NEAR(numeric, s.Derivative(i, j), 1e-4)
+          << "dL_" << i << "/dE_" << j;
+    }
+  }
+}
+
+class SensitivitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SensitivitySweep, NumericalAgreementOnRandomInstances) {
+  Rng rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.NextBelow(20));
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<double> spont(static_cast<std::size_t>(n));
+  // Continuous rates: fold-boundary ties have probability zero, so the
+  // derivative formula applies.
+  for (auto& e : spont) e = rng.NextDouble(1, 50);
+  const TlbSensitivity s = ComputeTlbSensitivity(tree, spont);
+  const double eps = 1e-7;
+  for (int probe = 0; probe < 5; ++probe) {
+    const NodeId j = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    std::vector<double> bumped(spont);
+    bumped[static_cast<std::size_t>(j)] += eps;
+    const WebFoldResult after = WebFold(tree, bumped);
+    for (NodeId i = 0; i < n; ++i) {
+      const double numeric =
+          (after.load[static_cast<std::size_t>(i)] -
+           s.load[static_cast<std::size_t>(i)]) /
+          eps;
+      EXPECT_NEAR(numeric, s.Derivative(i, j), 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivitySweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(Sensitivity, DerivativeRowsSumToOne) {
+  // Σ_i dL_i/dE_j = 1: an extra request is served in full, somewhere.
+  Rng rng(21);
+  const RoutingTree tree = MakeRandomTree(15, rng);
+  std::vector<double> spont(15);
+  for (auto& e : spont) e = rng.NextDouble(1, 20);
+  const TlbSensitivity s = ComputeTlbSensitivity(tree, spont);
+  for (NodeId j = 0; j < 15; ++j) {
+    double sum = 0;
+    for (NodeId i = 0; i < 15; ++i) sum += s.Derivative(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "column " << j;
+  }
+}
+
+TEST(Sensitivity, FoldGapBoundsStructuralStability) {
+  const RoutingTree tree =
+      RoutingTree::FromParents({kNoNode, 0, 0, 1, 1});
+  const std::vector<double> spont = {0, 40, 10, 0, 0};
+  // Folds: {0,1}@20, {2}@10, {3}@0, {4}@0 -> min gap is 10 ({2} under {0,1}).
+  const TlbSensitivity s = ComputeTlbSensitivity(tree, spont);
+  EXPECT_NEAR(s.min_fold_gap, 10.0, 1e-9);
+  EXPECT_EQ(s.fold_size[static_cast<std::size_t>(
+                s.fold_index[0])],
+            2);
+}
+
+TEST(Sensitivity, SingleFoldMeansUniformDerivative) {
+  const RoutingTree tree = MakeChain(4);
+  const std::vector<double> spont = {0, 0, 0, 100};
+  const TlbSensitivity s = ComputeTlbSensitivity(tree, spont);
+  for (NodeId i = 0; i < 4; ++i)
+    for (NodeId j = 0; j < 4; ++j)
+      EXPECT_NEAR(s.Derivative(i, j), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace webwave

@@ -1,0 +1,182 @@
+// Unit tests for networks, generators and shortest-path routing trees.
+#include "topology/generators.h"
+#include "topology/network.h"
+#include "topology/spt.h"
+#include "core/webfold.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+
+namespace webwave {
+namespace {
+
+// Independent reference Dijkstra for distance validation.
+std::vector<double> ReferenceDistances(const Network& net, int src) {
+  std::vector<double> dist(static_cast<std::size_t>(net.size()),
+                           std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[static_cast<std::size_t>(src)] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    for (const auto& nb : net.neighbors(v)) {
+      if (d + nb.weight < dist[static_cast<std::size_t>(nb.node)]) {
+        dist[static_cast<std::size_t>(nb.node)] = d + nb.weight;
+        pq.push({d + nb.weight, nb.node});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Network, EdgeBookkeeping) {
+  Network net(4);
+  net.AddEdge(0, 1, 2.0);
+  net.AddEdge(1, 2);
+  EXPECT_TRUE(net.HasEdge(0, 1));
+  EXPECT_TRUE(net.HasEdge(1, 0));
+  EXPECT_FALSE(net.HasEdge(0, 2));
+  EXPECT_EQ(net.edge_count(), 2);
+  EXPECT_EQ(net.degree(1), 2);
+  EXPECT_FALSE(net.IsConnected());
+  net.AddEdge(2, 3);
+  EXPECT_TRUE(net.IsConnected());
+}
+
+TEST(Network, RejectsBadEdges) {
+  Network net(3);
+  net.AddEdge(0, 1);
+  EXPECT_THROW(net.AddEdge(0, 1), std::invalid_argument);  // parallel
+  EXPECT_THROW(net.AddEdge(1, 1), std::invalid_argument);  // self loop
+  EXPECT_THROW(net.AddEdge(0, 9), std::invalid_argument);  // out of range
+  EXPECT_THROW(net.AddEdge(0, 2, -1), std::invalid_argument);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorTest, AllGeneratorsProduceConnectedNetworks) {
+  Rng rng(GetParam());
+  EXPECT_TRUE(MakeErdosRenyi(40, 0.05, rng).IsConnected());
+  EXPECT_TRUE(MakeErdosRenyi(40, 0.0, rng).IsConnected())
+      << "p=0 must still be patched into connectivity";
+  EXPECT_TRUE(MakeWaxman(50, 0.6, 0.15, rng).IsConnected());
+  EXPECT_TRUE(MakeBarabasiAlbert(60, 2, rng).IsConnected());
+  EXPECT_TRUE(MakeTransitStub(4, 2, 5, rng).IsConnected());
+}
+
+TEST_P(GeneratorTest, GeneratorsAreDeterministicPerSeed) {
+  Rng a(GetParam()), b(GetParam());
+  const Network na = MakeWaxman(30, 0.5, 0.2, a);
+  const Network nb = MakeWaxman(30, 0.5, 0.2, b);
+  ASSERT_EQ(na.edge_count(), nb.edge_count());
+  for (int i = 0; i < na.edge_count(); ++i) {
+    EXPECT_EQ(na.edges()[i].u, nb.edges()[i].u);
+    EXPECT_EQ(na.edges()[i].v, nb.edges()[i].v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest, ::testing::Values(1, 2, 3, 17));
+
+TEST(GeneratorShapes, BarabasiAlbertHasHubs) {
+  Rng rng(5);
+  const Network net = MakeBarabasiAlbert(300, 2, rng);
+  int max_degree = 0;
+  for (int v = 0; v < net.size(); ++v)
+    max_degree = std::max(max_degree, net.degree(v));
+  EXPECT_GE(max_degree, 20) << "preferential attachment should grow hubs";
+}
+
+TEST(GeneratorShapes, TransitStubNodeCount) {
+  Rng rng(6);
+  const Network net = MakeTransitStub(3, 2, 4, rng);
+  EXPECT_EQ(net.size(), 3 + 3 * 2 * 4);
+}
+
+TEST(ShortestPathTreeTest, PathsMatchReferenceDistances) {
+  Rng rng(11);
+  const Network net = MakeWaxman(60, 0.6, 0.2, rng);
+  const int home = 7;
+  const RoutingTree tree = ShortestPathTree(net, home);
+  ASSERT_EQ(tree.size(), net.size());
+  EXPECT_EQ(tree.root(), home);
+
+  const std::vector<double> dist = ReferenceDistances(net, home);
+  // Walking up the tree must accumulate exactly the shortest distance.
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    double along = 0;
+    NodeId u = v;
+    while (!tree.is_root(u)) {
+      const NodeId p = tree.parent(u);
+      bool found = false;
+      for (const auto& nb : net.neighbors(u)) {
+        if (nb.node == p) {
+          along += nb.weight;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "tree edge " << u << "->" << p
+                         << " missing from network";
+      u = p;
+    }
+    EXPECT_NEAR(along, dist[static_cast<std::size_t>(v)], 1e-9)
+        << "node " << v;
+  }
+}
+
+TEST(ShortestPathTreeTest, UnitWeightsGiveBfsDepths) {
+  Network net(6);
+  net.AddEdge(0, 1);
+  net.AddEdge(0, 2);
+  net.AddEdge(1, 3);
+  net.AddEdge(2, 3);
+  net.AddEdge(3, 4);
+  net.AddEdge(4, 5);
+  const RoutingTree tree = ShortestPathTree(net, 0);
+  EXPECT_EQ(tree.depth(3), 2);
+  EXPECT_EQ(tree.depth(5), 4);
+  // Deterministic tie-break: node 3 reachable through 1 or 2; parent must
+  // be the smaller id.
+  EXPECT_EQ(tree.parent(3), 1);
+}
+
+TEST(RoutingForestTest, OneTreePerHomeAndOverlapCounts) {
+  Rng rng(13);
+  const Network net = MakeBarabasiAlbert(50, 2, rng);
+  const RoutingForest forest = MakeRoutingForest(net, {0, 10, 20});
+  ASSERT_EQ(forest.trees.size(), 3u);
+  for (std::size_t i = 0; i < forest.trees.size(); ++i)
+    EXPECT_EQ(forest.trees[i].root(), forest.homes[i]);
+  const std::vector<int> mult = InteriorMultiplicity(forest);
+  int max_mult = 0;
+  for (const int m : mult) {
+    EXPECT_GE(m, 0);
+    EXPECT_LE(m, 3);
+    max_mult = std::max(max_mult, m);
+  }
+  EXPECT_GE(max_mult, 1) << "some node must be interior to some tree";
+}
+
+TEST(RoutingForestTest, TreesFeedWebFoldEndToEnd) {
+  // Integration: topology -> routing tree -> TLB computation.
+  Rng rng(17);
+  const Network net = MakeTransitStub(3, 2, 6, rng);
+  const RoutingTree tree = ShortestPathTree(net, 0);
+  std::vector<double> spont(static_cast<std::size_t>(tree.size()), 0.0);
+  for (NodeId v = 0; v < tree.size(); ++v)
+    if (tree.is_leaf(v)) spont[static_cast<std::size_t>(v)] = 10.0;
+  const WebFoldResult r = WebFold(tree, spont);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (!tree.is_root(v)) {
+      EXPECT_GE(r.load[tree.parent(v)] + 1e-9, r.load[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webwave
