@@ -9,9 +9,17 @@
 // Zipf sampling.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/diffusion.h"
 #include "core/tlb.h"
 #include "core/webfold.h"
 #include "core/webwave.h"
+#include "core/webwave_batch.h"
 #include "doc/catalog.h"
 #include "net/simulator.h"
 #include "proto/packet_filter.h"
@@ -21,6 +29,115 @@
 
 namespace webwave {
 namespace {
+
+// The pre-SoA WebWave step, kept verbatim as a measurement baseline: a
+// per-node vector of (neighbor, estimate) pairs scanned linearly for
+// every edge, a deque of full served-vector copies for gossip history,
+// and a freshly allocated delta vector per step.  BM_WebWaveStepLegacy /
+// BM_WebWaveStep records the speedup of the edge-indexed layout in
+// BENCH_webwave.json.
+class LegacyWebWaveStepper {
+ public:
+  LegacyWebWaveStepper(const RoutingTree& tree, std::vector<double> spont)
+      : tree_(tree), served_(tree.size(), 0.0) {
+    const int n = tree.size();
+    double total = 0;
+    for (const double e : spont) total += e;
+    served_[static_cast<std::size_t>(tree.root())] = total;
+    forwarded_.assign(static_cast<std::size_t>(n), 0.0);
+    for (const NodeId v : tree.postorder()) {
+      double arrive = spont[static_cast<std::size_t>(v)];
+      for (const NodeId c : tree.children(v))
+        arrive += forwarded_[static_cast<std::size_t>(c)];
+      forwarded_[static_cast<std::size_t>(v)] =
+          arrive - served_[static_cast<std::size_t>(v)];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree.is_root(v)) continue;
+      Edge e;
+      e.parent = tree.parent(v);
+      e.child = v;
+      e.alpha = 1.0 / (1.0 + std::max(tree.degree(e.parent), tree.degree(v)));
+      edges_.push_back(e);
+    }
+    estimates_.assign(static_cast<std::size_t>(n), {});
+    for (const Edge& e : edges_) {
+      estimates_[static_cast<std::size_t>(e.parent)].push_back({e.child, 0});
+      estimates_[static_cast<std::size_t>(e.child)].push_back({e.parent, 0});
+    }
+    history_.push_back(served_);
+    RefreshEstimates();
+  }
+
+  void Step() {
+    std::vector<double> delta(edges_.size(), 0.0);
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      const Edge& e = edges_[k];
+      const double lp = served_[static_cast<std::size_t>(e.parent)];
+      const double lc = served_[static_cast<std::size_t>(e.child)];
+      const double parent_view = Estimate(e.parent, e.child);
+      const double child_view = Estimate(e.child, e.parent);
+      double d = 0;
+      if (lp > parent_view) {
+        d = std::min(e.alpha * (lp - parent_view),
+                     forwarded_[static_cast<std::size_t>(e.child)]);
+      } else if (lc > child_view) {
+        d = -std::min(e.alpha * (lc - child_view), lc);
+      }
+      delta[k] = d;
+    }
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      const Edge& e = edges_[k];
+      double d = delta[k];
+      if (d == 0) continue;
+      const std::size_t p = static_cast<std::size_t>(e.parent);
+      const std::size_t c = static_cast<std::size_t>(e.child);
+      if (d > 0) {
+        d = std::min({d, forwarded_[c], served_[p]});
+        if (d <= 0) continue;
+        served_[p] -= d;
+        served_[c] += d;
+        forwarded_[c] -= d;
+      } else {
+        const double up = std::min(-d, served_[c]);
+        if (up <= 0) continue;
+        served_[c] -= up;
+        served_[p] += up;
+        forwarded_[c] += up;
+      }
+    }
+    history_.push_back(served_);
+    while (history_.size() > 1) history_.pop_front();
+    RefreshEstimates();
+  }
+
+ private:
+  struct Edge {
+    NodeId parent;
+    NodeId child;
+    double alpha;
+  };
+
+  double Estimate(NodeId a, NodeId b) const {
+    for (const auto& [node, load] : estimates_[static_cast<std::size_t>(a)])
+      if (node == b) return load;
+    return 0;
+  }
+
+  void RefreshEstimates() {
+    const std::vector<double>& view = history_.back();
+    for (auto& per_node : estimates_)
+      for (auto& [neighbor, load] : per_node)
+        load = view[static_cast<std::size_t>(neighbor)];
+  }
+
+  const RoutingTree& tree_;
+  std::vector<double> served_;
+  std::vector<double> forwarded_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<NodeId, double>>> estimates_;
+  std::deque<std::vector<double>> history_;
+};
 
 void BM_PacketFilterIntercept(benchmark::State& state) {
   const int docs = static_cast<int>(state.range(0));
@@ -76,7 +193,87 @@ void BM_WebWaveStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_WebWaveStep)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_WebWaveStep)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+void BM_WebWaveStepLegacy(benchmark::State& state) {
+  // Identical workload to BM_WebWaveStep, pre-refactor data layout.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(44);
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<double> spont(static_cast<std::size_t>(n));
+  for (auto& e : spont) e = rng.NextDouble(0, 100);
+  LegacyWebWaveStepper sim(tree, spont);
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WebWaveStepLegacy)->Arg(10000)->Arg(100000);
+
+void BM_BatchWebWaveStep(benchmark::State& state) {
+  // Catalog of documents as batched lanes over one shared tree; items are
+  // (node, document) lane entries per step.
+  const int n = static_cast<int>(state.range(0));
+  const int docs = static_cast<int>(state.range(1));
+  Rng rng(46);
+  const RoutingTree tree = MakeRandomTree(n, rng);
+  std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+  for (auto& lane : lanes) {
+    lane.resize(static_cast<std::size_t>(n));
+    for (auto& e : lane) e = rng.NextDouble(0, 10);
+  }
+  BatchWebWaveSimulator batch(tree, std::move(lanes));
+  for (auto _ : state) {
+    batch.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * n * docs);
+}
+BENCHMARK(BM_BatchWebWaveStep)
+    ->Args({10000, 16})
+    ->Args({100000, 16})
+    ->Args({100000, 64});
+
+void BM_DiffusionApplyDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(47);
+  const UndirectedGraph g = GraphFromTree(MakeRandomTree(n, rng));
+  const DiffusionMatrix d = DiffusionMatrix::DegreeBased(g);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.NextDouble(0, 100);
+  for (auto _ : state) {
+    x = d.Apply(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DiffusionApplyDense)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DiffusionApplySparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(47);
+  const UndirectedGraph g = GraphFromTree(MakeRandomTree(n, rng));
+  const SparseDiffusionMatrix d = SparseDiffusionMatrix::DegreeBased(g);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.NextDouble(0, 100);
+  std::vector<double> y;
+  for (auto _ : state) {
+    d.ApplyInto(x, y);
+    std::swap(x, y);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DiffusionApplySparse)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 void BM_EventSimulatorRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
@@ -103,3 +300,25 @@ BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
 
 }  // namespace
 }  // namespace webwave
+
+// Custom main: unless the caller asks otherwise, append a JSON record of
+// every run to BENCH_webwave.json so the perf trajectory of the hot paths
+// is captured by default.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  std::string out = "--benchmark_out=BENCH_webwave.json";
+  std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

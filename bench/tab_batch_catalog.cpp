@@ -1,0 +1,93 @@
+// E9 — batched multi-document diffusion at scale.
+//
+// The paper's feasibility argument is per-server local work; the engine's
+// feasibility argument is wall-clock per simulated period.  This table
+// steps a whole catalog of hot documents as BatchWebWaveSimulator lanes
+// over one shared random routing tree, up to 10⁶ nodes × 64 documents
+// (64M load lanes per step), and records setup cost, per-step cost and
+// lane throughput.  Per-lane behaviour is bit-identical to running one
+// WebWaveSimulator per document (asserted by webwave_batch_test); only
+// the memory layout is shared.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/load_model.h"
+#include "core/webwave_batch.h"
+#include "tree/builders.h"
+#include "util/ascii.h"
+#include "util/rng.h"
+
+namespace webwave {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::vector<double>> ZipfLanes(int nodes, int docs, Rng& rng) {
+  // Document d's total demand follows a Zipf(1) catalog profile, spread
+  // over random nodes — hot documents everywhere, cold ones sparse.
+  std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+  for (int d = 0; d < docs; ++d) {
+    auto& lane = lanes[static_cast<std::size_t>(d)];
+    lane.assign(static_cast<std::size_t>(nodes), 0.0);
+    const double doc_weight = 1000.0 / (1 + d);
+    for (auto& e : lane)
+      if (rng.NextBernoulli(0.5)) e = rng.NextDouble(0, doc_weight);
+  }
+  return lanes;
+}
+
+}  // namespace
+}  // namespace webwave
+
+int main() {
+  using namespace webwave;
+  using Clock = std::chrono::steady_clock;
+  std::printf(
+      "E9 — batched multi-document WebWave: one shared tree, one load lane\n"
+      "per document; steps the whole catalog in a single pass per period.\n"
+      "lane-steps/s counts (node, document) pairs advanced per second.\n\n");
+
+  AsciiTable table({"nodes", "docs", "lanes", "setup ms", "ms/step",
+                    "Mlane-steps/s", "max load after"});
+  const std::vector<std::pair<int, int>> configs = {
+      {10000, 16},   {10000, 64},   {100000, 16}, {100000, 64},
+      {1000000, 16}, {1000000, 64},
+  };
+  for (const auto& [nodes, docs] : configs) {
+    Rng rng(static_cast<std::uint64_t>(nodes) + docs);
+    const RoutingTree tree = MakeRandomTree(nodes, rng);
+    std::vector<std::vector<double>> lanes = ZipfLanes(nodes, docs, rng);
+
+    const auto t_setup = Clock::now();
+    BatchWebWaveSimulator batch(tree, std::move(lanes));
+    const double setup_ms = MillisSince(t_setup);
+
+    const int steps = nodes >= 1000000 ? 5 : 20;
+    const auto t_run = Clock::now();
+    for (int s = 0; s < steps; ++s) batch.Step();
+    const double run_ms = MillisSince(t_run);
+    const double ms_per_step = run_ms / steps;
+    const double lane_steps_per_sec =
+        static_cast<double>(nodes) * docs * steps / (run_ms / 1000.0);
+
+    table.AddRow({AsciiTable::Int(nodes), AsciiTable::Int(docs),
+                  AsciiTable::Int(static_cast<long long>(nodes) * docs),
+                  AsciiTable::Num(setup_ms, 1), AsciiTable::Num(ms_per_step, 2),
+                  AsciiTable::Num(lane_steps_per_sec / 1e6, 1),
+                  AsciiTable::Num(batch.MaxNodeLoad(), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading: per-step cost scales linearly in lanes = nodes x docs; the\n"
+      "shared edge arrays amortize topology across the catalog, so 64 hot\n"
+      "documents on a million-node tree advance one diffusion period in\n"
+      "seconds of wall clock, with no directory and no global state.\n");
+  return 0;
+}

@@ -12,16 +12,20 @@
 // Metrics: max per-server load, coefficient of variation, Jain fairness,
 // aggregate throughput and idle fraction when every server has capacity
 // C = 2 x the GLE mean.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "core/diffusion.h"
 #include "core/load_model.h"
 #include "core/webfold.h"
+#include "core/webwave.h"
 #include "doc/catalog.h"
 #include "proto/baselines.h"
 #include "stats/summary.h"
 #include "tree/builders.h"
 #include "util/ascii.h"
+#include "util/rng.h"
 
 namespace webwave {
 namespace {
@@ -76,6 +80,55 @@ int main() {
       "Reading: no-cache throughput is pinned at one server's capacity and\n"
       "idles everything else; demand-driven caching helps but keeps the hot\n"
       "subtree hot; WebWave/TLB tracks the GLE-ideal bound wherever NSS\n"
-      "permits, with orders-of-magnitude lower max load at scale.\n");
+      "permits, with orders-of-magnitude lower max load at scale.\n\n");
+
+  // Part 2: the engine itself at Internet-catalog node counts.  The SoA
+  // WebWave step and the CSR diffusion sweep are both O(n); a million-node
+  // tree advances one diffusion period in milliseconds, where the dense
+  // n^2 matrix of the §2 baselines would not even fit in memory.
+  std::printf(
+      "Part 2 — diffusion engine scalability (SoA WebWave step, CSR sweep)\n"
+      "workload: uniform random recursive tree, random spontaneous rates\n\n");
+  using Clock = std::chrono::steady_clock;
+  AsciiTable engine({"n", "webwave ms/step", "Medges/s", "csr ms/sweep",
+                     "gamma(100 it) ms"});
+  for (const int n : {10000, 100000, 1000000}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 13 + 1);
+    const RoutingTree tree = MakeRandomTree(n, rng);
+    std::vector<double> spont(static_cast<std::size_t>(n));
+    for (auto& e : spont) e = rng.NextDouble(0, 100);
+
+    WebWaveSimulator sim(tree, spont);
+    const int steps = n >= 1000000 ? 20 : 100;
+    auto t0 = Clock::now();
+    for (int s = 0; s < steps; ++s) sim.Step();
+    const double step_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+        steps;
+
+    const UndirectedGraph graph = GraphFromTree(tree);
+    const SparseDiffusionMatrix csr = SparseDiffusionMatrix::DegreeBased(graph);
+    std::vector<double> x = spont, y;
+    t0 = Clock::now();
+    for (int s = 0; s < steps; ++s) {
+      csr.ApplyInto(x, y);
+      std::swap(x, y);
+    }
+    const double sweep_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+        steps;
+
+    t0 = Clock::now();
+    const double gamma = csr.SpectralGamma(100);
+    const double gamma_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    (void)gamma;
+
+    engine.AddRow({AsciiTable::Int(n), AsciiTable::Num(step_ms, 3),
+                   AsciiTable::Num((n - 1) / (step_ms * 1e3), 1),
+                   AsciiTable::Num(sweep_ms, 3),
+                   AsciiTable::Num(gamma_ms, 1)});
+  }
+  std::printf("%s\n", engine.Render().c_str());
   return 0;
 }

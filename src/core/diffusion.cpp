@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "stats/summary.h"
 #include "util/check.h"
@@ -214,6 +213,144 @@ double DiffusionMatrix::SpectralGamma(int iterations) const {
   return gamma;
 }
 
+namespace {
+
+// Assembles CSR rows from a per-row list of (column, value) off-diagonal
+// entries plus the doubly-stochastic diagonal 1 − Σ off-diagonal.
+template <typename EdgeAlphaFn>
+void BuildCsrRows(const UndirectedGraph& graph, EdgeAlphaFn&& alpha_of,
+                  std::vector<std::size_t>& row_ptr,
+                  std::vector<std::int32_t>& col,
+                  std::vector<double>& values) {
+  const int n = graph.size();
+  col.reserve(static_cast<std::size_t>(n) + 2u * graph.edge_count());
+  values.reserve(col.capacity());
+  std::vector<std::pair<std::int32_t, double>> row;
+  for (int i = 0; i < n; ++i) {
+    row.clear();
+    double off = 0;
+    for (const int j : graph.neighbors(i)) {
+      const double a = alpha_of(i, j);
+      row.push_back({static_cast<std::int32_t>(j), a});
+      off += a;
+    }
+    row.push_back({static_cast<std::int32_t>(i), 1.0 - off});
+    std::sort(row.begin(), row.end());
+    for (const auto& [j, a] : row) {
+      col.push_back(j);
+      values.push_back(a);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = col.size();
+  }
+}
+
+}  // namespace
+
+SparseDiffusionMatrix SparseDiffusionMatrix::Uniform(
+    const UndirectedGraph& graph, double alpha) {
+  WEBWAVE_REQUIRE(alpha > 0, "alpha must be positive");
+  WEBWAVE_REQUIRE(alpha * graph.MaxDegree() < 1.0 + 1e-12,
+                  "alpha too large: diagonal would go negative");
+  SparseDiffusionMatrix m(graph.size());
+  BuildCsrRows(graph, [alpha](int, int) { return alpha; }, m.row_ptr_,
+               m.col_, m.values_);
+  return m;
+}
+
+SparseDiffusionMatrix SparseDiffusionMatrix::DegreeBased(
+    const UndirectedGraph& graph) {
+  SparseDiffusionMatrix m(graph.size());
+  BuildCsrRows(
+      graph,
+      [&graph](int i, int j) {
+        return 1.0 / (1.0 + std::max(graph.degree(i), graph.degree(j)));
+      },
+      m.row_ptr_, m.col_, m.values_);
+  return m;
+}
+
+SparseDiffusionMatrix SparseDiffusionMatrix::FromDense(
+    const DiffusionMatrix& dense) {
+  const int n = dense.size();
+  SparseDiffusionMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double a = dense.at(i, j);
+      if (a != 0.0 || i == j) {
+        m.col_.push_back(j);
+        m.values_.push_back(a);
+      }
+    }
+    m.row_ptr_[static_cast<std::size_t>(i) + 1] = m.col_.size();
+  }
+  return m;
+}
+
+double SparseDiffusionMatrix::at(int i, int j) const {
+  WEBWAVE_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  for (std::size_t k = row_ptr_[static_cast<std::size_t>(i)];
+       k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+    if (col_[k] == j) return values_[k];
+  return 0.0;
+}
+
+void SparseDiffusionMatrix::ApplyInto(const std::vector<double>& x,
+                                      std::vector<double>& y) const {
+  WEBWAVE_REQUIRE(x.size() == static_cast<std::size_t>(n_), "size mismatch");
+  WEBWAVE_REQUIRE(&x != &y, "ApplyInto output must not alias the input");
+  y.resize(x.size());
+  const std::int32_t* cols = col_.data();
+  const double* vals = values_.data();
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0;
+    const std::size_t end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (std::size_t k = row_ptr_[static_cast<std::size_t>(i)]; k < end; ++k)
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+std::vector<double> SparseDiffusionMatrix::Apply(
+    const std::vector<double>& x) const {
+  std::vector<double> y;
+  ApplyInto(x, y);
+  return y;
+}
+
+double SparseDiffusionMatrix::SpectralGamma(int iterations) const {
+  if (n_ == 1) return 0;
+  // Deflated power iteration, identical to the dense class but with one
+  // O(n + E) sweep per iteration and no per-iteration allocation.
+  std::vector<double> x(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    x[static_cast<std::size_t>(i)] =
+        std::sin(1.0 + 0.7 * i) + (i % 2 != 0 ? 0.3 : 0.0);
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = 0;
+    for (const double e : v) mean += e;
+    mean /= static_cast<double>(n_);
+    for (double& e : v) e -= mean;
+  };
+  deflate(x);
+  std::vector<double> y;
+  double gamma = 0;
+  for (int it = 0; it < iterations; ++it) {
+    ApplyInto(x, y);
+    deflate(y);
+    double norm = 0;
+    for (const double e : y) norm += e * e;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return 0;
+    double xnorm = 0;
+    for (const double e : x) xnorm += e * e;
+    xnorm = std::sqrt(xnorm);
+    gamma = norm / xnorm;
+    for (double& e : y) e /= norm;
+    std::swap(x, y);
+  }
+  return gamma;
+}
+
 double OptimalAlphaKAryNCube(int k, int n) {
   WEBWAVE_REQUIRE(k >= 2 && n >= 1, "invalid k-ary n-cube");
   // Laplacian eigenvalues of the k-ary n-cube are Σ_d 2(1 − cos(2π m_d/k)).
@@ -226,7 +363,7 @@ double OptimalAlphaKAryNCube(int k, int n) {
   return 2.0 / (mu_min + mu_max);
 }
 
-DiffusionRun RunDiffusion(const DiffusionMatrix& matrix,
+DiffusionRun RunDiffusion(const SparseDiffusionMatrix& matrix,
                           std::vector<double> initial, double tol,
                           int max_steps) {
   WEBWAVE_REQUIRE(initial.size() == static_cast<std::size_t>(matrix.size()),
@@ -238,17 +375,28 @@ DiffusionRun RunDiffusion(const DiffusionMatrix& matrix,
   DiffusionRun run;
   run.distances.push_back(EuclideanDistance(initial, uniform));
   std::vector<double> x = std::move(initial);
+  std::vector<double> next;
   for (int t = 0; t < max_steps; ++t) {
     if (run.distances.back() <= tol) {
       run.reached_tolerance = true;
       break;
     }
-    x = matrix.Apply(x);
+    matrix.ApplyInto(x, next);
+    std::swap(x, next);
     run.distances.push_back(EuclideanDistance(x, uniform));
   }
   if (run.distances.back() <= tol) run.reached_tolerance = true;
   run.final_load = std::move(x);
   return run;
+}
+
+DiffusionRun RunDiffusion(const DiffusionMatrix& matrix,
+                          std::vector<double> initial, double tol,
+                          int max_steps) {
+  // Compress once, iterate sparsely: identical arithmetic per sweep (CSR
+  // rows keep ascending column order, matching the dense summation).
+  return RunDiffusion(SparseDiffusionMatrix::FromDense(matrix),
+                      std::move(initial), tol, max_steps);
 }
 
 DiffusionRun RunAsyncDiffusion(const UndirectedGraph& graph, double alpha,
@@ -269,46 +417,62 @@ DiffusionRun RunAsyncDiffusion(const UndirectedGraph& graph, double alpha,
   const std::vector<double> uniform(
       initial.size(), total / static_cast<double>(initial.size()));
 
-  // History ring for stale reads: history.front() is the current sweep.
-  // Transfers are edge-atomic (the donor decides from its own current
-  // value and a possibly stale view of the receiver, then both endpoints
-  // are updated together), so total load is conserved *exactly* no matter
-  // how stale the views are — the same discipline WebWave uses.
-  std::deque<std::vector<double>> history = {initial};
+  // Sparse edge path: the undirected edge list is flattened once so every
+  // sweep is a single pass over two index arrays instead of a nested
+  // adjacency traversal with a skip test per direction.
+  const std::size_t n = static_cast<std::size_t>(graph.size());
+  std::vector<std::int32_t> edge_u, edge_v;
+  edge_u.reserve(static_cast<std::size_t>(graph.edge_count()));
+  edge_v.reserve(static_cast<std::size_t>(graph.edge_count()));
+  for (int i = 0; i < graph.size(); ++i)
+    for (const int j : graph.neighbors(i))
+      if (j > i) {
+        edge_u.push_back(i);
+        edge_v.push_back(j);
+      }
+
+  // History ring for stale reads, stored as a flat (max_delay + 1) × n
+  // buffer: slot `head` is the current sweep, slot (head − d) the vector d
+  // sweeps ago.  Transfers are edge-atomic (the donor decides from its own
+  // current value and a possibly stale view of the receiver, then both
+  // endpoints are updated together), so total load is conserved *exactly*
+  // no matter how stale the views are — the same discipline WebWave uses.
+  const std::size_t slots = static_cast<std::size_t>(options.max_delay) + 1;
+  std::vector<double> history(slots * n);
+  std::copy(initial.begin(), initial.end(), history.begin());
+  std::size_t head = 0;
+  std::size_t filled = 1;
+  const auto view = [&](std::size_t delay) {
+    const std::size_t d = std::min(delay, filled - 1);
+    return history.data() + ((head + slots - d) % slots) * n;
+  };
+
   DiffusionRun run;
   run.distances.push_back(EuclideanDistance(initial, uniform));
   std::vector<double> x = std::move(initial);
   for (int t = 0; t < max_steps && run.distances.back() > tol; ++t) {
-    for (int i = 0; i < graph.size(); ++i) {
-      for (const int j : graph.neighbors(i)) {
-        if (j < i) continue;  // each undirected edge considered once
-        if (!rng.NextBernoulli(options.activation)) continue;
-        const std::size_t di = static_cast<std::size_t>(rng.NextBelow(
-            static_cast<std::uint64_t>(options.max_delay) + 1));
-        const std::size_t dj = static_cast<std::size_t>(rng.NextBelow(
-            static_cast<std::uint64_t>(options.max_delay) + 1));
-        const double view_of_j =
-            history[std::min(di, history.size() - 1)]
-                   [static_cast<std::size_t>(j)];
-        const double view_of_i =
-            history[std::min(dj, history.size() - 1)]
-                   [static_cast<std::size_t>(i)];
-        double transfer = 0;  // positive: i -> j
-        if (x[static_cast<std::size_t>(i)] > view_of_j) {
-          transfer = alpha * (x[static_cast<std::size_t>(i)] - view_of_j);
-          transfer = std::min(transfer, x[static_cast<std::size_t>(i)]);
-        } else if (x[static_cast<std::size_t>(j)] > view_of_i) {
-          transfer = -alpha * (x[static_cast<std::size_t>(j)] - view_of_i);
-          transfer = std::max(transfer, -x[static_cast<std::size_t>(j)]);
-        }
-        x[static_cast<std::size_t>(i)] -= transfer;
-        x[static_cast<std::size_t>(j)] += transfer;
+    for (std::size_t k = 0; k < edge_u.size(); ++k) {
+      if (!rng.NextBernoulli(options.activation)) continue;
+      const std::size_t i = static_cast<std::size_t>(edge_u[k]);
+      const std::size_t j = static_cast<std::size_t>(edge_v[k]);
+      const std::size_t di = static_cast<std::size_t>(rng.NextBelow(
+          static_cast<std::uint64_t>(options.max_delay) + 1));
+      const std::size_t dj = static_cast<std::size_t>(rng.NextBelow(
+          static_cast<std::uint64_t>(options.max_delay) + 1));
+      const double view_of_j = view(di)[j];
+      const double view_of_i = view(dj)[i];
+      double transfer = 0;  // positive: i -> j
+      if (x[i] > view_of_j) {
+        transfer = std::min(alpha * (x[i] - view_of_j), x[i]);
+      } else if (x[j] > view_of_i) {
+        transfer = std::max(-alpha * (x[j] - view_of_i), -x[j]);
       }
+      x[i] -= transfer;
+      x[j] += transfer;
     }
-    history.push_front(x);
-    while (history.size() >
-           static_cast<std::size_t>(options.max_delay) + 1)
-      history.pop_back();
+    head = (head + 1) % slots;
+    filled = std::min(filled + 1, slots);
+    std::copy(x.begin(), x.end(), history.begin() + head * n);
     run.distances.push_back(EuclideanDistance(x, uniform));
   }
   run.reached_tolerance = run.distances.back() <= tol;

@@ -51,130 +51,60 @@ WebWaveSimulator::WebWaveSimulator(const RoutingTree& tree,
   }
   forwarded_ = ForwardedRates(tree_, spontaneous_, served_);
 
-  // Edges, parent side first, with their diffusion parameter.
-  edges_.reserve(static_cast<std::size_t>(n - 1));
-  for (NodeId v = 0; v < n; ++v) {
-    if (tree_.is_root(v)) continue;
-    Edge e;
-    e.parent = tree_.parent(v);
-    e.child = v;
-    const double stable =
-        1.0 /
-        (1.0 + std::max(tree_.degree(e.parent), tree_.degree(e.child)));
-    switch (options_.alpha_policy) {
-      case AlphaPolicy::kFixed:
-        e.alpha = std::min(options_.alpha, stable);
-        break;
-      case AlphaPolicy::kFixedUncapped:
-        e.alpha = options_.alpha;
-        break;
-      case AlphaPolicy::kDegree:
-        e.alpha = stable;
-        break;
-    }
-    edges_.push_back(e);
-  }
+  // Flatten the edges into parallel arrays, ascending child id, with their
+  // diffusion parameters — the fixed sweep order every Step() follows.
+  edges_ = internal::BuildEdgeArrays(tree_, options_);
+  est_down_.assign(edges_.size(), 0.0);
+  est_up_.assign(edges_.size(), 0.0);
+  delta_.assign(edges_.size(), 0.0);
 
-  // Every node starts with a fresh view of its neighbors.
-  estimates_.assign(static_cast<std::size_t>(n), {});
-  for (const Edge& e : edges_) {
-    estimates_[static_cast<std::size_t>(e.parent)].push_back({e.child, 0});
-    estimates_[static_cast<std::size_t>(e.child)].push_back({e.parent, 0});
+  if (options_.gossip_delay > 0) {
+    history_.assign(
+        (static_cast<std::size_t>(options_.gossip_delay) + 1) * served_.size(),
+        0.0);
+    std::copy(served_.begin(), served_.end(), history_.begin());
   }
-  history_.push_back(served_);
   RefreshEstimates();
 }
 
-double WebWaveSimulator::Estimate(NodeId a, NodeId b) const {
-  for (const auto& [node, load] : estimates_[static_cast<std::size_t>(a)])
-    if (node == b) return load;
-  WEBWAVE_ASSERT(false, "estimate requested for a non-neighbor");
-  return 0;
+const double* WebWaveSimulator::DelayedServedView() const {
+  if (options_.gossip_delay == 0) return served_.data();
+  const std::size_t slots =
+      static_cast<std::size_t>(options_.gossip_delay) + 1;
+  const std::size_t lag = std::min(
+      static_cast<std::size_t>(options_.gossip_delay), history_filled_ - 1);
+  return history_.data() +
+         ((history_head_ + slots - lag) % slots) * served_.size();
+}
+
+void WebWaveSimulator::PushHistory() {
+  if (options_.gossip_delay == 0) return;
+  const std::size_t slots =
+      static_cast<std::size_t>(options_.gossip_delay) + 1;
+  history_head_ = (history_head_ + 1) % slots;
+  history_filled_ = std::min(history_filled_ + 1, slots);
+  std::copy(served_.begin(), served_.end(),
+            history_.begin() + history_head_ * served_.size());
 }
 
 void WebWaveSimulator::RefreshEstimates() {
   // Gossip delivers the load vector as it was gossip_delay steps ago.
-  const std::size_t lag =
-      std::min<std::size_t>(static_cast<std::size_t>(options_.gossip_delay),
-                            history_.size() - 1);
-  const std::vector<double>& view = history_[history_.size() - 1 - lag];
-  for (auto& per_node : estimates_)
-    for (auto& [neighbor, load] : per_node)
-      load = view[static_cast<std::size_t>(neighbor)];
+  const double* view = DelayedServedView();
+  for (std::size_t k = 0; k < edges_.size(); ++k) {
+    est_down_[k] = view[static_cast<std::size_t>(edges_.child[k])];
+    est_up_[k] = view[static_cast<std::size_t>(edges_.parent[k])];
+  }
 }
 
 void WebWaveSimulator::Step() {
-  // Phase 1: every server decides its transfers from the same snapshot —
-  // this models the synchronous rounds of Figure 5, where step (2.1)-(2.2)
-  // read the estimates gathered at the end of the previous period.
-  //
-  // A transfer on edge (p, c) is positive when load moves down (p -> c).
-  // The *parent* decides downward shifts using its true load and its
-  // estimate of the child, capped by the observed A_c (an exactly known
-  // local quantity: it is the rate of requests arriving from c).  The
-  // *child* decides upward shifts symmetrically, capped by its own served
-  // rate.
-  std::vector<double> delta(edges_.size(), 0.0);
-  for (std::size_t k = 0; k < edges_.size(); ++k) {
-    const Edge& e = edges_[k];
-    if (options_.asynchronous &&
-        !rng_.NextBernoulli(options_.activation_probability))
-      continue;
-    const double cp = capacity_[static_cast<std::size_t>(e.parent)];
-    const double cc = capacity_[static_cast<std::size_t>(e.child)];
-    // Diffusion equalizes utilization (load with uniform capacities).  The
-    // transfer scale min(c_p, c_c) reduces to the paper's load difference
-    // when capacities are uniform.
-    const double up = served_[static_cast<std::size_t>(e.parent)] / cp;
-    const double uc = served_[static_cast<std::size_t>(e.child)] / cc;
-    const double parent_view = Estimate(e.parent, e.child) / cc;
-    const double child_view = Estimate(e.child, e.parent) / cp;
-    const double scale = std::min(cp, cc);
-    double d = 0;
-    if (up > parent_view) {
-      // Parent believes the child is less utilized: delegate future
-      // requests to it (cap: the child can only absorb its own subtree's
-      // flow).
-      d = std::min(e.alpha * (up - parent_view) * scale,
-                   forwarded_[static_cast<std::size_t>(e.child)]);
-    } else if (uc > child_view) {
-      // Child believes the parent is less utilized: relinquish requests
-      // upward (cap: it can give up at most what it currently serves).
-      d = -std::min(e.alpha * (uc - child_view) * scale,
-                    served_[static_cast<std::size_t>(e.child)]);
-    }
-    delta[k] = d;
-  }
-
-  // Phase 2: apply transfers atomically per edge, clamping against the
-  // evolving state so that L >= 0 and A >= 0 hold exactly even when a node
-  // participates in several transfers within one round.
-  for (std::size_t k = 0; k < edges_.size(); ++k) {
-    const Edge& e = edges_[k];
-    double d = delta[k];
-    if (d == 0) continue;
-    const std::size_t p = static_cast<std::size_t>(e.parent);
-    const std::size_t c = static_cast<std::size_t>(e.child);
-    if (d > 0) {
-      d = std::min({d, forwarded_[c], served_[p]});
-      if (d <= 0) continue;
-      served_[p] -= d;
-      served_[c] += d;
-      forwarded_[c] -= d;
-    } else {
-      double up = std::min(-d, served_[c]);
-      if (up <= 0) continue;
-      served_[c] -= up;
-      served_[p] += up;
-      forwarded_[c] += up;
-    }
-  }
+  // The two-phase round of Figure 5 (see webwave_kernel.h): decide every
+  // transfer from one snapshot, then apply them edge-atomically.
+  internal::StepLane(edges_, capacity_.data(), options_, rng_,
+                     served_.data(), forwarded_.data(), est_down_.data(),
+                     est_up_.data(), delta_.data());
 
   ++steps_;
-  history_.push_back(served_);
-  const std::size_t keep =
-      static_cast<std::size_t>(options_.gossip_delay) + 1;
-  while (history_.size() > keep) history_.pop_front();
+  PushHistory();
   if (steps_ % options_.gossip_period == 0) RefreshEstimates();
 }
 
@@ -199,10 +129,16 @@ void WebWaveSimulator::UpdateSpontaneous(std::vector<double> spontaneous) {
     served_[static_cast<std::size_t>(v)] = serve;
     forwarded_[static_cast<std::size_t>(v)] = arrive - serve;
   }
-  // Estimates survive the change (gossip will refresh them); history must
-  // restart so stale pre-churn vectors are not gossiped.
-  history_.clear();
-  history_.push_back(served_);
+  // History must restart so stale pre-churn vectors are never gossiped,
+  // and the estimates are refreshed immediately: with gossip_period > 1
+  // the first post-churn steps would otherwise diffuse against pre-churn
+  // estimates, moving load on imbalances that no longer exist.
+  if (options_.gossip_delay > 0) {
+    history_head_ = 0;
+    history_filled_ = 1;
+    std::copy(served_.begin(), served_.end(), history_.begin());
+  }
+  RefreshEstimates();
 }
 
 double WebWaveSimulator::DistanceTo(const std::vector<double>& target) const {

@@ -17,52 +17,32 @@
 //
 // Invariants maintained exactly (checked by tests after every step):
 //   Σ L = Σ E (flow conservation),  L >= 0,  A >= 0 (NSS),  A_root = 0.
+//
+// Layout: the simulator is structure-of-arrays over *edges*.  The tree's
+// n − 1 edges are flattened once at construction into parallel arrays
+// (edges_.parent[k], edges_.child[k], edges_.alpha[k] — see
+// webwave_kernel.h, shared with the batched simulator) in ascending
+// child-id order, and every per-edge quantity lives in a flat array
+// indexed by the same k: est_down_[k] is the parent's gossiped estimate of the child's
+// load, est_up_[k] the child's estimate of the parent's, delta_[k] the
+// transfer decided this round.  Step() is therefore two linear sweeps over
+// k with no pointer chasing and no per-neighbor search (the old layout
+// kept a per-node vector of (neighbor, estimate) pairs and scanned it for
+// every edge).  Past served vectors for delayed gossip sit in a
+// fixed-capacity flat ring buffer of gossip_delay + 1 slots — no
+// allocation after construction; with zero delay the ring is elided and
+// gossip reads the live served vector.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "core/webwave_kernel.h"
+#include "core/webwave_options.h"
 #include "tree/routing_tree.h"
 #include "util/rng.h"
 
 namespace webwave {
-
-// How the diffusion parameter α_ij of an edge is chosen.  The paper's
-// Figure 5 notes "other values of α_i are possible"; the standard choice
-// guaranteeing Cybenko's convergence conditions (1 − Σ_j α_ij > 0) is
-// 1/(1 + max degree of the endpoints).
-enum class AlphaPolicy {
-  // α_ij = min(alpha, 1/(1 + max degree)): the requested value, capped so
-  // Cybenko's stability condition always holds.
-  kFixed,
-  // α_ij = alpha exactly, even when it violates the stability condition —
-  // used by the ablation bench to demonstrate why the condition matters.
-  kFixedUncapped,
-  // α_ij = 1 / (1 + max(deg(i), deg(j))) (the default).
-  kDegree,
-};
-
-// Where the load sits before the protocol starts.
-enum class InitialLoad {
-  kAllAtRoot,    // cold start: no caches yet, the home server serves all
-  kSelfService,  // every node serves exactly its spontaneous requests
-};
-
-struct WebWaveOptions {
-  AlphaPolicy alpha_policy = AlphaPolicy::kDegree;
-  double alpha = 0.25;        // used when alpha_policy == kFixed
-  InitialLoad initial_load = InitialLoad::kAllAtRoot;
-  int gossip_period = 1;      // steps between neighbor-estimate refreshes
-  int gossip_delay = 0;       // estimates lag the true load by this many steps
-  bool asynchronous = false;  // edges activate independently at random
-  double activation_probability = 0.5;  // per-edge, in asynchronous mode
-  // Per-node service capacities.  Empty reproduces the paper's uniform-
-  // capacity assumption.  When set, diffusion equalizes *utilizations*
-  // L_i / c_i and converges to the WebFoldWeighted assignment.
-  std::vector<double> capacities;
-  std::uint64_t seed = 1;
-};
 
 class WebWaveSimulator {
  public:
@@ -99,30 +79,34 @@ class WebWaveSimulator {
   void CheckInvariants(double tol = 1e-6) const;
 
  private:
-  struct Edge {
-    NodeId parent;
-    NodeId child;
-    double alpha;
-  };
-
-  // The load estimate node a currently holds for neighbor b.
-  double Estimate(NodeId a, NodeId b) const;
   void RefreshEstimates();
+  // The served vector as it looked gossip_delay steps ago (clamped to the
+  // oldest recorded state); the live vector when the delay is zero.
+  const double* DelayedServedView() const;
+  void PushHistory();
 
   const RoutingTree& tree_;
   std::vector<double> spontaneous_;
   std::vector<double> capacity_;   // all ones under the paper's assumption
   std::vector<double> served_;     // L
   std::vector<double> forwarded_;  // A
-  std::vector<Edge> edges_;
   WebWaveOptions options_;
   Rng rng_;
   int steps_ = 0;
 
-  // estimates_[v] holds v's view of each neighbor's load, refreshed every
-  // gossip_period steps from a history delayed by gossip_delay steps.
-  std::vector<std::vector<std::pair<NodeId, double>>> estimates_;
-  std::deque<std::vector<double>> history_;  // recent served vectors
+  // Structure-of-arrays edge layout (see file comment): slot k describes
+  // the tree edge to child edges_.child[k], in ascending child-id order.
+  internal::EdgeArrays edges_;
+  std::vector<double> est_down_;   // parent's estimate of child's load
+  std::vector<double> est_up_;     // child's estimate of parent's load
+  std::vector<double> delta_;      // per-edge transfer scratch
+
+  // Flat ring of past served vectors: slot (history_head_) is the current
+  // step, slot (history_head_ − d) the vector d steps ago.  Sized
+  // (gossip_delay + 1) · n; empty when gossip_delay == 0.
+  std::vector<double> history_;
+  std::size_t history_head_ = 0;
+  std::size_t history_filled_ = 1;
 };
 
 }  // namespace webwave

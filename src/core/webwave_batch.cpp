@@ -1,0 +1,198 @@
+#include "core/webwave_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/load_model.h"
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace webwave {
+
+BatchWebWaveSimulator::BatchWebWaveSimulator(
+    const RoutingTree& tree, std::vector<std::vector<double>> spontaneous,
+    WebWaveOptions options)
+    : tree_(tree),
+      options_(options),
+      docs_(static_cast<int>(spontaneous.size())) {
+  const int n = tree_.size();
+  WEBWAVE_REQUIRE(docs_ >= 1, "batch needs at least one document");
+  WEBWAVE_REQUIRE(options_.gossip_period >= 1, "gossip period must be >= 1");
+  WEBWAVE_REQUIRE(options_.gossip_delay >= 0, "gossip delay must be >= 0");
+  if (options_.alpha_policy == AlphaPolicy::kFixed ||
+      options_.alpha_policy == AlphaPolicy::kFixedUncapped)
+    WEBWAVE_REQUIRE(options_.alpha > 0 && options_.alpha <= 0.5,
+                    "fixed alpha must be in (0, 0.5]");
+  if (options_.capacities.empty()) {
+    capacity_.assign(static_cast<std::size_t>(n), 1.0);
+  } else {
+    WEBWAVE_REQUIRE(options_.capacities.size() == static_cast<std::size_t>(n),
+                    "capacities size mismatch");
+    for (const double c : options_.capacities)
+      WEBWAVE_REQUIRE(c > 0, "capacities must be positive");
+    capacity_ = options_.capacities;
+  }
+
+  // Shared edge structure, identical to WebWaveSimulator's by
+  // construction: both come from the same builder.
+  edges_ = internal::BuildEdgeArrays(tree_, options_);
+  delta_.assign(edges_.size(), 0.0);
+
+  // Load lanes.
+  const std::size_t lanes = static_cast<std::size_t>(docs_);
+  const std::size_t nn = static_cast<std::size_t>(n);
+  spontaneous_.assign(lanes * nn, 0.0);
+  served_.assign(lanes * nn, 0.0);
+  forwarded_.assign(lanes * nn, 0.0);
+  for (int d = 0; d < docs_; ++d) {
+    auto& spont = spontaneous[static_cast<std::size_t>(d)];
+    WEBWAVE_REQUIRE(spont.size() == nn, "spontaneous size mismatch");
+    for (const double e : spont)
+      WEBWAVE_REQUIRE(e >= 0, "spontaneous rates must be non-negative");
+    const std::size_t base = LaneBase(d);
+    std::copy(spont.begin(), spont.end(), spontaneous_.begin() + base);
+    switch (options_.initial_load) {
+      case InitialLoad::kAllAtRoot:
+        served_[base + static_cast<std::size_t>(tree_.root())] =
+            TotalRate(spont);
+        break;
+      case InitialLoad::kSelfService:
+        std::copy(spont.begin(), spont.end(), served_.begin() + base);
+        break;
+    }
+    const std::vector<double> fwd = ForwardedRates(
+        tree_, spont,
+        std::vector<double>(served_.begin() + base,
+                            served_.begin() + base + nn));
+    std::copy(fwd.begin(), fwd.end(), forwarded_.begin() + base);
+    // Release the caller's lane as soon as it is flattened: at 10⁶ nodes
+    // × 64 documents the input otherwise holds ~0.5 GB alive for the
+    // whole construction.
+    spont = std::vector<double>();
+  }
+
+  est_down_.assign(lanes * edges_.size(), 0.0);
+  est_up_.assign(lanes * edges_.size(), 0.0);
+  if (options_.gossip_delay > 0) {
+    history_.assign(
+        (static_cast<std::size_t>(options_.gossip_delay) + 1) * lanes * nn,
+        0.0);
+    std::copy(served_.begin(), served_.end(), history_.begin());
+  }
+  RefreshEstimates();
+
+  lane_rng_.reserve(lanes);
+  for (int d = 0; d < docs_; ++d)
+    lane_rng_.emplace_back(options_.seed + static_cast<std::uint64_t>(d));
+}
+
+std::size_t BatchWebWaveSimulator::LaneBase(int d) const {
+  WEBWAVE_REQUIRE(d >= 0 && d < docs_, "document lane out of range");
+  return static_cast<std::size_t>(d) * static_cast<std::size_t>(tree_.size());
+}
+
+std::vector<double> BatchWebWaveSimulator::ServedLane(int d) const {
+  const std::size_t base = LaneBase(d);
+  return std::vector<double>(
+      served_.begin() + base,
+      served_.begin() + base + static_cast<std::size_t>(tree_.size()));
+}
+
+void BatchWebWaveSimulator::RefreshEstimates() {
+  // Gossip delivers each lane's load vector as it was gossip_delay steps
+  // ago (the live lane when the delay is zero).
+  const double* view = served_.data();
+  if (options_.gossip_delay > 0) {
+    const std::size_t slots =
+        static_cast<std::size_t>(options_.gossip_delay) + 1;
+    const std::size_t lag = std::min(
+        static_cast<std::size_t>(options_.gossip_delay), history_filled_ - 1);
+    view = history_.data() +
+           ((history_head_ + slots - lag) % slots) * served_.size();
+  }
+  const std::size_t edge_count = edges_.size();
+  for (int d = 0; d < docs_; ++d) {
+    const double* lane = view + LaneBase(d);
+    double* down = est_down_.data() + static_cast<std::size_t>(d) * edge_count;
+    double* up = est_up_.data() + static_cast<std::size_t>(d) * edge_count;
+    for (std::size_t k = 0; k < edge_count; ++k) {
+      down[k] = lane[static_cast<std::size_t>(edges_.child[k])];
+      up[k] = lane[static_cast<std::size_t>(edges_.parent[k])];
+    }
+  }
+}
+
+void BatchWebWaveSimulator::Step() {
+  // Per lane, the exact two-phase round of WebWaveSimulator::Step() (the
+  // same kernel, see webwave_kernel.h): the shared edge index arrays stay
+  // hot across lanes while each lane's load slices stream through cache
+  // once.
+  const std::size_t edge_count = edges_.size();
+  for (int d = 0; d < docs_; ++d) {
+    internal::StepLane(edges_, capacity_.data(), options_,
+                       lane_rng_[static_cast<std::size_t>(d)],
+                       served_.data() + LaneBase(d),
+                       forwarded_.data() + LaneBase(d),
+                       est_down_.data() + static_cast<std::size_t>(d) * edge_count,
+                       est_up_.data() + static_cast<std::size_t>(d) * edge_count,
+                       delta_.data());
+  }
+
+  ++steps_;
+  if (options_.gossip_delay > 0) {
+    const std::size_t slots =
+        static_cast<std::size_t>(options_.gossip_delay) + 1;
+    history_head_ = (history_head_ + 1) % slots;
+    history_filled_ = std::min(history_filled_ + 1, slots);
+    std::copy(served_.begin(), served_.end(),
+              history_.begin() + history_head_ * served_.size());
+  }
+  if (steps_ % options_.gossip_period == 0) RefreshEstimates();
+}
+
+std::vector<double> BatchWebWaveSimulator::NodeLoads() const {
+  const std::size_t nn = static_cast<std::size_t>(tree_.size());
+  std::vector<double> total(nn, 0.0);
+  for (int d = 0; d < docs_; ++d) {
+    const double* lane = served_.data() + LaneBase(d);
+    for (std::size_t v = 0; v < nn; ++v) total[v] += lane[v];
+  }
+  return total;
+}
+
+double BatchWebWaveSimulator::MaxNodeLoad() const {
+  const std::vector<double> total = NodeLoads();
+  double mx = 0;
+  for (const double l : total) mx = std::max(mx, l);
+  return mx;
+}
+
+double BatchWebWaveSimulator::DistanceTo(
+    int d, const std::vector<double>& target) const {
+  return EuclideanDistance(ServedLane(d), target);
+}
+
+void BatchWebWaveSimulator::CheckInvariants(double tol) const {
+  for (int d = 0; d < docs_; ++d) {
+    const std::size_t base = LaneBase(d);
+    const std::size_t nn = static_cast<std::size_t>(tree_.size());
+    const std::vector<double> spont(spontaneous_.begin() + base,
+                                    spontaneous_.begin() + base + nn);
+    const std::vector<double> served = ServedLane(d);
+    const double total = TotalRate(spont);
+    WEBWAVE_ASSERT(std::abs(TotalRate(served) - total) <=
+                       tol * (1 + std::abs(total)),
+                   "flow conservation violated in a document lane");
+    const std::vector<double> expect = ForwardedRates(tree_, spont, served);
+    for (std::size_t v = 0; v < nn; ++v) {
+      WEBWAVE_ASSERT(served[v] >= -tol, "negative served rate in a lane");
+      WEBWAVE_ASSERT(forwarded_[base + v] >= -tol,
+                     "NSS violated (negative A) in a lane");
+      WEBWAVE_ASSERT(std::abs(forwarded_[base + v] - expect[v]) <=
+                         tol * (1 + total),
+                     "tracked A diverged from flow-conservation A");
+    }
+  }
+}
+
+}  // namespace webwave

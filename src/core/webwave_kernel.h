@@ -1,0 +1,132 @@
+// The shared per-lane diffusion kernel of WebWaveSimulator and
+// BatchWebWaveSimulator.
+//
+// Both simulators advance load with the identical two-phase round of §5
+// (decide all transfers from one snapshot, then apply them edge-atomically
+// with feasibility clamps) over the identical flattened edge layout.  The
+// batch form's guarantee — per-document lanes bit-identical to independent
+// simulators — holds *by construction* because both call the functions in
+// this header rather than keeping copies of the kernel.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/webwave_options.h"
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+
+namespace webwave {
+namespace internal {
+
+// The tree's edges flattened into parallel arrays in ascending child-id
+// order — the fixed sweep order of every step — with the per-edge
+// diffusion parameter resolved from the alpha policy.
+struct EdgeArrays {
+  std::vector<NodeId> parent;
+  std::vector<NodeId> child;
+  std::vector<double> alpha;
+
+  std::size_t size() const { return child.size(); }
+};
+
+inline EdgeArrays BuildEdgeArrays(const RoutingTree& tree,
+                                  const WebWaveOptions& options) {
+  EdgeArrays edges;
+  const std::size_t edge_count = static_cast<std::size_t>(tree.size() - 1);
+  edges.parent.reserve(edge_count);
+  edges.child.reserve(edge_count);
+  edges.alpha.reserve(edge_count);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (tree.is_root(v)) continue;
+    const NodeId p = tree.parent(v);
+    const double stable =
+        1.0 / (1.0 + std::max(tree.degree(p), tree.degree(v)));
+    double alpha = stable;
+    switch (options.alpha_policy) {
+      case AlphaPolicy::kFixed:
+        alpha = std::min(options.alpha, stable);
+        break;
+      case AlphaPolicy::kFixedUncapped:
+        alpha = options.alpha;
+        break;
+      case AlphaPolicy::kDegree:
+        break;
+    }
+    edges.parent.push_back(p);
+    edges.child.push_back(v);
+    edges.alpha.push_back(alpha);
+  }
+  return edges;
+}
+
+// One two-phase diffusion round over a single load lane.
+//
+// Phase 1 decides every edge's transfer from the same snapshot — the
+// synchronous rounds of Figure 5, where steps (2.1)-(2.2) read the
+// estimates gathered at the end of the previous period.  A transfer on
+// edge (p, c) is positive when load moves down (p -> c): the parent
+// delegates using its true load and its estimate of the child, capped by
+// the observed A_c; the child relinquishes upward symmetrically, capped
+// by its own served rate.  Diffusion equalizes utilization (load with
+// uniform capacities); the transfer scale min(c_p, c_c) reduces to the
+// paper's load difference when capacities are uniform.
+//
+// Phase 2 applies the transfers atomically per edge, clamping against the
+// evolving state so that L >= 0 and A >= 0 hold exactly even when a node
+// participates in several transfers within one round.
+//
+// `rng` is consumed (one Bernoulli per edge) only in asynchronous mode;
+// `delta` is caller-provided scratch of edges.size() entries.
+inline void StepLane(const EdgeArrays& edges, const double* capacity,
+                     const WebWaveOptions& options, Rng& rng, double* served,
+                     double* forwarded, const double* est_down,
+                     const double* est_up, double* delta) {
+  const std::size_t edge_count = edges.size();
+  for (std::size_t k = 0; k < edge_count; ++k) {
+    if (options.asynchronous &&
+        !rng.NextBernoulli(options.activation_probability)) {
+      delta[k] = 0;
+      continue;
+    }
+    const std::size_t p = static_cast<std::size_t>(edges.parent[k]);
+    const std::size_t c = static_cast<std::size_t>(edges.child[k]);
+    const double cp = capacity[p];
+    const double cc = capacity[c];
+    const double up = served[p] / cp;
+    const double uc = served[c] / cc;
+    const double parent_view = est_down[k] / cc;
+    const double child_view = est_up[k] / cp;
+    const double scale = std::min(cp, cc);
+    double d = 0;
+    if (up > parent_view) {
+      d = std::min(edges.alpha[k] * (up - parent_view) * scale, forwarded[c]);
+    } else if (uc > child_view) {
+      d = -std::min(edges.alpha[k] * (uc - child_view) * scale, served[c]);
+    }
+    delta[k] = d;
+  }
+
+  for (std::size_t k = 0; k < edge_count; ++k) {
+    double d = delta[k];
+    if (d == 0) continue;
+    const std::size_t p = static_cast<std::size_t>(edges.parent[k]);
+    const std::size_t c = static_cast<std::size_t>(edges.child[k]);
+    if (d > 0) {
+      d = std::min({d, forwarded[c], served[p]});
+      if (d <= 0) continue;
+      served[p] -= d;
+      served[c] += d;
+      forwarded[c] -= d;
+    } else {
+      const double up_amt = std::min(-d, served[c]);
+      if (up_amt <= 0) continue;
+      served[c] -= up_amt;
+      served[p] += up_amt;
+      forwarded[c] += up_amt;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace webwave

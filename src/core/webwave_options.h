@@ -1,0 +1,46 @@
+// Configuration shared by the WebWave rate-level simulators (single-tree,
+// batched catalog) and their common step kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace webwave {
+
+// How the diffusion parameter α_ij of an edge is chosen.  The paper's
+// Figure 5 notes "other values of α_i are possible"; the standard choice
+// guaranteeing Cybenko's convergence conditions (1 − Σ_j α_ij > 0) is
+// 1/(1 + max degree of the endpoints).
+enum class AlphaPolicy {
+  // α_ij = min(alpha, 1/(1 + max degree)): the requested value, capped so
+  // Cybenko's stability condition always holds.
+  kFixed,
+  // α_ij = alpha exactly, even when it violates the stability condition —
+  // used by the ablation bench to demonstrate why the condition matters.
+  kFixedUncapped,
+  // α_ij = 1 / (1 + max(deg(i), deg(j))) (the default).
+  kDegree,
+};
+
+// Where the load sits before the protocol starts.
+enum class InitialLoad {
+  kAllAtRoot,    // cold start: no caches yet, the home server serves all
+  kSelfService,  // every node serves exactly its spontaneous requests
+};
+
+struct WebWaveOptions {
+  AlphaPolicy alpha_policy = AlphaPolicy::kDegree;
+  double alpha = 0.25;        // used when alpha_policy == kFixed
+  InitialLoad initial_load = InitialLoad::kAllAtRoot;
+  int gossip_period = 1;      // steps between neighbor-estimate refreshes
+  int gossip_delay = 0;       // estimates lag the true load by this many steps
+  bool asynchronous = false;  // edges activate independently at random
+  double activation_probability = 0.5;  // per-edge, in asynchronous mode
+  // Per-node service capacities.  Empty reproduces the paper's uniform-
+  // capacity assumption.  When set, diffusion equalizes *utilizations*
+  // L_i / c_i and converges to the WebFoldWeighted assignment.
+  std::vector<double> capacities;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace webwave

@@ -1,5 +1,6 @@
 #include "doc/catalog.h"
 
+#include "core/webwave_batch.h"
 #include "util/check.h"
 
 namespace webwave {
@@ -70,6 +71,30 @@ std::vector<double> DemandMatrix::NodeTotals() const {
   std::vector<double> totals(static_cast<std::size_t>(nodes_));
   for (NodeId v = 0; v < nodes_; ++v) totals[static_cast<std::size_t>(v)] = NodeTotal(v);
   return totals;
+}
+
+std::vector<double> DemandMatrix::DocColumn(DocId d) const {
+  WEBWAVE_REQUIRE(d >= 0 && d < docs_, "doc out of range");
+  std::vector<double> column(static_cast<std::size_t>(nodes_));
+  for (NodeId v = 0; v < nodes_; ++v)
+    column[static_cast<std::size_t>(v)] =
+        rates_[static_cast<std::size_t>(v) * docs_ + d];
+  return column;
+}
+
+std::vector<std::vector<double>> DemandMatrix::DocColumns() const {
+  std::vector<std::vector<double>> columns;
+  columns.reserve(static_cast<std::size_t>(docs_));
+  for (DocId d = 0; d < docs_; ++d) columns.push_back(DocColumn(d));
+  return columns;
+}
+
+BatchWebWaveSimulator MakeCatalogBatch(const RoutingTree& tree,
+                                       const DemandMatrix& demand,
+                                       WebWaveOptions options) {
+  WEBWAVE_REQUIRE(demand.node_count() == tree.size(),
+                  "demand matrix does not match the tree");
+  return BatchWebWaveSimulator(tree, demand.DocColumns(), options);
 }
 
 DemandMatrix LeafZipfDemand(const RoutingTree& tree, int doc_count,

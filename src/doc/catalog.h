@@ -11,11 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "core/webwave_options.h"
 #include "stats/zipf.h"
 #include "tree/routing_tree.h"
 #include "util/rng.h"
 
 namespace webwave {
+
+class BatchWebWaveSimulator;
 
 using DocId = std::int32_t;
 
@@ -59,11 +62,24 @@ class DemandMatrix {
   // E vector for the rate-level algorithms (WebFold, WebWaveSimulator).
   std::vector<double> NodeTotals() const;
 
+  // Column d as a per-node spontaneous-rate vector: document d's own E
+  // vector, the lane input of BatchWebWaveSimulator.
+  std::vector<double> DocColumn(DocId d) const;
+  // All columns at once — demand[d][v] for every document lane.
+  std::vector<std::vector<double>> DocColumns() const;
+
  private:
   int nodes_;
   int docs_;
   std::vector<double> rates_;  // row-major [node][doc]
 };
+
+// Steps every document of a demand matrix as its own WebWave lane over the
+// shared tree: the batched form of running one WebWaveSimulator per
+// document (lane d is seeded options.seed + d; see webwave_batch.h).
+BatchWebWaveSimulator MakeCatalogBatch(const RoutingTree& tree,
+                                       const DemandMatrix& demand,
+                                       WebWaveOptions options = {});
 
 // Demand generators ------------------------------------------------------
 

@@ -31,6 +31,27 @@ ForestWebWave::ForestWebWave(const std::vector<RoutingTree>& trees,
         TotalRate(demands_[t]);
     forwarded_[t] = ForwardedRates(trees_[t], demands_[t], served_[t]);
   }
+
+  // Flatten every tree's edges (ascending child id, root skipped) with
+  // their diffusion parameters into one contiguous layout.
+  edge_offset_.reserve(trees_.size() + 1);
+  edge_offset_.push_back(0);
+  edge_parent_.reserve(trees_.size() * static_cast<std::size_t>(n - 1));
+  edge_child_.reserve(edge_parent_.capacity());
+  edge_alpha_.reserve(edge_parent_.capacity());
+  for (const RoutingTree& tree : trees_) {
+    for (NodeId c = 0; c < tree.size(); ++c) {
+      if (tree.is_root(c)) continue;
+      const NodeId p = tree.parent(c);
+      edge_parent_.push_back(p);
+      edge_child_.push_back(c);
+      edge_alpha_.push_back(
+          options_.alpha > 0
+              ? options_.alpha
+              : 1.0 / (1.0 + std::max(tree.degree(p), tree.degree(c))));
+    }
+    edge_offset_.push_back(edge_parent_.size());
+  }
 }
 
 std::vector<double> ForestWebWave::TotalLoads() const {
@@ -57,18 +78,13 @@ void ForestWebWave::Step() {
   std::vector<double> total = TotalLoads();
 
   for (std::size_t t = 0; t < trees_.size(); ++t) {
-    const RoutingTree& tree = trees_[t];
     auto& served = served_[t];
     auto& forwarded = forwarded_[t];
-    for (NodeId c = 0; c < tree.size(); ++c) {
-      if (tree.is_root(c)) continue;
-      const NodeId p = tree.parent(c);
-      const std::size_t pi = static_cast<std::size_t>(p);
-      const std::size_t ci = static_cast<std::size_t>(c);
-      const double alpha =
-          options_.alpha > 0
-              ? options_.alpha
-              : 1.0 / (1.0 + std::max(tree.degree(p), tree.degree(c)));
+    const std::size_t end = edge_offset_[t + 1];
+    for (std::size_t k = edge_offset_[t]; k < end; ++k) {
+      const std::size_t pi = static_cast<std::size_t>(edge_parent_[k]);
+      const std::size_t ci = static_cast<std::size_t>(edge_child_[k]);
+      const double alpha = edge_alpha_[k];
       double d = 0;
       if (options_.coordinate_across_trees) {
         if (total[pi] > total[ci]) {

@@ -63,6 +63,14 @@ class ForestWebWave {
   std::vector<std::vector<double>> forwarded_;  // [tree][node]
   ForestWebWaveOptions options_;
   int steps_ = 0;
+
+  // All trees' edges flattened into parallel arrays; tree t owns slots
+  // [edge_offset_[t], edge_offset_[t + 1]).  Precomputed once so Step()
+  // is a linear sweep with no per-edge parent/degree lookups.
+  std::vector<std::size_t> edge_offset_;
+  std::vector<NodeId> edge_parent_;
+  std::vector<NodeId> edge_child_;
+  std::vector<double> edge_alpha_;
 };
 
 }  // namespace webwave

@@ -53,6 +53,25 @@ TEST(UpdateSpontaneous, DemandIncreaseIsServedSomewhere) {
   EXPECT_LE(traj.back(), 1e-6);
 }
 
+TEST(UpdateSpontaneous, RefreshesNeighborEstimatesImmediately) {
+  // With gossip_period > 1 the next in-run refresh may be several steps
+  // away; the first post-churn step must already see post-churn estimates,
+  // or the protocol diffuses against imbalances that no longer exist.
+  const RoutingTree tree = MakeChain(2);
+  WebWaveOptions opt;
+  opt.gossip_period = 10;  // no in-run refresh fires during this test
+  WebWaveSimulator sim(tree, {0, 10}, opt);
+  sim.Step();  // alpha = 1/2 moves 5 down: served = {5, 5}, the TLB optimum
+  ASSERT_NEAR(sim.served()[0], 5.0, 1e-12);
+  ASSERT_NEAR(sim.served()[1], 5.0, 1e-12);
+  sim.UpdateSpontaneous({0, 10});  // same rates: state stays balanced
+  sim.Step();
+  // Balanced state + fresh estimates => the step must be a no-op.  Stale
+  // construction-time estimates (child load 0) would move 2.5 back down.
+  EXPECT_NEAR(sim.served()[0], 5.0, 1e-12);
+  EXPECT_NEAR(sim.served()[1], 5.0, 1e-12);
+}
+
 TEST(UpdateSpontaneous, RejectsBadRates) {
   const RoutingTree tree = MakeChain(2);
   WebWaveSimulator sim(tree, {1, 1});

@@ -6,14 +6,30 @@
 #include "core/tlb.h"
 #include "core/webfold.h"
 #include "core/webwave.h"
+#include "core/webwave_batch.h"
 #include "doc/catalog.h"
 #include "doc/doc_webwave.h"
 #include "tree/builders.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace webwave {
 namespace {
+
+// Invariant-check knobs for sanitizer runs (set by the asan-ubsan test
+// preset): WEBWAVE_STRESS_CHECK_EVERY_STEP=1 checks after every step
+// instead of sampling, WEBWAVE_STRESS_CHECK_TOL overrides the tolerance.
+bool CheckEveryStep() {
+  const char* env = std::getenv("WEBWAVE_STRESS_CHECK_EVERY_STEP");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+double InvariantTolerance(double fallback) {
+  const char* env = std::getenv("WEBWAVE_STRESS_CHECK_TOL");
+  return env != nullptr ? std::atof(env) : fallback;
+}
 
 TEST(Stress, WebFoldOnHundredThousandNodeChain) {
   const int n = 100000;
@@ -75,10 +91,30 @@ TEST(Stress, LongWebWaveRunKeepsInvariants) {
   opt.gossip_delay = 2;
   opt.seed = 99;
   WebWaveSimulator sim(tree, spont, opt);
+  const bool every_step = CheckEveryStep();
+  const double tol = InvariantTolerance(1e-5);
   for (int s = 0; s < 500; ++s) {
     sim.Step();
-    if (s % 50 == 0) {
-      ASSERT_NO_THROW(sim.CheckInvariants(1e-5));
+    if (every_step || s % 50 == 0) {
+      ASSERT_NO_THROW(sim.CheckInvariants(tol));
+    }
+  }
+}
+
+TEST(Stress, BatchCatalogRunKeepsInvariantsPerLane) {
+  Rng rng(31);
+  const RoutingTree tree = MakeRandomTree(500, rng);
+  const DemandMatrix demand = LeafZipfDemand(tree, 16, 25.0, 1.0, rng);
+  WebWaveOptions opt;
+  opt.gossip_period = 2;
+  opt.gossip_delay = 1;
+  BatchWebWaveSimulator batch = MakeCatalogBatch(tree, demand, opt);
+  const bool every_step = CheckEveryStep();
+  const double tol = InvariantTolerance(1e-5);
+  for (int s = 0; s < 200; ++s) {
+    batch.Step();
+    if (every_step || s % 25 == 0) {
+      ASSERT_NO_THROW(batch.CheckInvariants(tol));
     }
   }
 }

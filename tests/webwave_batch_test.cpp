@@ -1,0 +1,169 @@
+// BatchWebWaveSimulator must be N independent WebWaveSimulator runs,
+// document for document: same tree, same options, lane d seeded
+// options.seed + d.  The sweeps below assert exact per-lane agreement
+// under the paper's assumptions and their relaxations (gossip period,
+// gossip delay, asynchronous activation), plus invariants and the
+// catalog wiring.
+#include "core/load_model.h"
+#include "core/webfold.h"
+#include "core/webwave.h"
+#include "core/webwave_batch.h"
+#include "doc/catalog.h"
+#include "tree/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace webwave {
+namespace {
+
+struct BatchCase {
+  int nodes;
+  int docs;
+  std::uint64_t seed;
+  bool asynchronous;
+  int gossip_period;
+  int gossip_delay;
+  int steps;
+};
+
+std::ostream& operator<<(std::ostream& os, const BatchCase& c) {
+  return os << "n=" << c.nodes << " docs=" << c.docs << " seed=" << c.seed
+            << (c.asynchronous ? " async" : " sync")
+            << " gp=" << c.gossip_period << " gd=" << c.gossip_delay;
+}
+
+std::vector<std::vector<double>> RandomLanes(int nodes, int docs, Rng& rng) {
+  std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+  for (auto& lane : lanes) {
+    lane.resize(static_cast<std::size_t>(nodes));
+    for (auto& e : lane)
+      e = rng.NextBernoulli(0.25) ? 0.0 : rng.NextDouble(0, 30);
+  }
+  return lanes;
+}
+
+class BatchEquivalenceSweep : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchEquivalenceSweep, MatchesIndependentSimulatorsDocumentForDocument) {
+  const BatchCase c = GetParam();
+  Rng rng(c.seed);
+  const RoutingTree tree = MakeRandomTree(c.nodes, rng);
+  const std::vector<std::vector<double>> lanes =
+      RandomLanes(c.nodes, c.docs, rng);
+
+  WebWaveOptions opt;
+  opt.asynchronous = c.asynchronous;
+  opt.gossip_period = c.gossip_period;
+  opt.gossip_delay = c.gossip_delay;
+  opt.seed = c.seed * 101 + 7;
+
+  BatchWebWaveSimulator batch(tree, lanes, opt);
+  std::vector<WebWaveSimulator> singles;
+  for (int d = 0; d < c.docs; ++d) {
+    WebWaveOptions lane_opt = opt;
+    lane_opt.seed = opt.seed + static_cast<std::uint64_t>(d);
+    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt);
+  }
+
+  for (int s = 0; s < c.steps; ++s) {
+    batch.Step();
+    for (auto& single : singles) single.Step();
+    if (s % 16 != 0) continue;
+    for (int d = 0; d < c.docs; ++d) {
+      const double* lane = batch.served(d);
+      const std::vector<double>& expect = singles[static_cast<std::size_t>(d)].served();
+      for (int v = 0; v < c.nodes; ++v)
+        ASSERT_EQ(lane[v], expect[static_cast<std::size_t>(v)])
+            << c << " step=" << s << " doc=" << d << " node=" << v;
+    }
+  }
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchEquivalenceSweep,
+    ::testing::Values(BatchCase{2, 1, 1, false, 1, 0, 50},
+                      BatchCase{25, 4, 2, false, 1, 0, 120},
+                      BatchCase{60, 6, 3, false, 1, 0, 150},
+                      BatchCase{40, 3, 4, false, 3, 0, 120},
+                      BatchCase{40, 3, 5, false, 1, 2, 120},
+                      BatchCase{30, 5, 6, false, 4, 3, 150},
+                      BatchCase{35, 4, 7, true, 1, 0, 120},
+                      BatchCase{30, 4, 8, true, 2, 1, 150}));
+
+TEST(BatchWebWave, LanesConvergeToTheirOwnTlbAssignments) {
+  Rng rng(21);
+  const RoutingTree tree = MakeRandomTree(50, rng);
+  const std::vector<std::vector<double>> lanes = RandomLanes(50, 4, rng);
+  BatchWebWaveSimulator batch(tree, lanes);
+  for (int s = 0; s < 20000; ++s) batch.Step();
+  for (int d = 0; d < 4; ++d) {
+    const WebFoldResult target =
+        WebFold(tree, lanes[static_cast<std::size_t>(d)]);
+    const double total = TotalRate(lanes[static_cast<std::size_t>(d)]);
+    EXPECT_LE(batch.DistanceTo(d, target.load),
+              std::max(1e-6, 1e-6 * total))
+        << "doc " << d;
+  }
+  batch.CheckInvariants(1e-6);
+}
+
+TEST(BatchWebWave, NodeLoadsSumLanes) {
+  Rng rng(23);
+  const RoutingTree tree = MakeRandomTree(30, rng);
+  const std::vector<std::vector<double>> lanes = RandomLanes(30, 5, rng);
+  BatchWebWaveSimulator batch(tree, lanes);
+  for (int s = 0; s < 40; ++s) batch.Step();
+  const std::vector<double> totals = batch.NodeLoads();
+  double mx = 0;
+  for (int v = 0; v < 30; ++v) {
+    double sum = 0;
+    for (int d = 0; d < 5; ++d) sum += batch.served(d)[v];
+    EXPECT_NEAR(totals[static_cast<std::size_t>(v)], sum, 1e-12);
+    mx = std::max(mx, sum);
+  }
+  EXPECT_NEAR(batch.MaxNodeLoad(), mx, 1e-12);
+}
+
+TEST(BatchWebWave, CatalogWiringStepsEveryDocumentOfADemandMatrix) {
+  Rng rng(27);
+  const RoutingTree tree = MakeKaryTree(3, 4);
+  const DemandMatrix demand = LeafZipfDemand(tree, 8, 50.0, 1.0, rng);
+  BatchWebWaveSimulator batch = MakeCatalogBatch(tree, demand);
+  ASSERT_EQ(batch.doc_count(), 8);
+  ASSERT_EQ(batch.node_count(), tree.size());
+  for (int s = 0; s < 4000; ++s) batch.Step();
+  batch.CheckInvariants(1e-6);
+  // Conservation per lane: each document's served mass equals its demand.
+  for (DocId d = 0; d < 8; ++d) {
+    const std::vector<double> lane = batch.ServedLane(d);
+    EXPECT_NEAR(TotalRate(lane), demand.DocTotal(d), 1e-6)
+        << "doc " << d;
+  }
+  // Each lane approaches its own document's TLB assignment, so the summed
+  // node loads approach the sum of the per-document optima.
+  std::vector<double> expected(static_cast<std::size_t>(tree.size()), 0.0);
+  for (DocId d = 0; d < 8; ++d) {
+    const WebFoldResult tlb = WebFold(tree, demand.DocColumn(d));
+    for (std::size_t v = 0; v < expected.size(); ++v)
+      expected[v] += tlb.load[v];
+  }
+  const std::vector<double> totals = batch.NodeLoads();
+  for (std::size_t v = 0; v < expected.size(); ++v)
+    EXPECT_NEAR(totals[v], expected[v], 1e-3 * (1 + demand.Total()));
+}
+
+TEST(BatchWebWave, RejectsMalformedInput) {
+  const RoutingTree tree = MakeChain(3);
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {}), std::invalid_argument);
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2}}), std::invalid_argument);
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2, -1}}),
+               std::invalid_argument);
+  const DemandMatrix wrong(5, 2);
+  EXPECT_THROW(MakeCatalogBatch(tree, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webwave
