@@ -1,0 +1,32 @@
+// Helpers shared by the standalone bench executables: wall-clock deltas
+// and environment-variable knobs.  Header-only so bench/*.cpp stay
+// single-file programs (the CMake glob turns every .cpp here into its own
+// executable).
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+
+namespace webwave {
+namespace bench {
+
+inline double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Integer knob: unset or empty means `fallback`.
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' ? std::atoi(env) : fallback;
+}
+
+// Boolean knob: set, non-empty and not starting with '0' means on.
+inline bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace bench
+}  // namespace webwave

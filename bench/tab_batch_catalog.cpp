@@ -8,26 +8,29 @@
 // lane throughput.  Per-lane behaviour is bit-identical to running one
 // WebWaveSimulator per document (asserted by webwave_batch_test); only
 // the memory layout is shared.
+//
+// Emits BENCH_batch_catalog.json (one record per configuration) so CI can
+// archive the numbers per PR.  With WEBWAVE_SMOKE set (non-empty, not
+// "0") only the 10⁴-node × 8-document configuration runs — the CI smoke
+// job's per-PR perf probe.  WEBWAVE_BATCH_THREADS overrides the worker
+// count (default 0 = one per hardware thread).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/load_model.h"
 #include "core/webwave_batch.h"
 #include "tree/builders.h"
 #include "util/ascii.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
 
 namespace webwave {
 namespace {
-
-double MillisSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 std::vector<std::vector<double>> ZipfLanes(int nodes, int docs, Rng& rng) {
   // Document d's total demand follows a Zipf(1) catalog profile, spread
@@ -48,25 +51,34 @@ std::vector<std::vector<double>> ZipfLanes(int nodes, int docs, Rng& rng) {
 
 int main() {
   using namespace webwave;
+  using bench::MillisSince;
   using Clock = std::chrono::steady_clock;
+  const bool smoke = bench::EnvFlag("WEBWAVE_SMOKE");
+  const int threads = bench::EnvInt("WEBWAVE_BATCH_THREADS", 0);
   std::printf(
       "E9 — batched multi-document WebWave: one shared tree, one load lane\n"
       "per document; steps the whole catalog in a single pass per period.\n"
-      "lane-steps/s counts (node, document) pairs advanced per second.\n\n");
+      "lane-steps/s counts (node, document) pairs advanced per second.%s\n\n",
+      smoke ? "\n(WEBWAVE_SMOKE: reduced configuration)" : "");
 
   AsciiTable table({"nodes", "docs", "lanes", "setup ms", "ms/step",
                     "Mlane-steps/s", "max load after"});
-  const std::vector<std::pair<int, int>> configs = {
-      {10000, 16},   {10000, 64},   {100000, 16}, {100000, 64},
-      {1000000, 16}, {1000000, 64},
-  };
+  BenchJson json("tab_batch_catalog");
+  const std::vector<std::pair<int, int>> configs =
+      smoke ? std::vector<std::pair<int, int>>{{10000, 8}}
+            : std::vector<std::pair<int, int>>{
+                  {10000, 16},   {10000, 64},   {100000, 16}, {100000, 64},
+                  {1000000, 16}, {1000000, 64},
+              };
   for (const auto& [nodes, docs] : configs) {
     Rng rng(static_cast<std::uint64_t>(nodes) + docs);
     const RoutingTree tree = MakeRandomTree(nodes, rng);
     std::vector<std::vector<double>> lanes = ZipfLanes(nodes, docs, rng);
 
+    WebWaveOptions opt;
+    opt.threads = threads;
     const auto t_setup = Clock::now();
-    BatchWebWaveSimulator batch(tree, std::move(lanes));
+    BatchWebWaveSimulator batch(tree, std::move(lanes), opt);
     const double setup_ms = MillisSince(t_setup);
 
     const int steps = nodes >= 1000000 ? 5 : 20;
@@ -76,16 +88,29 @@ int main() {
     const double ms_per_step = run_ms / steps;
     const double lane_steps_per_sec =
         static_cast<double>(nodes) * docs * steps / (run_ms / 1000.0);
+    const double max_load = batch.MaxNodeLoad();
 
     table.AddRow({AsciiTable::Int(nodes), AsciiTable::Int(docs),
                   AsciiTable::Int(static_cast<long long>(nodes) * docs),
                   AsciiTable::Num(setup_ms, 1), AsciiTable::Num(ms_per_step, 2),
                   AsciiTable::Num(lane_steps_per_sec / 1e6, 1),
-                  AsciiTable::Num(batch.MaxNodeLoad(), 1)});
+                  AsciiTable::Num(max_load, 1)});
+    json.BeginRun();
+    json.Add("nodes", nodes);
+    json.Add("docs", docs);
+    json.Add("threads", batch.thread_count());
+    json.Add("setup_ms", setup_ms);
+    json.Add("ms_per_step", ms_per_step);
+    json.Add("lane_steps_per_sec", lane_steps_per_sec);
+    json.Add("max_node_load", max_load);
   }
   std::printf("%s\n", table.Render().c_str());
+
+  const char* out = "BENCH_batch_catalog.json";
+  std::printf("%s %s\n",
+              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
   std::printf(
-      "Reading: per-step cost scales linearly in lanes = nodes x docs; the\n"
+      "\nReading: per-step cost scales linearly in lanes = nodes x docs; the\n"
       "shared edge arrays amortize topology across the catalog, so 64 hot\n"
       "documents on a million-node tree advance one diffusion period in\n"
       "seconds of wall clock, with no directory and no global state.\n");

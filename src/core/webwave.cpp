@@ -115,20 +115,34 @@ void WebWaveSimulator::UpdateSpontaneous(std::vector<double> spontaneous) {
   for (const double e : spontaneous)
     WEBWAVE_REQUIRE(e >= 0, "spontaneous rates must be non-negative");
   spontaneous_ = std::move(spontaneous);
+  ReprojectAfterChurn();
+}
 
-  // Project the served vector onto the new feasible set: each node may
-  // serve at most what now arrives at it; the shortfall travels up and the
-  // root absorbs whatever remains unclaimed (it is the authoritative
-  // copy).  This models servers instantly noticing their streams thinned.
-  for (const NodeId v : tree_.postorder()) {
-    double arrive = spontaneous_[static_cast<std::size_t>(v)];
-    for (const NodeId c : tree_.children(v))
-      arrive += forwarded_[static_cast<std::size_t>(c)];
-    double serve = std::min(served_[static_cast<std::size_t>(v)], arrive);
-    if (tree_.is_root(v)) serve = arrive;  // Constraint 1: A_root = 0
-    served_[static_cast<std::size_t>(v)] = serve;
-    forwarded_[static_cast<std::size_t>(v)] = arrive - serve;
+void WebWaveSimulator::ApplyDemandEvents(Span<DemandEvent> events) {
+  if (events.empty()) return;
+  // Validate the whole batch before mutating anything: a throw must leave
+  // the simulator exactly as it was (the strong guarantee
+  // UpdateSpontaneous gets from validating its full vector up front).
+  for (const DemandEvent& e : events) {
+    WEBWAVE_REQUIRE(e.doc == 0,
+                    "single-document simulator: event doc must be 0");
+    WEBWAVE_REQUIRE(e.node >= 0 && e.node < tree_.size(),
+                    "demand event node out of range");
+    WEBWAVE_REQUIRE(e.rate >= 0, "spontaneous rates must be non-negative");
   }
+  for (const DemandEvent& e : events)
+    spontaneous_[static_cast<std::size_t>(e.node)] = e.rate;
+  ReprojectAfterChurn();
+}
+
+void WebWaveSimulator::ReprojectAfterChurn() {
+  // Project the served vector onto the new feasible set (ProjectLane,
+  // shared with the batch engine): each node may serve at most what now
+  // arrives at it; the shortfall travels up and the root absorbs whatever
+  // remains unclaimed (it is the authoritative copy).  This models servers
+  // instantly noticing their streams thinned.
+  internal::ProjectLane(tree_, spontaneous_.data(), served_.data(),
+                        forwarded_.data());
   // History must restart so stale pre-churn vectors are never gossiped,
   // and the estimates are refreshed immediately: with gossip_period > 1
   // the first post-churn steps would otherwise diffuse against pre-churn

@@ -41,6 +41,7 @@
 #include "core/webwave_options.h"
 #include "tree/routing_tree.h"
 #include "util/rng.h"
+#include "util/span.h"
 
 namespace webwave {
 
@@ -58,6 +59,14 @@ class WebWaveSimulator {
   // min(L_v, arriving flow) and the remainder shifts toward the root,
   // which always absorbs it.  Invariants hold immediately afterwards.
   void UpdateSpontaneous(std::vector<double> spontaneous);
+
+  // The batched form of UpdateSpontaneous: each event sets one node's
+  // spontaneous rate (doc must be 0 — this simulator runs one document);
+  // the served vector is re-projected once after the whole batch, so
+  // applying {events} equals calling UpdateSpontaneous with the merged
+  // vector.  An empty batch is a no-op (no projection, no estimate
+  // refresh).
+  void ApplyDemandEvents(Span<DemandEvent> events);
 
   int steps() const { return steps_; }
   const std::vector<double>& served() const { return served_; }
@@ -80,6 +89,9 @@ class WebWaveSimulator {
 
  private:
   void RefreshEstimates();
+  // Projection + gossip restart shared by UpdateSpontaneous and
+  // ApplyDemandEvents (see the comment in UpdateSpontaneous's body).
+  void ReprojectAfterChurn();
   // The served vector as it looked gossip_delay steps ago (clamped to the
   // oldest recorded state); the live vector when the delay is zero.
   const double* DelayedServedView() const;

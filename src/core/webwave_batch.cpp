@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "core/load_model.h"
 #include "stats/summary.h"
@@ -36,7 +37,20 @@ BatchWebWaveSimulator::BatchWebWaveSimulator(
   // Shared edge structure, identical to WebWaveSimulator's by
   // construction: both come from the same builder.
   edges_ = internal::BuildEdgeArrays(tree_, options_);
-  delta_.assign(edges_.size(), 0.0);
+
+  // The lane sweeps run on a persistent pool; per-edge scratch is
+  // per-worker so concurrent lanes never share it.  A lane is the unit of
+  // work, so more workers than documents would only idle and inflate the
+  // scratch — clamp to the catalog size.
+  const int requested =
+      options_.threads > 0
+          ? options_.threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  pool_ = std::make_unique<WorkerPool>(std::min(requested, docs_));
+  delta_.assign(static_cast<std::size_t>(pool_->thread_count()) *
+                    edges_.size(),
+                0.0);
 
   // Load lanes.
   const std::size_t lanes = static_cast<std::size_t>(docs_);
@@ -73,22 +87,29 @@ BatchWebWaveSimulator::BatchWebWaveSimulator(
 
   est_down_.assign(lanes * edges_.size(), 0.0);
   est_up_.assign(lanes * edges_.size(), 0.0);
+  lane_head_.assign(lanes, 0);
+  lane_filled_.assign(lanes, 1);
   if (options_.gossip_delay > 0) {
     history_.assign(
         (static_cast<std::size_t>(options_.gossip_delay) + 1) * lanes * nn,
         0.0);
     std::copy(served_.begin(), served_.end(), history_.begin());
   }
-  RefreshEstimates();
+  for (int d = 0; d < docs_; ++d) RefreshLaneEstimates(d);
 
   lane_rng_.reserve(lanes);
   for (int d = 0; d < docs_; ++d)
     lane_rng_.emplace_back(options_.seed + static_cast<std::uint64_t>(d));
+  churned_.assign(lanes, 0);
 }
 
 std::size_t BatchWebWaveSimulator::LaneBase(int d) const {
   WEBWAVE_REQUIRE(d >= 0 && d < docs_, "document lane out of range");
   return static_cast<std::size_t>(d) * static_cast<std::size_t>(tree_.size());
+}
+
+std::size_t BatchWebWaveSimulator::LaneEdgeBase(int d) const {
+  return static_cast<std::size_t>(d) * edges_.size();
 }
 
 std::vector<double> BatchWebWaveSimulator::ServedLane(int d) const {
@@ -98,56 +119,123 @@ std::vector<double> BatchWebWaveSimulator::ServedLane(int d) const {
       served_.begin() + base + static_cast<std::size_t>(tree_.size()));
 }
 
-void BatchWebWaveSimulator::RefreshEstimates() {
-  // Gossip delivers each lane's load vector as it was gossip_delay steps
+std::vector<double> BatchWebWaveSimulator::SpontaneousLane(int d) const {
+  const std::size_t base = LaneBase(d);
+  return std::vector<double>(
+      spontaneous_.begin() + base,
+      spontaneous_.begin() + base + static_cast<std::size_t>(tree_.size()));
+}
+
+const double* BatchWebWaveSimulator::DelayedLaneView(int d) const {
+  if (options_.gossip_delay == 0) return served_.data() + LaneBase(d);
+  const std::size_t slots = static_cast<std::size_t>(options_.gossip_delay) + 1;
+  const std::size_t head = lane_head_[static_cast<std::size_t>(d)];
+  const std::size_t lag =
+      std::min(static_cast<std::size_t>(options_.gossip_delay),
+               static_cast<std::size_t>(
+                   lane_filled_[static_cast<std::size_t>(d)]) -
+                   1);
+  return history_.data() + ((head + slots - lag) % slots) * served_.size() +
+         LaneBase(d);
+}
+
+void BatchWebWaveSimulator::RefreshLaneEstimates(int d) {
+  // Gossip delivers the lane's load vector as it was gossip_delay steps
   // ago (the live lane when the delay is zero).
-  const double* view = served_.data();
-  if (options_.gossip_delay > 0) {
-    const std::size_t slots =
-        static_cast<std::size_t>(options_.gossip_delay) + 1;
-    const std::size_t lag = std::min(
-        static_cast<std::size_t>(options_.gossip_delay), history_filled_ - 1);
-    view = history_.data() +
-           ((history_head_ + slots - lag) % slots) * served_.size();
-  }
+  const double* lane = DelayedLaneView(d);
   const std::size_t edge_count = edges_.size();
-  for (int d = 0; d < docs_; ++d) {
-    const double* lane = view + LaneBase(d);
-    double* down = est_down_.data() + static_cast<std::size_t>(d) * edge_count;
-    double* up = est_up_.data() + static_cast<std::size_t>(d) * edge_count;
-    for (std::size_t k = 0; k < edge_count; ++k) {
-      down[k] = lane[static_cast<std::size_t>(edges_.child[k])];
-      up[k] = lane[static_cast<std::size_t>(edges_.parent[k])];
-    }
+  double* down = est_down_.data() + LaneEdgeBase(d);
+  double* up = est_up_.data() + LaneEdgeBase(d);
+  for (std::size_t k = 0; k < edge_count; ++k) {
+    down[k] = lane[static_cast<std::size_t>(edges_.child[k])];
+    up[k] = lane[static_cast<std::size_t>(edges_.parent[k])];
   }
+}
+
+void BatchWebWaveSimulator::PushLaneHistory(int d) {
+  const std::size_t slots = static_cast<std::size_t>(options_.gossip_delay) + 1;
+  const std::size_t lane = static_cast<std::size_t>(d);
+  lane_head_[lane] = static_cast<std::uint32_t>(
+      (lane_head_[lane] + 1) % slots);
+  lane_filled_[lane] = static_cast<std::uint32_t>(
+      std::min<std::size_t>(lane_filled_[lane] + 1, slots));
+  const std::size_t base = LaneBase(d);
+  const std::size_t nn = static_cast<std::size_t>(tree_.size());
+  std::copy(served_.begin() + base, served_.begin() + base + nn,
+            history_.begin() + lane_head_[lane] * served_.size() + base);
 }
 
 void BatchWebWaveSimulator::Step() {
   // Per lane, the exact two-phase round of WebWaveSimulator::Step() (the
-  // same kernel, see webwave_kernel.h): the shared edge index arrays stay
-  // hot across lanes while each lane's load slices stream through cache
-  // once.
+  // same kernel, see webwave_kernel.h) followed by that lane's gossip
+  // bookkeeping.  Everything a lane touches — load slices, estimates, RNG,
+  // history ring position — is its own, so the lane sweep parallelizes
+  // with no synchronization beyond the pool barrier, and the static
+  // partition keeps results bit-identical to the serial order.
   const std::size_t edge_count = edges_.size();
-  for (int d = 0; d < docs_; ++d) {
-    internal::StepLane(edges_, capacity_.data(), options_,
-                       lane_rng_[static_cast<std::size_t>(d)],
-                       served_.data() + LaneBase(d),
-                       forwarded_.data() + LaneBase(d),
-                       est_down_.data() + static_cast<std::size_t>(d) * edge_count,
-                       est_up_.data() + static_cast<std::size_t>(d) * edge_count,
-                       delta_.data());
-  }
-
+  const bool push_history = options_.gossip_delay > 0;
+  const bool refresh = (steps_ + 1) % options_.gossip_period == 0;
+  pool_->ParallelFor(
+      static_cast<std::size_t>(docs_),
+      [&](int worker, std::size_t begin, std::size_t end) {
+        double* delta =
+            delta_.data() + static_cast<std::size_t>(worker) * edge_count;
+        for (std::size_t d = begin; d < end; ++d) {
+          const int doc = static_cast<int>(d);
+          internal::StepLane(edges_, capacity_.data(), options_,
+                             lane_rng_[d], served_.data() + LaneBase(doc),
+                             forwarded_.data() + LaneBase(doc),
+                             est_down_.data() + LaneEdgeBase(doc),
+                             est_up_.data() + LaneEdgeBase(doc), delta);
+          if (push_history) PushLaneHistory(doc);
+          if (refresh) RefreshLaneEstimates(doc);
+        }
+      });
   ++steps_;
-  if (options_.gossip_delay > 0) {
-    const std::size_t slots =
-        static_cast<std::size_t>(options_.gossip_delay) + 1;
-    history_head_ = (history_head_ + 1) % slots;
-    history_filled_ = std::min(history_filled_ + 1, slots);
-    std::copy(served_.begin(), served_.end(),
-              history_.begin() + history_head_ * served_.size());
+}
+
+void BatchWebWaveSimulator::ApplyDemandEvents(Span<DemandEvent> events) {
+  if (events.empty()) return;
+  // Validate the whole batch before mutating anything (a throw must leave
+  // every lane untouched), then do the serial rate writes; the per-lane
+  // projection below only touches lane-owned state, so it parallelizes.
+  for (const DemandEvent& e : events) {
+    WEBWAVE_REQUIRE(e.doc >= 0 && e.doc < docs_,
+                    "demand event document out of range");
+    WEBWAVE_REQUIRE(e.node >= 0 && e.node < tree_.size(),
+                    "demand event node out of range");
+    WEBWAVE_REQUIRE(e.rate >= 0, "spontaneous rates must be non-negative");
   }
-  if (steps_ % options_.gossip_period == 0) RefreshEstimates();
+  std::fill(churned_.begin(), churned_.end(), 0);
+  for (const DemandEvent& e : events) {
+    spontaneous_[LaneBase(e.doc) + static_cast<std::size_t>(e.node)] = e.rate;
+    churned_[static_cast<std::size_t>(e.doc)] = 1;
+  }
+  std::vector<int> affected;
+  for (int d = 0; d < docs_; ++d)
+    if (churned_[static_cast<std::size_t>(d)]) affected.push_back(d);
+
+  const std::size_t nn = static_cast<std::size_t>(tree_.size());
+  pool_->ParallelFor(
+      affected.size(), [&](int, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const int d = affected[i];
+          const std::size_t base = LaneBase(d);
+          // Identical to WebWaveSimulator::ReprojectAfterChurn, lane for
+          // lane: project, restart the lane's gossip history, refresh its
+          // estimates.
+          internal::ProjectLane(tree_, spontaneous_.data() + base,
+                                served_.data() + base,
+                                forwarded_.data() + base);
+          if (options_.gossip_delay > 0) {
+            lane_head_[static_cast<std::size_t>(d)] = 0;
+            lane_filled_[static_cast<std::size_t>(d)] = 1;
+            std::copy(served_.begin() + base, served_.begin() + base + nn,
+                      history_.begin() + base);
+          }
+          RefreshLaneEstimates(d);
+        }
+      });
 }
 
 std::vector<double> BatchWebWaveSimulator::NodeLoads() const {

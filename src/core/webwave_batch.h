@@ -1,5 +1,5 @@
 // Batched WebWave: a whole catalog of hot documents stepped over one
-// shared routing tree in a single pass.
+// shared routing tree in a single pass, in parallel across documents.
 //
 // A home server rarely publishes one hot document; it publishes a catalog,
 // and every document's diffusion runs over the *same* topology.  Running D
@@ -15,9 +15,22 @@
 // lane d evolves as WebWaveSimulator(tree, spontaneous[d], opt_d) would,
 // where opt_d is the shared options with seed = options.seed + d (each
 // lane owns an RNG stream, so asynchronous runs also match).  The batch
-// form exists purely for locality and shared structure — per-lane results
-// are bit-identical to the unbatched protocol, which the property tests
-// assert.
+// form exists purely for locality, shared structure and parallelism —
+// per-lane results are bit-identical to the unbatched protocol, which the
+// property tests assert.
+//
+// Threading: lanes are independent between gossip refreshes (each lane
+// owns its load, estimate, RNG and history slices), so Step and
+// ApplyDemandEvents sweep lanes on a WorkerPool with a deterministic
+// static partition.  Every per-lane byte is written by exactly one worker
+// and per-edge scratch is per-worker, so results are bit-identical to the
+// serial path at any options.threads value.
+//
+// Demand churn is first-class: ApplyDemandEvents takes a batch of
+// (doc, node, rate) events and re-projects each affected lane exactly as
+// WebWaveSimulator::ApplyDemandEvents would (same ProjectLane kernel, same
+// per-lane gossip-history restart), so rotating-hot-spot and flash-crowd
+// scenarios run at catalog scale without leaving the fast path.
 //
 // Memory: with zero gossip delay the history ring is elided, so a lane
 // costs 3n + 2(n−1) doubles — about 40 bytes per (node, document) pair;
@@ -25,12 +38,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/webwave_kernel.h"
 #include "core/webwave_options.h"
 #include "tree/routing_tree.h"
 #include "util/rng.h"
+#include "util/span.h"
+#include "util/worker_pool.h"
 
 namespace webwave {
 
@@ -46,9 +62,21 @@ class BatchWebWaveSimulator {
   // One diffusion period for every document lane.
   void Step();
 
+  // Applies a batch of demand changes: event (doc, node, rate) sets
+  // document doc's spontaneous rate at `node`, then every *affected* lane
+  // is re-projected onto its new feasible set, its gossip history is
+  // restarted and its estimates refreshed — exactly what
+  // WebWaveSimulator::ApplyDemandEvents does to a single lane, so per-lane
+  // equivalence with independent simulators survives churn.  Untouched
+  // lanes are not perturbed in any way (their delayed-gossip history keeps
+  // running).  Later events win when a batch writes one (doc, node) cell
+  // twice.
+  void ApplyDemandEvents(Span<DemandEvent> events);
+
   int steps() const { return steps_; }
   int doc_count() const { return docs_; }
   int node_count() const { return tree_.size(); }
+  int thread_count() const { return pool_->thread_count(); }
 
   // Lane d's served (L) and forwarded (A) vectors, length node_count().
   // Pointers into the document-major flat arrays; valid until the next
@@ -56,6 +84,10 @@ class BatchWebWaveSimulator {
   const double* served(int d) const { return &served_[LaneBase(d)]; }
   const double* forwarded(int d) const { return &forwarded_[LaneBase(d)]; }
   std::vector<double> ServedLane(int d) const;
+
+  // Lane d's spontaneous rates as currently in force (reflects applied
+  // demand events).
+  std::vector<double> SpontaneousLane(int d) const;
 
   // Total served rate per node, summed across documents.
   std::vector<double> NodeLoads() const;
@@ -70,7 +102,13 @@ class BatchWebWaveSimulator {
 
  private:
   std::size_t LaneBase(int d) const;
-  void RefreshEstimates();
+  std::size_t LaneEdgeBase(int d) const;
+  void RefreshLaneEstimates(int d);
+  void PushLaneHistory(int d);
+  // Lane d's served vector as gossip currently sees it: the live lane at
+  // zero delay, otherwise the history slot lagging lane_head_[d] by
+  // min(gossip_delay, lane_filled_[d] - 1) steps.
+  const double* DelayedLaneView(int d) const;
 
   const RoutingTree& tree_;
   WebWaveOptions options_;
@@ -81,7 +119,8 @@ class BatchWebWaveSimulator {
   // for all documents; stepped by the same kernel as WebWaveSimulator.
   internal::EdgeArrays edges_;
   std::vector<double> capacity_;
-  std::vector<double> delta_;  // per-edge scratch, reused by every lane
+  // Per-edge scratch, one slice of edges_.size() per pool worker.
+  std::vector<double> delta_;
 
   // Document-major load lanes: lane d occupies [d·n, (d+1)·n).
   std::vector<double> spontaneous_;
@@ -93,11 +132,18 @@ class BatchWebWaveSimulator {
 
   // Flat history ring, (gossip_delay + 1) slots of docs·n doubles each;
   // empty when gossip_delay == 0 (gossip then reads the live lanes).
+  // Lane d's slice of slot s starts at s·docs·n + d·n.  The ring position
+  // is tracked per lane: demand churn restarts one lane's history without
+  // disturbing the others (each lane's ring is independent — a lane only
+  // ever reads and writes its own slices).
   std::vector<double> history_;
-  std::size_t history_head_ = 0;
-  std::size_t history_filled_ = 1;
+  std::vector<std::uint32_t> lane_head_;
+  std::vector<std::uint32_t> lane_filled_;
 
   std::vector<Rng> lane_rng_;  // one independent stream per document
+
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<std::uint8_t> churned_;  // per-lane scratch of ApplyDemandEvents
 };
 
 }  // namespace webwave

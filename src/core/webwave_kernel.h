@@ -128,5 +128,30 @@ inline void StepLane(const EdgeArrays& edges, const double* capacity,
   }
 }
 
+// Projects a lane's served vector onto the feasible set of (possibly new)
+// spontaneous rates — the demand-churn counterpart of StepLane, shared by
+// WebWaveSimulator::UpdateSpontaneous/ApplyDemandEvents and the batch
+// simulator's per-lane churn path so the two stay equivalent by
+// construction.
+//
+// In postorder, every node may keep at most the flow that now arrives at
+// it (its own spontaneous rate plus what its children still forward); the
+// shortfall travels up and the root absorbs whatever remains unclaimed (it
+// is the authoritative copy, Constraint 1: A_root = 0).  This models
+// servers instantly noticing their request streams thinned.  On return the
+// lane satisfies flow conservation, L >= 0 and A >= 0 exactly.
+inline void ProjectLane(const RoutingTree& tree, const double* spontaneous,
+                        double* served, double* forwarded) {
+  for (const NodeId v : tree.postorder()) {
+    double arrive = spontaneous[static_cast<std::size_t>(v)];
+    for (const NodeId c : tree.children(v))
+      arrive += forwarded[static_cast<std::size_t>(c)];
+    double serve = std::min(served[static_cast<std::size_t>(v)], arrive);
+    if (tree.is_root(v)) serve = arrive;
+    served[static_cast<std::size_t>(v)] = serve;
+    forwarded[static_cast<std::size_t>(v)] = arrive - serve;
+  }
+}
+
 }  // namespace internal
 }  // namespace webwave

@@ -40,7 +40,25 @@ struct WebWaveOptions {
   // capacity assumption.  When set, diffusion equalizes *utilizations*
   // L_i / c_i and converges to the WebFoldWeighted assignment.
   std::vector<double> capacities;
+  // Worker threads for the batched simulator's per-lane sweeps (ignored by
+  // the single-document simulator).  0 picks one per hardware thread; the
+  // pool is clamped to the document count (a lane is the unit of work).
+  // Document lanes are partitioned statically and share no mutable state
+  // between gossip refreshes, so results are bit-identical at every thread
+  // count.
+  int threads = 1;
   std::uint64_t seed = 1;
+};
+
+// One demand change: document `doc`'s spontaneous request rate at `node`
+// becomes `rate` (absolute, not a delta).  Batches of events are the unit
+// of churn: ApplyDemandEvents applies a whole batch and re-projects each
+// affected lane once, exactly as UpdateSpontaneous would with the merged
+// rate vector.  The single-document simulator requires doc == 0.
+struct DemandEvent {
+  std::int32_t doc = 0;
+  std::int32_t node = 0;
+  double rate = 0;
 };
 
 }  // namespace webwave

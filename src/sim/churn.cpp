@@ -1,9 +1,11 @@
 #include "sim/churn.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/load_model.h"
 #include "core/webfold.h"
+#include "stats/zipf.h"
 #include "util/check.h"
 
 namespace webwave {
@@ -53,6 +55,247 @@ ChurnRun RunChurn(const RoutingTree& tree, std::vector<double> initial,
   }
   run.mean_relative_distance =
       distance_samples > 0 ? distance_accum / distance_samples : 0;
+  return run;
+}
+
+// ChurnSchedule ------------------------------------------------------------
+
+const char* PatternName(ChurnPattern pattern) {
+  switch (pattern) {
+    case ChurnPattern::kRotatingHotSpot: return "rotating hot spot";
+    case ChurnPattern::kFlashCrowd: return "flash crowd";
+    case ChurnPattern::kZipfReshuffle: return "zipf reshuffle";
+  }
+  return "?";
+}
+
+ChurnSchedule::ChurnSchedule(const RoutingTree& tree,
+                             ChurnScheduleOptions options)
+    : tree_(tree), options_(options), rng_(options.seed) {
+  WEBWAVE_REQUIRE(options_.doc_count >= 1, "need at least one document");
+  WEBWAVE_REQUIRE(options_.base_rate >= 0 && options_.hot_rate >= 0,
+                  "rates must be non-negative");
+  WEBWAVE_REQUIRE(
+      options_.hot_fraction >= 0 && options_.hot_fraction <= 1,
+      "hot fraction in [0,1]");
+  WEBWAVE_REQUIRE(options_.rotation_epochs >= 1,
+                  "rotation must take at least one epoch");
+  for (NodeId v = 0; v < tree_.size(); ++v)
+    if (tree_.is_leaf(v) && !tree_.is_root(v)) leaves_.push_back(v);
+  WEBWAVE_REQUIRE(!leaves_.empty(), "the tree has no non-root leaves");
+
+  const ZipfDistribution zipf(options_.doc_count, 1.0);
+  weights_.resize(static_cast<std::size_t>(options_.doc_count));
+  for (int d = 0; d < options_.doc_count; ++d)
+    weights_[static_cast<std::size_t>(d)] = zipf.pmf(d);
+
+  switch (options_.pattern) {
+    case ChurnPattern::kRotatingHotSpot:
+      break;  // pure function of the epoch: no state beyond the counter
+    case ChurnPattern::kFlashCrowd: {
+      // Dense baseline, the FlashCrowdDemand shape: every node requests
+      // every document at a jittered Zipf(1) split of base_rate.
+      baseline_.resize(static_cast<std::size_t>(options_.doc_count));
+      for (auto& lane : baseline_)
+        lane.assign(static_cast<std::size_t>(tree_.size()), 0.0);
+      for (NodeId v = 0; v < tree_.size(); ++v)
+        for (int d = 0; d < options_.doc_count; ++d)
+          baseline_[static_cast<std::size_t>(d)][static_cast<std::size_t>(v)] =
+              options_.base_rate * weights_[static_cast<std::size_t>(d)] *
+              rng_.NextDouble(0.5, 1.5);
+      break;
+    }
+    case ChurnPattern::kZipfReshuffle: {
+      perm_.resize(static_cast<std::size_t>(options_.doc_count));
+      for (int d = 0; d < options_.doc_count; ++d)
+        perm_[static_cast<std::size_t>(d)] = d;
+      break;
+    }
+  }
+}
+
+bool ChurnSchedule::LeafHotAt(int epoch, std::size_t leaf_index) const {
+  // The circular window of RotatingHotSpotDemand at
+  // phase = (epoch % rotation_epochs) / rotation_epochs.
+  const std::size_t n = leaves_.size();
+  const std::size_t window = static_cast<std::size_t>(
+      options_.hot_fraction * static_cast<double>(n) + 0.5);
+  const double phase =
+      static_cast<double>(epoch % options_.rotation_epochs) /
+      static_cast<double>(options_.rotation_epochs);
+  const std::size_t start =
+      static_cast<std::size_t>(phase * static_cast<double>(n));
+  return (leaf_index + n - start) % n < window;
+}
+
+double ChurnSchedule::RotatingLeafRate(int epoch, std::size_t leaf_index,
+                                       int doc) const {
+  const double rate =
+      LeafHotAt(epoch, leaf_index) ? options_.hot_rate : options_.base_rate;
+  return rate * weights_[static_cast<std::size_t>(doc)];
+}
+
+std::vector<std::vector<double>> ChurnSchedule::Lanes() const {
+  std::vector<std::vector<double>> lanes(
+      static_cast<std::size_t>(options_.doc_count));
+  for (auto& lane : lanes)
+    lane.assign(static_cast<std::size_t>(tree_.size()), 0.0);
+  switch (options_.pattern) {
+    case ChurnPattern::kRotatingHotSpot:
+      for (std::size_t i = 0; i < leaves_.size(); ++i)
+        for (int d = 0; d < options_.doc_count; ++d)
+          lanes[static_cast<std::size_t>(d)]
+               [static_cast<std::size_t>(leaves_[i])] =
+                   RotatingLeafRate(epoch_, i, d);
+      break;
+    case ChurnPattern::kFlashCrowd:
+      lanes = baseline_;
+      if (crowd_doc_ >= 0)
+        for (const NodeId v : tree_.subtree(crowd_epicenter_))
+          lanes[static_cast<std::size_t>(crowd_doc_)]
+               [static_cast<std::size_t>(v)] += options_.hot_rate;
+      break;
+    case ChurnPattern::kZipfReshuffle:
+      for (const NodeId leaf : leaves_)
+        for (int d = 0; d < options_.doc_count; ++d)
+          lanes[static_cast<std::size_t>(d)][static_cast<std::size_t>(leaf)] =
+              options_.base_rate *
+              weights_[static_cast<std::size_t>(
+                  perm_[static_cast<std::size_t>(d)])];
+      break;
+  }
+  return lanes;
+}
+
+std::vector<DemandEvent> ChurnSchedule::NextEvents() {
+  std::vector<DemandEvent> events;
+  switch (options_.pattern) {
+    case ChurnPattern::kRotatingHotSpot: {
+      // Sparse diff: only leaves whose hot-status flips between epochs.
+      for (std::size_t i = 0; i < leaves_.size(); ++i) {
+        if (LeafHotAt(epoch_, i) == LeafHotAt(epoch_ + 1, i)) continue;
+        for (int d = 0; d < options_.doc_count; ++d)
+          events.push_back(
+              {d, leaves_[i], RotatingLeafRate(epoch_ + 1, i, d)});
+      }
+      break;
+    }
+    case ChurnPattern::kFlashCrowd: {
+      if (crowd_doc_ < 0) {
+        // Calm -> crowd: one document, one subtree.
+        crowd_doc_ = static_cast<int>(
+            rng_.NextBelow(static_cast<std::uint64_t>(options_.doc_count)));
+        crowd_epicenter_ = static_cast<NodeId>(
+            rng_.NextBelow(static_cast<std::uint64_t>(tree_.size())));
+        for (const NodeId v : tree_.subtree(crowd_epicenter_))
+          events.push_back(
+              {crowd_doc_, v,
+               baseline_[static_cast<std::size_t>(crowd_doc_)]
+                        [static_cast<std::size_t>(v)] +
+                   options_.hot_rate});
+      } else {
+        // Crowd -> calm: restore the baseline.
+        for (const NodeId v : tree_.subtree(crowd_epicenter_))
+          events.push_back(
+              {crowd_doc_, v,
+               baseline_[static_cast<std::size_t>(crowd_doc_)]
+                        [static_cast<std::size_t>(v)]});
+        crowd_doc_ = -1;
+        crowd_epicenter_ = kNoNode;
+      }
+      break;
+    }
+    case ChurnPattern::kZipfReshuffle: {
+      const std::vector<int> before = perm_;
+      rng_.Shuffle(perm_);
+      for (int d = 0; d < options_.doc_count; ++d) {
+        const double w_before =
+            weights_[static_cast<std::size_t>(
+                before[static_cast<std::size_t>(d)])];
+        const double w_after =
+            weights_[static_cast<std::size_t>(
+                perm_[static_cast<std::size_t>(d)])];
+        if (w_before == w_after) continue;
+        for (const NodeId leaf : leaves_)
+          events.push_back({d, leaf, options_.base_rate * w_after});
+      }
+      break;
+    }
+  }
+  ++epoch_;
+  return events;
+}
+
+// RunBatchChurn ------------------------------------------------------------
+
+BatchChurnRun RunBatchChurn(const RoutingTree& tree, ChurnSchedule& schedule,
+                            const BatchChurnOptions& options) {
+  WEBWAVE_REQUIRE(options.epochs >= 1, "need at least one epoch");
+  WEBWAVE_REQUIRE(options.period >= 1, "period must be positive");
+  WEBWAVE_REQUIRE(options.tlb_lanes >= 0, "tlb_lanes must be >= 0");
+
+  std::vector<std::vector<double>> lanes = schedule.Lanes();
+  const int docs = schedule.doc_count();
+  const int tracked = std::min(options.tlb_lanes, docs);
+
+  // The tracked lanes' current rate vectors, maintained alongside the
+  // simulator so each epoch's TLB targets can be folded.
+  std::vector<std::vector<double>> rates(lanes.begin(),
+                                         lanes.begin() + tracked);
+  BatchWebWaveSimulator batch(tree, std::move(lanes), options.protocol);
+
+  BatchChurnRun run;
+  double accum = 0;
+  long samples = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    BatchChurnEpoch e;
+    if (epoch > 0) {
+      const std::vector<DemandEvent> events = schedule.NextEvents();
+      batch.ApplyDemandEvents(events);
+      e.events = events.size();
+      for (const DemandEvent& ev : events)
+        if (ev.doc < tracked)
+          rates[static_cast<std::size_t>(ev.doc)]
+               [static_cast<std::size_t>(ev.node)] = ev.rate;
+    }
+
+    std::vector<std::vector<double>> targets(
+        static_cast<std::size_t>(tracked));
+    std::vector<double> totals(static_cast<std::size_t>(tracked), 0.0);
+    for (int d = 0; d < tracked; ++d) {
+      targets[static_cast<std::size_t>(d)] =
+          WebFold(tree, rates[static_cast<std::size_t>(d)]).load;
+      totals[static_cast<std::size_t>(d)] =
+          TotalRate(rates[static_cast<std::size_t>(d)]);
+    }
+    const auto relative_distance = [&]() -> double {
+      if (tracked == 0) return 0;
+      double sum = 0;
+      for (int d = 0; d < tracked; ++d) {
+        const double total = totals[static_cast<std::size_t>(d)];
+        if (total <= 0) continue;
+        sum += batch.DistanceTo(d, targets[static_cast<std::size_t>(d)]) /
+               total;
+      }
+      return sum / tracked;
+    };
+
+    e.distance_after_shock = relative_distance();
+    for (int s = 0; s < options.period; ++s) {
+      batch.Step();
+      const double r = relative_distance();
+      e.mean_relative_distance += r;
+      accum += r;
+      ++samples;
+    }
+    e.mean_relative_distance /= options.period;
+    e.distance_at_end = relative_distance();
+    e.max_node_load_end = batch.MaxNodeLoad();
+    run.worst_end_relative_distance =
+        std::max(run.worst_end_relative_distance, e.distance_at_end);
+    run.epochs.push_back(e);
+  }
+  run.mean_relative_distance = samples > 0 ? accum / samples : 0;
   return run;
 }
 

@@ -1,0 +1,102 @@
+// Flat JSON emission for the standalone benches.
+//
+// micro_benchmarks gets JSON for free from google-benchmark, but the
+// figure/table benches are plain executables; CI wants their numbers as
+// machine-readable artifacts (BENCH_*.json) so per-PR perf regressions are
+// visible without parsing ASCII tables.  One BenchJson holds a list of
+// flat records (string/number fields, insertion order preserved); Write
+// renders {"bench": ..., "runs": [...]}.  Numbers print with enough digits
+// to round-trip a double; strings are escaped for the characters benches
+// actually produce (quotes, backslashes, control bytes).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace webwave {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Starts a new record; subsequent Add calls fill it.
+  void BeginRun() { runs_.emplace_back(); }
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    AddRaw(key, buf);
+  }
+  void Add(const std::string& key, long long value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    AddRaw(key, Quote(value));
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"bench\": " + Quote(bench_name_) +
+                      ",\n  \"runs\": [\n";
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+      out += "    {";
+      const auto& run = runs_[r];
+      for (std::size_t f = 0; f < run.size(); ++f) {
+        out += Quote(run[f].first) + ": " + run[f].second;
+        if (f + 1 < run.size()) out += ", ";
+      }
+      out += r + 1 < runs_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  // Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string doc = Render();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  using Record = std::vector<std::pair<std::string, std::string>>;
+
+  void AddRaw(const std::string& key, std::string json_value) {
+    if (runs_.empty()) runs_.emplace_back();
+    runs_.back().emplace_back(key, std::move(json_value));
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Record> runs_;
+};
+
+}  // namespace webwave

@@ -1,0 +1,52 @@
+// A minimal read-only contiguous view, the C++17 stand-in for
+// std::span<const T>.
+//
+// Batch APIs (ApplyDemandEvents, the churn schedules) hand around event
+// lists that callers keep in vectors, arrays or sub-ranges; Span lets the
+// simulators accept any of them without copying and without committing the
+// public headers to one container type.  View semantics: the caller must
+// keep the underlying storage alive for the duration of the call.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace webwave {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  // Braced literals ({{0, 3, 1.5}, ...}); the list lives until the end of
+  // the full expression, long enough for any call taking a Span argument —
+  // the only supported use.  GCC warns that the array's lifetime is not
+  // extended, which is exactly the view contract stated above, so the
+  // warning is silenced rather than the constructor removed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  constexpr Span(std::initializer_list<T> il)
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  template <std::size_t N>
+  constexpr Span(const T (&array)[N]) : data_(array), size_(N) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace webwave

@@ -1,0 +1,82 @@
+// A small reusable worker pool for data-parallel sweeps with
+// deterministic work assignment.
+//
+// The batched WebWave simulator steps millions of independent document
+// lanes per diffusion period; the sweep parallelizes trivially, but the
+// results must stay bit-identical to the serial path at any thread count
+// (the equivalence guarantees of webwave_batch.h are exact, not
+// approximate).  ParallelFor therefore uses a *static* partition: the index
+// range is split into thread_count() contiguous blocks by pure arithmetic
+// (Partition below), so which worker touches which indices never depends on
+// scheduling, and workers that write only to their own indices' state
+// produce the same bytes in any interleaving.
+//
+// The pool keeps its threads alive between calls (a batch step at 10⁶
+// nodes runs many sweeps per second; re-spawning threads each time would
+// dominate), parks them on a condition variable, and runs block 0 on the
+// calling thread so a single-threaded pool degrades to a plain loop with
+// no synchronization at all.
+//
+// The callback must not throw: workers run without a try block, so an
+// exception escaping fn would terminate the process.  Callers validate
+// inputs before entering the parallel region (see
+// BatchWebWaveSimulator::ApplyDemandEvents).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webwave {
+
+class WorkerPool {
+ public:
+  // The sweep callback: fn(worker, begin, end) processes indices
+  // [begin, end); `worker` in [0, thread_count()) identifies the block and
+  // may be used to index per-worker scratch.
+  using Task = std::function<void(int worker, std::size_t begin,
+                                  std::size_t end)>;
+
+  // threads <= 0 picks one per hardware thread.  A pool of 1 spawns no
+  // threads.
+  explicit WorkerPool(int threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  // Runs fn over the static partition of [0, count) into thread_count()
+  // blocks and returns when every block is done.  Serial when the pool has
+  // one thread or the range is empty.  Not reentrant: fn must not call
+  // ParallelFor on the same pool.
+  void ParallelFor(std::size_t count, const Task& fn);
+
+  // Block `part` of the deterministic partition of [0, count) into `parts`
+  // contiguous blocks: [count*part/parts, count*(part+1)/parts).  Block
+  // sizes differ by at most one and the union is exactly [0, count).
+  static void Partition(std::size_t count, int parts, int part,
+                        std::size_t* begin, std::size_t* end);
+
+ private:
+  void WorkerMain(int worker);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const Task* task_ = nullptr;   // valid while a sweep is in flight
+  std::size_t task_count_ = 0;   // index range of the current sweep
+  std::uint64_t generation_ = 0; // bumped once per sweep
+  int pending_ = 0;              // workers still running the current sweep
+  bool stopping_ = false;
+};
+
+}  // namespace webwave

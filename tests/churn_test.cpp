@@ -79,6 +79,206 @@ TEST(UpdateSpontaneous, RejectsBadRates) {
   EXPECT_THROW(sim.UpdateSpontaneous({1, -1}), std::invalid_argument);
 }
 
+// ApplyDemandEvents is the batched form of UpdateSpontaneous: a batch of
+// events must leave the simulator in exactly the state UpdateSpontaneous
+// reaches with the merged vector, across repeated churn rounds with steps
+// in between.
+TEST(ApplyDemandEvents, EquivalentToRepeatedUpdateSpontaneous) {
+  Rng rng(53);
+  const RoutingTree tree = MakeRandomTree(28, rng);
+  std::vector<double> rates(28);
+  for (auto& e : rates) e = rng.NextDouble(0, 20);
+
+  WebWaveOptions opt;
+  opt.gossip_period = 3;
+  opt.gossip_delay = 2;
+  WebWaveSimulator by_events(tree, rates, opt);
+  WebWaveSimulator by_vector(tree, rates, opt);
+
+  for (int round = 0; round < 12; ++round) {
+    std::vector<DemandEvent> events;
+    for (NodeId v = 0; v < tree.size(); ++v)
+      if (rng.NextBernoulli(0.4)) {
+        const double rate = rng.NextDouble(0, 20);
+        events.push_back({0, v, rate});
+        rates[static_cast<std::size_t>(v)] = rate;
+      }
+    by_events.ApplyDemandEvents(events);
+    by_vector.UpdateSpontaneous(rates);
+    for (int s = 0; s < 7; ++s) {
+      by_events.Step();
+      by_vector.Step();
+    }
+    for (std::size_t v = 0; v < rates.size(); ++v) {
+      ASSERT_EQ(by_events.served()[v], by_vector.served()[v])
+          << "round " << round << " node " << v;
+      ASSERT_EQ(by_events.forwarded()[v], by_vector.forwarded()[v])
+          << "round " << round << " node " << v;
+    }
+  }
+  ASSERT_NO_THROW(by_events.CheckInvariants());
+}
+
+TEST(ApplyDemandEvents, EmptyBatchIsANoOp) {
+  const RoutingTree tree = MakeChain(3);
+  WebWaveOptions opt;
+  opt.gossip_delay = 2;
+  WebWaveSimulator sim(tree, {1, 2, 3}, opt);
+  WebWaveSimulator untouched(tree, {1, 2, 3}, opt);
+  for (int s = 0; s < 5; ++s) {
+    sim.Step();
+    untouched.Step();
+  }
+  sim.ApplyDemandEvents({});  // must not restart history or refresh
+  for (int s = 0; s < 5; ++s) {
+    sim.Step();
+    untouched.Step();
+  }
+  for (std::size_t v = 0; v < 3; ++v)
+    EXPECT_EQ(sim.served()[v], untouched.served()[v]);
+}
+
+TEST(ApplyDemandEvents, RejectsBadEvents) {
+  const RoutingTree tree = MakeChain(3);
+  WebWaveSimulator sim(tree, {1, 1, 1});
+  EXPECT_THROW(sim.ApplyDemandEvents({{1, 0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(sim.ApplyDemandEvents({{0, 3, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(sim.ApplyDemandEvents({{0, 0, -1.0}}),
+               std::invalid_argument);
+}
+
+// ChurnSchedule ------------------------------------------------------------
+
+double TotalDemand(const std::vector<std::vector<double>>& lanes) {
+  double total = 0;
+  for (const auto& lane : lanes)
+    for (const double e : lane) total += e;
+  return total;
+}
+
+class SchedulePatternSweep : public ::testing::TestWithParam<ChurnPattern> {};
+
+// NextEvents must be exactly the sparse difference between consecutive
+// epochs' Lanes() snapshots.
+TEST_P(SchedulePatternSweep, EventsAreTheDiffBetweenEpochSnapshots) {
+  Rng rng(61);
+  const RoutingTree tree = MakeRandomTree(40, rng);
+  ChurnScheduleOptions opt;
+  opt.pattern = GetParam();
+  opt.doc_count = 5;
+  opt.base_rate = 2.0;
+  opt.hot_rate = 30.0;
+  opt.hot_fraction = 0.2;
+  opt.rotation_epochs = 6;
+  opt.seed = 7;
+  ChurnSchedule schedule(tree, opt);
+
+  std::vector<std::vector<double>> lanes = schedule.Lanes();
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const std::vector<DemandEvent> events = schedule.NextEvents();
+    for (const DemandEvent& e : events) {
+      ASSERT_GE(e.doc, 0);
+      ASSERT_LT(e.doc, opt.doc_count);
+      ASSERT_GE(e.node, 0);
+      ASSERT_LT(e.node, tree.size());
+      ASSERT_GE(e.rate, 0);
+      lanes[static_cast<std::size_t>(e.doc)]
+           [static_cast<std::size_t>(e.node)] = e.rate;
+    }
+    const std::vector<std::vector<double>> expect = schedule.Lanes();
+    for (int d = 0; d < opt.doc_count; ++d)
+      for (NodeId v = 0; v < tree.size(); ++v)
+        ASSERT_EQ(lanes[static_cast<std::size_t>(d)]
+                       [static_cast<std::size_t>(v)],
+                  expect[static_cast<std::size_t>(d)]
+                        [static_cast<std::size_t>(v)])
+            << PatternName(opt.pattern) << " epoch=" << epoch
+            << " doc=" << d << " node=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SchedulePatternSweep,
+                         ::testing::Values(ChurnPattern::kRotatingHotSpot,
+                                           ChurnPattern::kFlashCrowd,
+                                           ChurnPattern::kZipfReshuffle));
+
+// The rotating window only moves — it never grows or shrinks — so total
+// offered demand is conserved across every rotation event, and the
+// simulator's served mass tracks it exactly.
+TEST(ChurnScheduleProperty, RotationConservesTotalDemand) {
+  Rng rng(67);
+  const RoutingTree tree = MakeRandomTree(60, rng);
+  ChurnScheduleOptions opt;
+  opt.pattern = ChurnPattern::kRotatingHotSpot;
+  opt.doc_count = 4;
+  opt.base_rate = 1.0;
+  opt.hot_rate = 25.0;
+  opt.hot_fraction = 0.25;
+  opt.rotation_epochs = 8;
+  ChurnSchedule schedule(tree, opt);
+
+  const double initial_total = TotalDemand(schedule.Lanes());
+  ASSERT_GT(initial_total, 0);
+  BatchWebWaveSimulator batch(tree, schedule.Lanes());
+  for (int epoch = 0; epoch < 17; ++epoch) {  // more than two revolutions
+    const std::vector<DemandEvent> events = schedule.NextEvents();
+    EXPECT_FALSE(events.empty()) << "the window must move every epoch";
+    batch.ApplyDemandEvents(events);
+    EXPECT_NEAR(TotalDemand(schedule.Lanes()), initial_total,
+                1e-9 * initial_total)
+        << "epoch " << epoch;
+    // Served mass equals offered demand lane for lane after the shock.
+    for (int d = 0; d < opt.doc_count; ++d)
+      EXPECT_NEAR(TotalRate(batch.ServedLane(d)),
+                  TotalRate(batch.SpontaneousLane(d)),
+                  1e-9 * (1 + initial_total))
+          << "epoch " << epoch << " doc " << d;
+    for (int s = 0; s < 5; ++s) batch.Step();
+  }
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
+}
+
+// RunBatchChurn ties schedule + batch engine together: it must track the
+// moving per-lane TLB optima and improve within each epoch.
+TEST(RunBatchChurnTest, TracksMovingPerLaneTlb) {
+  Rng rng(71);
+  const RoutingTree tree = MakeRandomTree(35, rng);
+  ChurnScheduleOptions sched_opt;
+  sched_opt.pattern = ChurnPattern::kRotatingHotSpot;
+  sched_opt.doc_count = 3;
+  sched_opt.base_rate = 1.0;
+  sched_opt.hot_rate = 20.0;
+  sched_opt.hot_fraction = 0.3;
+  sched_opt.rotation_epochs = 4;
+  ChurnSchedule schedule(tree, sched_opt);
+
+  BatchChurnOptions opt;
+  opt.epochs = 6;
+  opt.period = 60;
+  opt.tlb_lanes = 3;
+  const BatchChurnRun run = RunBatchChurn(tree, schedule, opt);
+  ASSERT_EQ(run.epochs.size(), 6u);
+  EXPECT_GT(run.mean_relative_distance, 0);
+  for (std::size_t e = 0; e < run.epochs.size(); ++e) {
+    EXPECT_LE(run.epochs[e].distance_at_end,
+              run.epochs[e].distance_after_shock + 1e-9)
+        << "epoch " << e << " must not end farther than it started";
+    if (e > 0) EXPECT_GT(run.epochs[e].events, 0u);
+  }
+}
+
+TEST(RunBatchChurnTest, Validation) {
+  const RoutingTree tree = MakeChain(3);
+  ChurnScheduleOptions sched_opt;
+  sched_opt.doc_count = 2;
+  ChurnSchedule schedule(tree, sched_opt);
+  BatchChurnOptions opt;
+  opt.epochs = 0;
+  EXPECT_THROW(RunBatchChurn(tree, schedule, opt), std::invalid_argument);
+  EXPECT_THROW(ChurnSchedule(MakeChain(1), sched_opt),
+               std::invalid_argument);
+}
+
 class ChurnSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ChurnSweep, TracksMovingTlbWithinEpochBudget) {

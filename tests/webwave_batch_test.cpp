@@ -9,6 +9,7 @@
 #include "core/webwave.h"
 #include "core/webwave_batch.h"
 #include "doc/catalog.h"
+#include "sim/churn.h"
 #include "tree/builders.h"
 
 #include <gtest/gtest.h>
@@ -153,6 +154,158 @@ TEST(BatchWebWave, CatalogWiringStepsEveryDocumentOfADemandMatrix) {
   const std::vector<double> totals = batch.NodeLoads();
   for (std::size_t v = 0; v < expected.size(); ++v)
     EXPECT_NEAR(totals[v], expected[v], 1e-3 * (1 + demand.Total()));
+}
+
+// Demand events for a rotating-hot-spot shock, generated fresh for each
+// caller so thread-invariance and equivalence tests see the same churn.
+std::vector<DemandEvent> ShockEvents(const RoutingTree& tree, int docs,
+                                     std::uint64_t seed, int round) {
+  Rng rng(seed + static_cast<std::uint64_t>(round) * 977);
+  std::vector<DemandEvent> events;
+  for (NodeId v = 0; v < tree.size(); ++v)
+    for (int d = 0; d < docs; ++d)
+      if (rng.NextBernoulli(0.3))
+        events.push_back({d, v, rng.NextDouble(0, 40)});
+  return events;
+}
+
+// The tentpole guarantee: the threaded batch step is bit-identical to the
+// serial path at 1, 2 and 8 threads, including under per-lane demand
+// churn and with delayed gossip in play.
+class ThreadInvarianceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadInvarianceSweep, BatchStepsBitIdenticalToSerialUnderChurn) {
+  const int gossip_delay = GetParam();
+  const int nodes = 40, docs = 8;  // >= 8 so the pool is not clamped below
+  const std::uint64_t seed = 12;
+  Rng rng(seed);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+  const std::vector<std::vector<double>> lanes =
+      RandomLanes(nodes, docs, rng);
+
+  auto make_batch = [&](int threads) {
+    WebWaveOptions opt;
+    opt.gossip_period = 2;
+    opt.gossip_delay = gossip_delay;
+    opt.seed = seed;
+    opt.threads = threads;
+    return BatchWebWaveSimulator(tree, lanes, opt);
+  };
+
+  BatchWebWaveSimulator serial = make_batch(1);
+  BatchWebWaveSimulator two = make_batch(2);
+  BatchWebWaveSimulator eight = make_batch(8);
+  ASSERT_EQ(serial.thread_count(), 1);
+  ASSERT_EQ(two.thread_count(), 2);
+  ASSERT_EQ(eight.thread_count(), 8);
+
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<DemandEvent> events =
+        ShockEvents(tree, docs, seed, round);
+    serial.ApplyDemandEvents(events);
+    two.ApplyDemandEvents(events);
+    eight.ApplyDemandEvents(events);
+    for (int s = 0; s < 25; ++s) {
+      serial.Step();
+      two.Step();
+      eight.Step();
+    }
+    for (int d = 0; d < docs; ++d) {
+      const double* expect = serial.served(d);
+      const double* got2 = two.served(d);
+      const double* got8 = eight.served(d);
+      for (int v = 0; v < nodes; ++v) {
+        ASSERT_EQ(got2[v], expect[v])
+            << "2 threads, gd=" << gossip_delay << " round=" << round
+            << " doc=" << d << " node=" << v;
+        ASSERT_EQ(got8[v], expect[v])
+            << "8 threads, gd=" << gossip_delay << " round=" << round
+            << " doc=" << d << " node=" << v;
+      }
+    }
+  }
+  ASSERT_NO_THROW(eight.CheckInvariants(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(GossipDelays, ThreadInvarianceSweep,
+                         ::testing::Values(0, 2));
+
+// Churn equivalence: a batch receiving demand events per lane must match
+// independent WebWaveSimulators receiving the merged vectors through
+// UpdateSpontaneous — the per-lane gossip-history restart must not leak
+// into untouched lanes.
+TEST(BatchWebWave, ApplyDemandEventsMatchesIndependentSimulatorsUnderChurn) {
+  const int nodes = 30, docs = 4;
+  const std::uint64_t seed = 31;
+  Rng rng(seed);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+  std::vector<std::vector<double>> lanes = RandomLanes(nodes, docs, rng);
+
+  WebWaveOptions opt;
+  opt.gossip_period = 3;
+  opt.gossip_delay = 2;  // the history ring is live: restarts must be per-lane
+  opt.seed = seed;
+  opt.threads = 4;
+  BatchWebWaveSimulator batch(tree, lanes, opt);
+  std::vector<WebWaveSimulator> singles;
+  for (int d = 0; d < docs; ++d) {
+    WebWaveOptions lane_opt = opt;
+    lane_opt.seed = opt.seed + static_cast<std::uint64_t>(d);
+    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt);
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    // Churn only the even lanes: odd lanes' delayed-gossip history must
+    // keep running untouched.
+    std::vector<DemandEvent> events;
+    for (const DemandEvent& e : ShockEvents(tree, docs, seed, round))
+      if (e.doc % 2 == 0) events.push_back(e);
+    batch.ApplyDemandEvents(events);
+    for (const DemandEvent& e : events)
+      lanes[static_cast<std::size_t>(e.doc)][static_cast<std::size_t>(
+          e.node)] = e.rate;
+    for (int d = 0; d < docs; d += 2)
+      singles[static_cast<std::size_t>(d)].UpdateSpontaneous(
+          lanes[static_cast<std::size_t>(d)]);
+
+    for (int s = 0; s < 10; ++s) {
+      batch.Step();
+      for (auto& single : singles) single.Step();
+    }
+    for (int d = 0; d < docs; ++d) {
+      const double* lane = batch.served(d);
+      const std::vector<double>& expect =
+          singles[static_cast<std::size_t>(d)].served();
+      for (int v = 0; v < nodes; ++v)
+        ASSERT_EQ(lane[v], expect[static_cast<std::size_t>(v)])
+            << "round=" << round << " doc=" << d << " node=" << v;
+    }
+  }
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
+}
+
+TEST(BatchWebWave, ApplyDemandEventsValidatesAndKeepsSpontaneousVisible) {
+  Rng rng(41);
+  const RoutingTree tree = MakeRandomTree(12, rng);
+  BatchWebWaveSimulator batch(tree, RandomLanes(12, 3, rng));
+  EXPECT_THROW(batch.ApplyDemandEvents({{3, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(batch.ApplyDemandEvents({{-1, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(batch.ApplyDemandEvents({{0, 12, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(batch.ApplyDemandEvents({{0, 0, -1.0}}),
+               std::invalid_argument);
+  // Strong guarantee: a batch with a bad event mid-list must not apply the
+  // good events before it — a throw leaves every lane exactly as it was.
+  const std::vector<double> before = batch.SpontaneousLane(0);
+  EXPECT_THROW(batch.ApplyDemandEvents({{0, 5, 9.0}, {0, 99, 1.0}}),
+               std::invalid_argument);
+  EXPECT_EQ(batch.SpontaneousLane(0), before);
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
+  batch.ApplyDemandEvents({{1, 5, 7.25}, {1, 5, 2.5}});  // later event wins
+  EXPECT_EQ(batch.SpontaneousLane(1)[5], 2.5);
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
 }
 
 TEST(BatchWebWave, RejectsMalformedInput) {

@@ -1,0 +1,112 @@
+// WorkerPool: the deterministic static partition must tile the index
+// range exactly, every index must be visited exactly once per sweep, and
+// the pool must be reusable across many sweeps — the properties the
+// batch simulator's bit-identical-at-any-thread-count guarantee rests on.
+#include "util/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace webwave {
+namespace {
+
+TEST(WorkerPoolPartition, TilesTheRangeExactly) {
+  for (const std::size_t count : {0ul, 1ul, 2ul, 7ul, 64ul, 1000ul}) {
+    for (const int parts : {1, 2, 3, 8, 16}) {
+      std::size_t expected_begin = 0;
+      for (int p = 0; p < parts; ++p) {
+        std::size_t begin = 0, end = 0;
+        WorkerPool::Partition(count, parts, p, &begin, &end);
+        EXPECT_EQ(begin, expected_begin) << count << "/" << parts << "#" << p;
+        EXPECT_LE(begin, end);
+        // Balanced: block sizes differ by at most one.
+        EXPECT_LE(end - begin, count / static_cast<std::size_t>(parts) + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(WorkerPoolPartition, RejectsOutOfRangeBlocks) {
+  std::size_t b = 0, e = 0;
+  EXPECT_THROW(WorkerPool::Partition(10, 0, 0, &b, &e),
+               std::invalid_argument);
+  EXPECT_THROW(WorkerPool::Partition(10, 4, 4, &b, &e),
+               std::invalid_argument);
+  EXPECT_THROW(WorkerPool::Partition(10, 4, -1, &b, &e),
+               std::invalid_argument);
+}
+
+TEST(WorkerPool, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    WorkerPool pool(threads);
+    ASSERT_EQ(pool.thread_count(), threads);
+    const std::size_t count = 10007;  // prime: uneven blocks everywhere
+    std::vector<std::atomic<int>> visits(count);
+    for (auto& v : visits) v.store(0);
+    pool.ParallelFor(count, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(WorkerPool, WorkerIndicesMatchTheStaticPartition) {
+  WorkerPool pool(4);
+  const std::size_t count = 97;
+  std::vector<int> owner(count, -1);
+  pool.ParallelFor(count, [&](int worker, std::size_t begin,
+                              std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) owner[i] = worker;
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t begin = 0, end = 0;
+    WorkerPool::Partition(count, 4, owner[i], &begin, &end);
+    EXPECT_TRUE(begin <= i && i < end) << "i=" << i << " owner=" << owner[i];
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManySweepsAndEmptyRanges) {
+  WorkerPool pool(3);
+  long long total = 0;
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    std::atomic<long long> sum{0};
+    const std::size_t count = static_cast<std::size_t>(sweep % 7);  // incl. 0
+    pool.ParallelFor(count, [&](int, std::size_t begin, std::size_t end) {
+      long long local = 0;
+      for (std::size_t i = begin; i < end; ++i)
+        local += static_cast<long long>(i) + 1;
+      sum.fetch_add(local);
+    });
+    const long long n = static_cast<long long>(count);
+    ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "sweep " << sweep;
+    total += sum.load();
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(WorkerPool, MoreThreadsThanWork) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(3, [&](int, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(WorkerPool, DefaultPicksAtLeastOneThread) {
+  WorkerPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(1, [&](int, std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace webwave
