@@ -22,10 +22,25 @@ inline int EnvInt(const char* name, int fallback) {
   return env != nullptr && env[0] != '\0' ? std::atoi(env) : fallback;
 }
 
+// Wide-range knob for counts that can exceed int (request volumes).
+inline long long EnvLong(const char* name, long long fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' ? std::atoll(env) : fallback;
+}
+
 // Boolean knob: set, non-empty and not starting with '0' means on.
 inline bool EnvFlag(const char* name) {
   const char* env = std::getenv(name);
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Worker-thread knob shared by every tab_* bench: the bench-specific
+// variable wins, then the global WEBWAVE_THREADS, then `fallback` — so a
+// multi-core CI box can exercise thread scaling across all benches with
+// one setting and no code edits (bit-identity of the threaded paths makes
+// the numbers safe to compare).
+inline int EnvThreads(const char* specific, int fallback = 0) {
+  return EnvInt(specific, EnvInt("WEBWAVE_THREADS", fallback));
 }
 
 }  // namespace bench

@@ -12,8 +12,9 @@
 // Emits BENCH_batch_catalog.json (one record per configuration) so CI can
 // archive the numbers per PR.  With WEBWAVE_SMOKE set (non-empty, not
 // "0") only the 10⁴-node × 8-document configuration runs — the CI smoke
-// job's per-PR perf probe.  WEBWAVE_BATCH_THREADS overrides the worker
-// count (default 0 = one per hardware thread).
+// job's per-PR perf probe.  WEBWAVE_BATCH_THREADS (or the global
+// WEBWAVE_THREADS) overrides the worker count (default 0 = one per
+// hardware thread).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +55,7 @@ int main() {
   using bench::MillisSince;
   using Clock = std::chrono::steady_clock;
   const bool smoke = bench::EnvFlag("WEBWAVE_SMOKE");
-  const int threads = bench::EnvInt("WEBWAVE_BATCH_THREADS", 0);
+  const int threads = bench::EnvThreads("WEBWAVE_BATCH_THREADS");
   std::printf(
       "E9 — batched multi-document WebWave: one shared tree, one load lane\n"
       "per document; steps the whole catalog in a single pass per period.\n"

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "sim/churn.h"
 #include "stats/summary.h"
 #include "tree/builders.h"
@@ -51,6 +52,7 @@ int main() {
       opt.epochs = 16;
       opt.period = period;
       opt.tlb_lanes = docs;
+      opt.protocol.threads = bench::EnvThreads("WEBWAVE_CHURN_THREADS", 1);
       const BatchChurnRun run = RunBatchChurn(tree, schedule, opt);
 
       double events = 0, max_load = 0;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "core/load_model.h"
 #include "core/webfold.h"
 #include "core/webwave_batch.h"
@@ -33,7 +34,9 @@ struct RateLevelReference {
 
 RateLevelReference BatchReference(const RoutingTree& tree,
                                   const DemandMatrix& demand) {
-  BatchWebWaveSimulator batch = MakeCatalogBatch(tree, demand);
+  WebWaveOptions opt;
+  opt.threads = bench::EnvThreads("WEBWAVE_PACKET_THREADS", 1);
+  BatchWebWaveSimulator batch = MakeCatalogBatch(tree, demand, opt);
   for (int s = 0; s < 20000; ++s) batch.Step();
   RateLevelReference ref;
   ref.load = batch.NodeLoads();

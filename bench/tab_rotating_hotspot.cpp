@@ -18,7 +18,8 @@
 //   WEBWAVE_HOTSPOT_DOCS    documents (default 64)
 //   WEBWAVE_HOTSPOT_EPOCHS  rotation epochs (default 8, one revolution)
 //   WEBWAVE_HOTSPOT_STEPS   diffusion steps per epoch (default 3)
-//   WEBWAVE_HOTSPOT_THREADS worker threads (default 0 = hardware)
+//   WEBWAVE_HOTSPOT_THREADS worker threads (default: WEBWAVE_THREADS,
+//                           then 0 = one per hardware thread)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +44,7 @@ int main() {
   const int docs = EnvInt("WEBWAVE_HOTSPOT_DOCS", 64);
   const int epochs = EnvInt("WEBWAVE_HOTSPOT_EPOCHS", 8);
   const int steps_per_epoch = EnvInt("WEBWAVE_HOTSPOT_STEPS", 3);
-  const int threads = EnvInt("WEBWAVE_HOTSPOT_THREADS", 0);
+  const int threads = bench::EnvThreads("WEBWAVE_HOTSPOT_THREADS");
 
   std::printf(
       "E13 — rotating hot spot at catalog scale: %d nodes x %d documents,\n"

@@ -1,0 +1,88 @@
+// The closed serving loop in one page: generate requests, serve them from
+// the diffused copies, fold the measured arrivals back into the diffusion
+// engine, re-balance, repeat — while the hot spot rotates.  The engine
+// never sees the generator's true rates; it learns demand purely from
+// what the data plane measured.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/webwave_batch.h"
+#include "serve/closed_loop.h"
+#include "serve/placement_policy.h"
+#include "serve/quota_snapshot.h"
+#include "serve/request_gen.h"
+#include "serve/serving_plane.h"
+#include "tree/builders.h"
+#include "util/ascii.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace webwave;
+  const int nodes = 2000, docs = 8, epochs = 4, rotation = 4;
+  const std::size_t window = 80000;
+
+  std::printf(
+      "Closed serving loop on a %d-node tree, %d documents: each epoch the\n"
+      "hot spot moves a quarter turn; the engine re-balances only from\n"
+      "folded arrival counts (generate -> serve -> fold -> re-diffuse).\n\n",
+      nodes, docs);
+
+  Rng rng(7);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+
+  // The diffusion engine starts with a flat, ignorant demand guess.
+  std::vector<std::vector<double>> guess(docs);
+  for (auto& lane : guess) lane.assign(tree.size(), 1e-3);
+  BatchWebWaveSimulator sim(tree, std::move(guess), {});
+  ArrivalFold fold(tree.size(), docs);
+
+  AsciiTable table({"epoch", "phase", "webwave max", "home max",
+                    "improvement", "hit %"});
+  std::vector<Request> buf;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    RequestGenerator gen(
+        tree, docs,
+        {RotatingHotSpotComponent(tree, docs, 1.0, 40.0, 0.1, epoch,
+                                  rotation)},
+        11 + epoch);
+    gen.NextBatch(window, &buf);
+    const std::size_t half = window / 2;
+    ServingOptions opt;
+    opt.offered_rate = gen.total_rate();
+
+    // Serve the first half from the (stale) diffused copies and fold what
+    // actually arrived back into the control plane.
+    ServingPlane stale(tree, QuotaSnapshot::FromBatch(sim, 1e-12), opt);
+    stale.Serve(Span<Request>(buf.data(), half));
+    fold.Count(Span<Request>(buf.data(), half));
+    sim.ApplyDemandEvents(fold.Drain(half / gen.total_rate()));
+    for (int s = 0; s < 60; ++s) sim.Step();
+
+    // The second half is served from the re-balanced placement; home-only
+    // faces the same stream as the baseline to beat.
+    ServingPlane fresh(tree, QuotaSnapshot::FromBatch(sim, 1e-12), opt);
+    fresh.Serve(Span<Request>(buf.data() + half, window - half));
+    ServingPlane home(tree, HomeOnlyPolicy().Place(tree, gen.ExpectedLanes()),
+                      opt);
+    home.Serve(Span<Request>(buf.data() + half, window - half));
+
+    const auto ww = fresh.metrics().MaxServed();
+    const auto ho = home.metrics().MaxServed();
+    table.AddRow({std::to_string(epoch),
+                  AsciiTable::Num(static_cast<double>(epoch % rotation) /
+                                      rotation, 2),
+                  AsciiTable::Int(static_cast<long long>(ww)),
+                  AsciiTable::Int(static_cast<long long>(ho)),
+                  AsciiTable::Num(static_cast<double>(ho) /
+                                      std::max<std::uint64_t>(1, ww), 1) + "x",
+                  AsciiTable::Num(100 * fresh.metrics().HitRatio(), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "The home server's worst-case load drops by the improvement factor\n"
+      "every epoch, even though the hot region keeps moving: measured\n"
+      "demand -> DemandEvents -> diffusion -> fresh quota snapshot.\n");
+  return 0;
+}

@@ -248,6 +248,30 @@ std::vector<double> BatchWebWaveSimulator::NodeLoads() const {
   return total;
 }
 
+void BatchWebWaveSimulator::ExportQuotas(
+    double min_rate,
+    const std::function<void(NodeId, std::int32_t, double, double)>& sink)
+    const {
+  WEBWAVE_REQUIRE(min_rate >= 0, "min_rate must be non-negative");
+  const std::size_t nn = static_cast<std::size_t>(tree_.size());
+  // Hoist the lane base pointers: the sweep is node-major over
+  // document-major storage (the CSR consumer's order), so the inner loop
+  // strides by a lane — at least keep it free of per-cell bounds checks.
+  std::vector<const double*> served(static_cast<std::size_t>(docs_));
+  std::vector<const double*> forwarded(static_cast<std::size_t>(docs_));
+  for (int d = 0; d < docs_; ++d) {
+    served[static_cast<std::size_t>(d)] = served_.data() + LaneBase(d);
+    forwarded[static_cast<std::size_t>(d)] = forwarded_.data() + LaneBase(d);
+  }
+  for (std::size_t v = 0; v < nn; ++v)
+    for (int d = 0; d < docs_; ++d) {
+      const double rate = served[static_cast<std::size_t>(d)][v];
+      if (rate > min_rate)
+        sink(static_cast<NodeId>(v), static_cast<std::int32_t>(d), rate,
+             forwarded[static_cast<std::size_t>(d)][v]);
+    }
+}
+
 double BatchWebWaveSimulator::MaxNodeLoad() const {
   const std::vector<double> total = NodeLoads();
   double mx = 0;

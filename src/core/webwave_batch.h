@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -92,6 +93,20 @@ class BatchWebWaveSimulator {
   // Total served rate per node, summed across documents.
   std::vector<double> NodeLoads() const;
   double MaxNodeLoad() const;
+
+  // Quota-export hook for the serving data plane: visits every (node,
+  // document) cell whose current served rate exceeds min_rate, nodes
+  // ascending and documents ascending within a node — the order a CSR
+  // quota snapshot wants — without materializing the node-major matrix.
+  // The served rates *are* the per-copy service quotas the protocol has
+  // diffused to (§7: "WebWave implicitly determines ... the number of
+  // requests allocated to each copy"); the forwarded rate alongside lets
+  // the consumer derive the copy's share of its passing flow,
+  // served / (served + forwarded).
+  void ExportQuotas(
+      double min_rate,
+      const std::function<void(NodeId, std::int32_t, double served,
+                               double forwarded)>& sink) const;
 
   // Euclidean distance of lane d's served vector to a target assignment.
   double DistanceTo(int d, const std::vector<double>& target) const;

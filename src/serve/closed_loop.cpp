@@ -1,0 +1,50 @@
+#include "serve/closed_loop.h"
+
+#include "util/check.h"
+
+namespace webwave {
+
+ArrivalFold::ArrivalFold(int node_count, int doc_count)
+    : nodes_(node_count), docs_(doc_count) {
+  WEBWAVE_REQUIRE(node_count >= 1 && doc_count >= 1,
+                  "fold needs nodes and documents");
+  counts_.assign(
+      static_cast<std::size_t>(node_count) * static_cast<std::size_t>(doc_count),
+      0);
+  applied_.assign(counts_.size(), 0.0);
+}
+
+void ArrivalFold::Count(Span<Request> batch) {
+  const std::size_t dd = static_cast<std::size_t>(docs_);
+  for (const Request& r : batch) {
+    WEBWAVE_REQUIRE(r.node >= 0 && r.node < nodes_,
+                    "request origin out of range");
+    WEBWAVE_REQUIRE(r.doc >= 0 && r.doc < docs_,
+                    "request document out of range");
+    ++counts_[static_cast<std::size_t>(r.node) * dd +
+              static_cast<std::size_t>(r.doc)];
+  }
+  counted_ += batch.size();
+}
+
+std::vector<DemandEvent> ArrivalFold::Drain(double window_seconds) {
+  WEBWAVE_REQUIRE(window_seconds > 0, "window must be positive");
+  const std::size_t dd = static_cast<std::size_t>(docs_);
+  std::vector<DemandEvent> events;
+  for (std::size_t v = 0; v < static_cast<std::size_t>(nodes_); ++v)
+    for (std::size_t d = 0; d < dd; ++d) {
+      const std::size_t cell = v * dd + d;
+      const double rate =
+          static_cast<double>(counts_[cell]) / window_seconds;
+      if (rate != applied_[cell]) {
+        events.push_back({static_cast<std::int32_t>(d),
+                          static_cast<NodeId>(v), rate});
+        applied_[cell] = rate;
+      }
+      counts_[cell] = 0;
+    }
+  counted_ = 0;
+  return events;
+}
+
+}  // namespace webwave

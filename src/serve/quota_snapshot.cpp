@@ -1,0 +1,158 @@
+#include "serve/quota_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/webwave_batch.h"
+#include "util/check.h"
+
+namespace webwave {
+
+QuotaSnapshot::Builder::Builder(int node_count, int doc_count)
+    : nodes_(node_count), docs_(doc_count) {
+  WEBWAVE_REQUIRE(node_count >= 1 && doc_count >= 1,
+                  "snapshot needs nodes and documents");
+  row_end_.assign(static_cast<std::size_t>(node_count), 0);
+}
+
+void QuotaSnapshot::Builder::Add(NodeId node, std::int32_t doc, double rate,
+                                 double fraction) {
+  WEBWAVE_REQUIRE(node >= 0 && node < nodes_, "cell node out of range");
+  WEBWAVE_REQUIRE(doc >= 0 && doc < docs_, "cell document out of range");
+  WEBWAVE_REQUIRE(rate > 0, "quota cells must carry positive rate");
+  WEBWAVE_REQUIRE(fraction > 0 && fraction <= 1 + 1e-9,
+                  "serve fraction must lie in (0, 1]");
+  WEBWAVE_REQUIRE(
+      node > last_node_ || (node == last_node_ && doc > last_doc_),
+      "cells must arrive nodes ascending, documents ascending within a node");
+  last_node_ = node;
+  last_doc_ = doc;
+  row_end_[static_cast<std::size_t>(node)] =
+      static_cast<std::int64_t>(doc_.size()) + 1;
+  doc_.push_back(doc);
+  rate_.push_back(rate);
+  frac_.push_back(std::min(fraction, 1.0));
+  total_ += rate;
+}
+
+QuotaSnapshot QuotaSnapshot::Builder::Build() && {
+  QuotaSnapshot s;
+  s.nodes_ = nodes_;
+  s.docs_ = docs_;
+  s.total_ = total_;
+  s.doc_ = std::move(doc_);
+  s.rate_ = std::move(rate_);
+  s.frac_ = std::move(frac_);
+  s.row_off_.assign(static_cast<std::size_t>(nodes_) + 1, 0);
+  // row_end_ holds, for each node with cells, one past its last cell; rows
+  // were filled in ascending node order, so a running maximum turns the
+  // sparse ends into CSR offsets.
+  std::int64_t off = 0;
+  for (int v = 0; v < nodes_; ++v) {
+    off = std::max(off, row_end_[static_cast<std::size_t>(v)]);
+    s.row_off_[static_cast<std::size_t>(v) + 1] = off;
+  }
+  return s;
+}
+
+QuotaSnapshot QuotaSnapshot::FromPlacement(const PlacementResult& placement,
+                                           double min_rate) {
+  const int nodes = static_cast<int>(placement.quota.size());
+  WEBWAVE_REQUIRE(nodes >= 1, "placement covers no nodes");
+  const int docs = static_cast<int>(placement.quota.front().size());
+  Builder b(nodes, docs);
+  for (NodeId v = 0; v < nodes; ++v) {
+    const std::vector<double>& row =
+        placement.quota[static_cast<std::size_t>(v)];
+    for (std::int32_t d = 0; d < docs; ++d)
+      if (row[static_cast<std::size_t>(d)] > min_rate)
+        b.Add(v, d, row[static_cast<std::size_t>(d)]);
+  }
+  return std::move(b).Build();
+}
+
+QuotaSnapshot QuotaSnapshot::FromPlacement(const RoutingTree& tree,
+                                           const PlacementResult& placement,
+                                           const DemandMatrix& demand,
+                                           double min_rate) {
+  const int nodes = tree.size();
+  WEBWAVE_REQUIRE(
+      placement.quota.size() == static_cast<std::size_t>(nodes) &&
+          demand.node_count() == nodes,
+      "placement/demand do not match the tree");
+  const int docs = demand.doc_count();
+  // Recompute the per-document flows the placement decomposed, bottom-up:
+  // arrive = own demand + what the children forwarded after serving their
+  // quotas; a copy's serve fraction is quota / arrive.
+  const std::size_t dd = static_cast<std::size_t>(docs);
+  std::vector<double> flow(static_cast<std::size_t>(nodes) * dd, 0.0);
+  std::vector<std::vector<double>> fraction(
+      static_cast<std::size_t>(nodes), std::vector<double>(dd, 1.0));
+  for (const NodeId v : tree.postorder()) {
+    double* row = flow.data() + static_cast<std::size_t>(v) * dd;
+    for (std::size_t d = 0; d < dd; ++d)
+      row[d] = demand.at(v, static_cast<DocId>(d));
+    for (const NodeId c : tree.children(v)) {
+      const double* crow = flow.data() + static_cast<std::size_t>(c) * dd;
+      for (std::size_t d = 0; d < dd; ++d) row[d] += crow[d];
+    }
+    const std::vector<double>& quota =
+        placement.quota[static_cast<std::size_t>(v)];
+    for (std::size_t d = 0; d < dd; ++d) {
+      const double q = quota[d];
+      if (q > 0 && row[d] > 0)
+        fraction[static_cast<std::size_t>(v)][d] = std::min(1.0, q / row[d]);
+      row[d] = std::max(0.0, row[d] - q);
+    }
+  }
+  Builder b(nodes, docs);
+  for (NodeId v = 0; v < nodes; ++v) {
+    const std::vector<double>& row =
+        placement.quota[static_cast<std::size_t>(v)];
+    for (std::int32_t d = 0; d < docs; ++d)
+      if (row[static_cast<std::size_t>(d)] > min_rate)
+        b.Add(v, d, row[static_cast<std::size_t>(d)],
+              fraction[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)]);
+  }
+  return std::move(b).Build();
+}
+
+QuotaSnapshot QuotaSnapshot::FromBatch(const BatchWebWaveSimulator& batch,
+                                       double min_rate) {
+  Builder b(batch.node_count(), batch.doc_count());
+  batch.ExportQuotas(
+      min_rate, [&b](NodeId v, std::int32_t d, double served,
+                     double forwarded) {
+        const double arriving = served + std::max(0.0, forwarded);
+        b.Add(v, d, served,
+              arriving > 0 ? std::min(1.0, served / arriving) : 1.0);
+      });
+  return std::move(b).Build();
+}
+
+std::int64_t QuotaSnapshot::CellOf(NodeId v, std::int32_t d) const {
+  WEBWAVE_REQUIRE(v >= 0 && v < nodes_, "node out of range");
+  const std::int32_t* lo = doc_.data() + row_begin(v);
+  const std::int32_t* hi = doc_.data() + row_end(v);
+  const std::int32_t* it = std::lower_bound(lo, hi, d);
+  if (it == hi || *it != d) return -1;
+  return it - doc_.data();
+}
+
+double QuotaSnapshot::RateAt(NodeId v, std::int32_t d) const {
+  const std::int64_t cell = CellOf(v, d);
+  return cell >= 0 ? rate_[static_cast<std::size_t>(cell)] : 0.0;
+}
+
+double QuotaSnapshot::FractionAt(NodeId v, std::int32_t d) const {
+  const std::int64_t cell = CellOf(v, d);
+  return cell >= 0 ? frac_[static_cast<std::size_t>(cell)] : 0.0;
+}
+
+std::vector<std::int64_t> QuotaSnapshot::CopiesPerDoc() const {
+  std::vector<std::int64_t> copies(static_cast<std::size_t>(docs_), 0);
+  for (const std::int32_t d : doc_) ++copies[static_cast<std::size_t>(d)];
+  return copies;
+}
+
+}  // namespace webwave

@@ -1,0 +1,231 @@
+#include "serve/serving_plane.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace webwave {
+
+double ServingMetrics::HitRatio() const {
+  return requests > 0
+             ? static_cast<double>(cache_served) / static_cast<double>(requests)
+             : 0.0;
+}
+
+double ServingMetrics::MeanHops() const {
+  return requests > 0
+             ? static_cast<double>(hop_sum) / static_cast<double>(requests)
+             : 0.0;
+}
+
+std::uint64_t ServingMetrics::MaxServed() const {
+  std::uint64_t mx = 0;
+  for (const std::uint64_t s : served_per_node) mx = std::max(mx, s);
+  return mx;
+}
+
+std::vector<double> ServingMetrics::Loads() const {
+  return std::vector<double>(served_per_node.begin(), served_per_node.end());
+}
+
+bool ServingMetrics::operator==(const ServingMetrics& other) const {
+  return requests == other.requests && cache_served == other.cache_served &&
+         home_served == other.home_served && hop_sum == other.hop_sum &&
+         served_per_node == other.served_per_node && hops == other.hops;
+}
+
+ServingPlane::ServingPlane(const RoutingTree& tree, QuotaSnapshot snapshot,
+                           ServingOptions options)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      root_(tree.root()),
+      parents_(tree.parents()) {
+  WEBWAVE_REQUIRE(snapshot_.node_count() == tree.size(),
+                  "snapshot does not match the tree");
+  WEBWAVE_REQUIRE(options_.block_size >= 1, "block size must be positive");
+  WEBWAVE_REQUIRE(options_.offered_rate >= 0,
+                  "offered rate must be non-negative");
+  WEBWAVE_REQUIRE(options_.budget_slack > 0, "budget slack must be positive");
+  const double scale_rate = options_.offered_rate > 0
+                                ? options_.offered_rate
+                                : snapshot_.total_rate();
+  WEBWAVE_REQUIRE(scale_rate > 0, "cannot scale budgets to a zero rate");
+
+  // Split the cells by admission regime: coarse cells (≥ 1 token per
+  // block) get compact token-array slots, the rest carry only their
+  // thinning probability.
+  const std::size_t cells = static_cast<std::size_t>(snapshot_.cell_count());
+  serve_prob_.resize(cells);
+  token_index_.assign(cells, kNoToken);
+  const double per_block = options_.budget_slack *
+                           static_cast<double>(options_.block_size) /
+                           scale_rate;
+  for (std::size_t c = 0; c < cells; ++c) {
+    const double r = snapshot_.cell_rates()[c] * per_block;
+    if (r >= 1.0) {
+      token_index_[c] = static_cast<std::int32_t>(tokens_per_block_.size());
+      tokens_per_block_.push_back(r);
+    }
+    serve_prob_[c] =
+        std::min(1.0, options_.budget_slack * snapshot_.cell_fractions()[c]);
+  }
+
+  const int requested =
+      options_.threads > 0
+          ? options_.threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  pool_ = std::make_unique<WorkerPool>(requested);
+
+  const std::size_t nn = static_cast<std::size_t>(tree.size());
+  const std::size_t hop_bins = static_cast<std::size_t>(tree.height()) + 1;
+  metrics_.served_per_node.assign(nn, 0);
+  metrics_.hops.assign(hop_bins, 0);
+  workers_.resize(static_cast<std::size_t>(pool_->thread_count()));
+  for (WorkerState& ws : workers_) {
+    ws.stamp.assign(tokens_per_block_.size(), 0);
+    ws.avail.assign(tokens_per_block_.size(), 0);
+    ws.local.served_per_node.assign(nn, 0);
+    ws.local.hops.assign(hop_bins, 0);
+  }
+}
+
+void ServingPlane::ResetMetrics() {
+  metrics_.requests = 0;
+  metrics_.cache_served = 0;
+  metrics_.home_served = 0;
+  metrics_.hop_sum = 0;
+  std::fill(metrics_.served_per_node.begin(), metrics_.served_per_node.end(),
+            0);
+  std::fill(metrics_.hops.begin(), metrics_.hops.end(), 0);
+}
+
+void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
+                                const Request* reqs, std::size_t count) {
+  const std::int32_t* cell_docs = snapshot_.cell_docs();
+  const NodeId* parents = parents_.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    // The stream-global request index: blocks are numbered for the
+    // plane's lifetime, so this is unique and batching-invariant — the
+    // thinning draws below depend only on (request, cell).
+    const std::uint64_t req_id =
+        (block_id - 1) * static_cast<std::uint64_t>(options_.block_size) + i;
+    NodeId v = reqs[i].node;
+    const std::int32_t d = reqs[i].doc;
+    std::uint64_t hops = 0;
+    for (;;) {
+      // First copy on the upward path that admits the request; rows are
+      // doc-ascending, so long rows (leaves often hold most of the
+      // catalog) take a binary search, short ones a scan.
+      const std::int64_t begin = snapshot_.row_begin(v);
+      const std::int64_t end = snapshot_.row_end(v);
+      std::int64_t cell = -1;
+      if (end - begin > 12) {
+        const std::int32_t* it =
+            std::lower_bound(cell_docs + begin, cell_docs + end, d);
+        if (it != cell_docs + end && *it == d) cell = it - cell_docs;
+      } else {
+        for (std::int64_t c = begin; c < end && cell_docs[c] <= d; ++c)
+          if (cell_docs[c] == d) {
+            cell = c;
+            break;
+          }
+      }
+      if (cell >= 0) {
+        const std::int32_t tok = token_index_[static_cast<std::size_t>(cell)];
+        if (tok >= 0) {
+          // Token bucket: this block's grant is floor(r·(k+1)+u) −
+          // floor(r·k+u), a pure function of (cell, block index) —
+          // thread-invariant; the per-cell dither phase u keeps the
+          // quantization unbiased.
+          if (ws.stamp[static_cast<std::size_t>(tok)] != block_id) {
+            const double r = tokens_per_block_[static_cast<std::size_t>(tok)];
+            const double k = static_cast<double>(block_id - 1);
+            const double u =
+                CounterUnitDouble(static_cast<std::uint64_t>(cell));
+            ws.stamp[static_cast<std::size_t>(tok)] = block_id;
+            ws.avail[static_cast<std::size_t>(tok)] =
+                static_cast<std::int32_t>(std::floor(r * (k + 1) + u) -
+                                          std::floor(r * k + u));
+          }
+          if (ws.avail[static_cast<std::size_t>(tok)] > 0) {
+            --ws.avail[static_cast<std::size_t>(tok)];
+            break;
+          }
+        } else {
+          // Poisson thinning: serve with the copy's flow share.  The
+          // draw is a pure function of (request index, cell), so it is
+          // identical under any threading or batching; copies that own
+          // their whole passing flow (fraction 1 — every self-serving
+          // leaf) skip the draw.
+          const double p = serve_prob_[static_cast<std::size_t>(cell)];
+          if (p >= 1.0) break;
+          const double u = CounterUnitDouble(
+              req_id + 0x9e3779b97f4a7c15ULL *
+                           (static_cast<std::uint64_t>(cell) + 1));
+          if (u < p) break;
+        }
+      }
+      if (v == root_) break;  // the home serves whatever reaches it
+      v = parents[v];
+      ++hops;
+    }
+    ++ws.local.requests;
+    ++ws.local.served_per_node[static_cast<std::size_t>(v)];
+    ++ws.local.hops[static_cast<std::size_t>(hops)];
+    ws.local.hop_sum += hops;
+    if (v == root_)
+      ++ws.local.home_served;
+    else
+      ++ws.local.cache_served;
+  }
+}
+
+void ServingPlane::Serve(Span<Request> batch) {
+  if (batch.empty()) return;
+  // Validate outside the parallel region: the pool's callback must not
+  // throw (worker_pool.h), and the hot loop does no bounds checks.
+  for (const Request& r : batch) {
+    WEBWAVE_REQUIRE(r.node >= 0 && r.node < snapshot_.node_count(),
+                    "request origin out of range");
+    WEBWAVE_REQUIRE(r.doc >= 0 && r.doc < snapshot_.doc_count(),
+                    "request document out of range");
+  }
+  const std::size_t block_size = static_cast<std::size_t>(options_.block_size);
+  const std::size_t blocks = (batch.size() + block_size - 1) / block_size;
+  const std::uint64_t base = next_block_id_;
+  next_block_id_ += blocks;
+
+  pool_->ParallelFor(blocks, [&](int worker, std::size_t b0, std::size_t b1) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(worker)];
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t begin = b * block_size;
+      const std::size_t end = std::min(batch.size(), begin + block_size);
+      ProcessBlock(ws, base + b, batch.data() + begin, end - begin);
+    }
+  });
+
+  // Deterministic merge: integer sums over workers (order-independent).
+  for (WorkerState& ws : workers_) {
+    metrics_.requests += ws.local.requests;
+    metrics_.cache_served += ws.local.cache_served;
+    metrics_.home_served += ws.local.home_served;
+    metrics_.hop_sum += ws.local.hop_sum;
+    for (std::size_t v = 0; v < metrics_.served_per_node.size(); ++v)
+      metrics_.served_per_node[v] += ws.local.served_per_node[v];
+    for (std::size_t h = 0; h < metrics_.hops.size(); ++h)
+      metrics_.hops[h] += ws.local.hops[h];
+    ws.local.requests = 0;
+    ws.local.cache_served = 0;
+    ws.local.home_served = 0;
+    ws.local.hop_sum = 0;
+    std::fill(ws.local.served_per_node.begin(), ws.local.served_per_node.end(),
+              0);
+    std::fill(ws.local.hops.begin(), ws.local.hops.end(), 0);
+  }
+}
+
+}  // namespace webwave

@@ -1,0 +1,138 @@
+// The request-serving data plane: replays (origin, document) request
+// streams against a frozen QuotaSnapshot over the routing tree.
+//
+// Routing follows the paper's §3 semantics: a request travels from its
+// origin up the tree toward the home server and is served by the *first*
+// node on the path that holds a copy of the document with remaining
+// service quota; the home (root) serves anything that reaches it — it
+// holds the authoritative copy of the whole catalog.  Quotas are enforced
+// by two admission mechanisms, chosen per cell by its granularity:
+//
+//   * Token bucket — a cell with quota rate q earns r = slack · q /
+//     offered_rate · block_size tokens per block of block_size requests,
+//     granted as floor(r·(k+1)+u) − floor(r·k+u) whole requests in block
+//     k (u a per-cell hash dither phase, so quantization is unbiased).
+//     A hard proportional cap; used when r >= 1, i.e. when the share is
+//     coarse enough for counting to mean anything.
+//   * Poisson thinning — a cell thinner than one token per block serves
+//     each arriving request with probability min(1, slack · fraction),
+//     where fraction is the snapshot's per-copy share of passing flow.
+//     Thinning a Poisson arrival stream by the flow fraction reproduces
+//     the rate model exactly in distribution (the served stream has rate
+//     q, the forwarded remainder recurses up the tree), which is the
+//     only faithful realization when a copy's whole-run share is below
+//     one request — the common regime at 10⁶ servers.
+//
+// `slack` provides admission headroom over the strict share so Poisson
+// burstiness is absorbed at the copies instead of overflowing to the
+// home.
+//
+// The hot loop is allocation-free: CSR row walks over flat arrays, a
+// parent-pointer climb, integer counters.  Serve() sweeps request blocks
+// on a WorkerPool with the repo's deterministic static partition; every
+// block is processed start-to-finish by exactly one worker against
+// per-worker budget scratch keyed by block id, and all metrics are
+// integer counts merged per worker — so serving results are bit-identical
+// at every thread count, the same guarantee the batch simulator gives
+// (asserted at 1/2/8 threads by serving_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/quota_snapshot.h"
+#include "serve/request_gen.h"
+#include "tree/routing_tree.h"
+#include "util/span.h"
+#include "util/worker_pool.h"
+
+namespace webwave {
+
+struct ServingOptions {
+  // Worker threads for block sweeps; 0 picks one per hardware thread.
+  int threads = 1;
+  // Requests per quota-refresh block (the token-bucket window).  Larger
+  // blocks enforce quotas more faithfully when per-copy shares are small
+  // (many servers, few requests each); smaller blocks model tighter
+  // refresh intervals but overflow more burst traffic to the home.
+  int block_size = 65536;
+  // The request rate budgets are scaled against — normally the
+  // generator's total_rate().  0 uses the snapshot's total quota rate.
+  double offered_rate = 0;
+  // Admission headroom: a copy may serve up to slack times its strict
+  // proportional share of a block before traffic spills upward.  1.0
+  // enforces the placement exactly; the default absorbs the Poisson
+  // burstiness of real request streams at the copies themselves.
+  double budget_slack = 2.0;
+};
+
+// Integer serving counters; everything derived (ratios, loads) comes from
+// these, so two runs agree exactly iff the counters agree exactly.
+struct ServingMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_served = 0;  // served strictly below the home
+  std::uint64_t home_served = 0;   // served at the root
+  std::uint64_t hop_sum = 0;       // total edges climbed by served requests
+  std::vector<std::uint64_t> served_per_node;
+  std::vector<std::uint64_t> hops;  // hops[h]: requests served h hops up
+
+  // Fraction of requests a cache copy (not the home) absorbed.
+  double HitRatio() const;
+  double MeanHops() const;
+  std::uint64_t MaxServed() const;
+  // served_per_node as doubles, for the stats/ helpers.
+  std::vector<double> Loads() const;
+
+  bool operator==(const ServingMetrics& other) const;
+};
+
+class ServingPlane {
+ public:
+  ServingPlane(const RoutingTree& tree, QuotaSnapshot snapshot,
+               ServingOptions options = {});
+
+  int thread_count() const { return pool_->thread_count(); }
+  const QuotaSnapshot& snapshot() const { return snapshot_; }
+
+  // Serves a batch of requests, accumulating into metrics().  Block
+  // numbering continues across calls, so a stream serves identically
+  // whether it arrives in one batch or many (given block-aligned batch
+  // sizes) and budgets never leak between blocks.
+  void Serve(Span<Request> batch);
+
+  const ServingMetrics& metrics() const { return metrics_; }
+  void ResetMetrics();
+
+ private:
+  struct WorkerState {
+    // Indexed by token-cell compact id, not raw cell.
+    std::vector<std::uint64_t> stamp;  // block id a cell's grant was cut in
+    std::vector<std::int32_t> avail;   // tokens left for the cell, then
+    ServingMetrics local;
+  };
+
+  void ProcessBlock(WorkerState& ws, std::uint64_t block_id,
+                    const Request* reqs, std::size_t count);
+
+  QuotaSnapshot snapshot_;
+  ServingOptions options_;
+  NodeId root_;
+  std::vector<NodeId> parents_;
+  // Per cell: the thinning probability min(1, slack · fraction), and for
+  // cells coarse enough to count (≥ 1 token per block) a compact index
+  // into the token arrays; kNoToken for the thinning regime.  Token
+  // cells store their per-block token rate (slack · quota share ·
+  // block_size); worker scratch is sized by token cells only — at 10⁶
+  // servers the vast majority of copies are sub-token.
+  static constexpr std::int32_t kNoToken = -1;
+  std::vector<double> serve_prob_;
+  std::vector<std::int32_t> token_index_;
+  std::vector<double> tokens_per_block_;  // per token cell
+  std::uint64_t next_block_id_ = 1;  // 0 is the never-used stamp value
+  ServingMetrics metrics_;
+  std::vector<WorkerState> workers_;
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace webwave

@@ -6,10 +6,12 @@
 // visible without parsing ASCII tables.  One BenchJson holds a list of
 // flat records (string/number fields, insertion order preserved); Write
 // renders {"bench": ..., "runs": [...]}.  Numbers print with enough digits
-// to round-trip a double; strings are escaped for the characters benches
-// actually produce (quotes, backslashes, control bytes).
+// to round-trip a double; strings are fully escaped (quotes, backslashes,
+// all control bytes) and non-finite numbers render as null — JSON has no
+// NaN/Inf, and one stray "inf" would make a whole CI artifact unparseable.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -26,6 +28,10 @@ class BenchJson {
   void BeginRun() { runs_.emplace_back(); }
 
   void Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      AddRaw(key, "null");  // JSON has no NaN or Infinity
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     AddRaw(key, buf);
@@ -81,10 +87,14 @@ class BenchJson {
         case '\\': out += "\\\\"; break;
         case '\n': out += "\\n"; break;
         case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
         default:
           if (static_cast<unsigned char>(c) < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
             out += buf;
           } else {
             out += c;

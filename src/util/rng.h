@@ -16,6 +16,15 @@ namespace webwave {
 // SplitMix64 step; used for seeding and as a cheap stateless mixer.
 std::uint64_t SplitMix64(std::uint64_t& state);
 
+// One uniform double in [0, 1) as a pure function of a counter: the
+// SplitMix64 finalizer scaled to 53 bits.  The counter-based determinism
+// primitive of the serving layer — request-stream draws, token dither
+// phases and thinning draws all reduce to this, so they are identical
+// under any batching or threading.
+inline double CounterUnitDouble(std::uint64_t counter) {
+  return static_cast<double>(SplitMix64(counter) >> 11) * 0x1.0p-53;
+}
+
 // xoshiro256++ generator with portable, explicitly-seeded behaviour.
 class Rng {
  public:

@@ -5,6 +5,8 @@
 #include "core/webfold.h"
 #include "doc/catalog.h"
 #include "doc/placement.h"
+#include "serve/placement_policy.h"
+#include "sim/churn.h"
 #include "tree/builders.h"
 
 #include <gtest/gtest.h>
@@ -131,6 +133,94 @@ TEST_P(PlacementSweep, RandomInstancesStayConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlacementSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Churned demand ----------------------------------------------------------
+//
+// DerivePlacement must keep its invariants when the demand comes from a
+// live churn process, not a static matrix: per-document NSS (a node's
+// quota never exceeds the document flow passing it) and conservation of
+// every document's total rate, at every epoch of a ChurnSchedule.
+
+void CheckPlacementInvariants(const RoutingTree& tree,
+                              const DemandMatrix& demand) {
+  const PlacementResult p = DerivePlacement(tree, demand);
+  const int docs = demand.doc_count();
+  double placed_total = 0;
+  for (DocId d = 0; d < docs; ++d) {
+    // NSS via recomputed flows, and per-document rate conservation.
+    std::vector<double> fwd(static_cast<std::size_t>(tree.size()), 0.0);
+    double served = 0;
+    for (const NodeId v : tree.postorder()) {
+      double arrive = demand.at(v, d);
+      for (const NodeId c : tree.children(v))
+        arrive += fwd[static_cast<std::size_t>(c)];
+      const double q =
+          p.quota[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)];
+      ASSERT_LE(q, arrive + 1e-6) << "NSS broken at node " << v << " doc " << d;
+      fwd[static_cast<std::size_t>(v)] = arrive - q;
+      served += q;
+    }
+    EXPECT_NEAR(fwd[static_cast<std::size_t>(tree.root())], 0, 1e-6)
+        << "doc " << d;
+    EXPECT_NEAR(served, demand.DocTotal(d), 1e-6) << "doc " << d;
+    placed_total += served;
+  }
+  EXPECT_NEAR(placed_total, demand.Total(), 1e-5);
+}
+
+class PlacementChurn : public ::testing::TestWithParam<ChurnPattern> {};
+
+TEST_P(PlacementChurn, InvariantsHoldAcrossEpochs) {
+  Rng rng(23);
+  const RoutingTree tree = MakeRandomTree(120, rng);
+  ChurnScheduleOptions opt;
+  opt.pattern = GetParam();
+  opt.doc_count = 6;
+  opt.base_rate = 2.0;
+  opt.hot_rate = 40.0;
+  opt.hot_fraction = 0.2;
+  opt.rotation_epochs = 5;
+  opt.seed = 77;
+  ChurnSchedule schedule(tree, opt);
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    CheckPlacementInvariants(tree, DemandFromLanes(schedule.Lanes()));
+    schedule.NextEvents();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PlacementChurn,
+                         ::testing::Values(ChurnPattern::kRotatingHotSpot,
+                                           ChurnPattern::kFlashCrowd,
+                                           ChurnPattern::kZipfReshuffle));
+
+TEST(PlacementChurn, RotatingHotSpotKeepsTotalRate) {
+  // The rotating window only moves demand; the total rate the placement
+  // realizes must be epoch-invariant.
+  Rng rng(31);
+  const RoutingTree tree = MakeRandomTree(150, rng);
+  ChurnScheduleOptions opt;
+  opt.doc_count = 4;
+  opt.base_rate = 1.0;
+  opt.hot_rate = 25.0;
+  opt.hot_fraction = 0.25;
+  opt.rotation_epochs = 4;
+  ChurnSchedule schedule(tree, opt);
+
+  double first_total = -1;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const DemandMatrix demand = DemandFromLanes(schedule.Lanes());
+    const PlacementResult p = DerivePlacement(tree, demand);
+    double placed = 0;
+    for (const auto& row : p.quota)
+      for (const double q : row) placed += q;
+    if (first_total < 0)
+      first_total = placed;
+    else
+      EXPECT_NEAR(placed, first_total, 1e-6 * (1 + first_total));
+    schedule.NextEvents();
+  }
+}
 
 }  // namespace
 }  // namespace webwave
