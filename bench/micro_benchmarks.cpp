@@ -10,11 +10,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <deque>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/diffusion.h"
 #include "core/tlb.h"
 #include "core/webfold.h"
@@ -25,6 +28,7 @@
 #include "proto/packet_filter.h"
 #include "stats/zipf.h"
 #include "tree/builders.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
 
 namespace webwave {
@@ -238,6 +242,66 @@ BENCHMARK(BM_BatchWebWaveStep)
     ->Args({100000, 16})
     ->Args({100000, 64});
 
+// The document-block width sweep behind WebWaveOptions::lane_block's
+// default: the same catalog stepped at B = 1 (the old document-major
+// layout), 4, 8 and 16, one shared tree and one shared edge build across
+// all engines.  Hand-timed (not google-benchmark) so the records land in
+// BENCH_step_blocked.json with explicit fields CI and the ROADMAP can
+// diff; per-lane results are bit-identical across B, so the timings are
+// directly comparable.  `modeled_bytes_per_lane_step` is the streamed
+// traffic the layout implies: 104 B of lane state (phase-1 reads + delta
+// round trip + phase-2 read-modify-writes) plus 16 B of edge metadata
+// (two int32 endpoints + one double alpha) amortized over B lanes.
+void RunBlockedStepSweep() {
+  const bool smoke = bench::EnvFlag("WEBWAVE_SMOKE");
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{10000, 100000}
+            : std::vector<int>{100000, 1000000};
+  const int docs = 16;
+  BenchJson json("micro_step_blocked");
+  std::printf("\nblocked-step sweep (docs=%d%s):\n", docs,
+              smoke ? ", WEBWAVE_SMOKE shapes" : "");
+  for (const int nodes : node_counts) {
+    Rng rng(46);
+    const RoutingTree tree = MakeRandomTree(nodes, rng);
+    const internal::SharedEdgeArrays edges =
+        internal::BuildSharedEdgeArrays(tree, WebWaveOptions{});
+    std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+    for (auto& lane : lanes) {
+      lane.resize(static_cast<std::size_t>(nodes));
+      for (auto& e : lane) e = rng.NextDouble(0, 10);
+    }
+    const int steps = nodes >= 1000000 ? 4 : (nodes >= 100000 ? 20 : 50);
+    double base_ms = 0;
+    for (const int B : {1, 4, 8, 16}) {
+      WebWaveOptions opt;
+      opt.lane_block = B;
+      BatchWebWaveSimulator batch(tree, lanes, opt, edges);
+      batch.Step();  // touch everything once before timing
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int s = 0; s < steps; ++s) batch.Step();
+      const double ms = bench::MillisSince(t0) / steps;
+      if (B == 1) base_ms = ms;
+      const double lane_steps_per_sec =
+          static_cast<double>(nodes) * docs / (ms / 1000.0);
+      std::printf(
+          "  n=%-8d B=%-3d %8.2f ms/step  %7.1f Mlane-steps/s  %5.2fx vs B=1\n",
+          nodes, B, ms, lane_steps_per_sec / 1e6, base_ms / ms);
+      json.BeginRun();
+      json.Add("nodes", nodes);
+      json.Add("docs", docs);
+      json.Add("lane_block", B);
+      json.Add("ms_per_step", ms);
+      json.Add("lane_steps_per_sec", lane_steps_per_sec);
+      json.Add("speedup_vs_doc_major", base_ms / ms);
+      json.Add("modeled_bytes_per_lane_step", 104.0 + 16.0 / B);
+    }
+  }
+  const char* out = "BENCH_step_blocked.json";
+  std::printf("%s %s\n", json.WriteFile(out) ? "wrote" : "FAILED to write",
+              out);
+}
+
 void BM_DiffusionApplyDense(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(47);
@@ -320,5 +384,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The lane-block sweep runs after the registered benchmarks (skip with
+  // WEBWAVE_NO_BLOCK_SWEEP=1 when filtering for a single micro-benchmark).
+  using namespace webwave;
+  if (!bench::EnvFlag("WEBWAVE_NO_BLOCK_SWEEP")) RunBlockedStepSweep();
   return 0;
 }

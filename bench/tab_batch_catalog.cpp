@@ -14,7 +14,11 @@
 // "0") only the 10⁴-node × 8-document configuration runs — the CI smoke
 // job's per-PR perf probe.  WEBWAVE_BATCH_THREADS (or the global
 // WEBWAVE_THREADS) overrides the worker count (default 0 = one per
-// hardware thread).
+// hardware thread); WEBWAVE_BATCH_BLOCK overrides the document block
+// width (default: WebWaveOptions::lane_block).  The full run repeats the
+// 10⁶ × 64 configuration at B = 1 — the old document-major layout — so
+// the blocked kernel's speedup is measured side by side on identical
+// (bit-identical, in fact) work.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,28 +60,41 @@ int main() {
   using Clock = std::chrono::steady_clock;
   const bool smoke = bench::EnvFlag("WEBWAVE_SMOKE");
   const int threads = bench::EnvThreads("WEBWAVE_BATCH_THREADS");
+  const int default_block =
+      bench::EnvInt("WEBWAVE_BATCH_BLOCK", WebWaveOptions{}.lane_block);
   std::printf(
       "E9 — batched multi-document WebWave: one shared tree, one load lane\n"
-      "per document; steps the whole catalog in a single pass per period.\n"
-      "lane-steps/s counts (node, document) pairs advanced per second.%s\n\n",
+      "per document, lanes interleaved in blocks of B documents; steps the\n"
+      "whole catalog in a single pass per period.  lane-steps/s counts\n"
+      "(node, document) pairs advanced per second.%s\n\n",
       smoke ? "\n(WEBWAVE_SMOKE: reduced configuration)" : "");
 
-  AsciiTable table({"nodes", "docs", "lanes", "setup ms", "ms/step",
+  AsciiTable table({"nodes", "docs", "B", "lanes", "setup ms", "ms/step",
                     "Mlane-steps/s", "max load after"});
   BenchJson json("tab_batch_catalog");
-  const std::vector<std::pair<int, int>> configs =
-      smoke ? std::vector<std::pair<int, int>>{{10000, 8}}
-            : std::vector<std::pair<int, int>>{
-                  {10000, 16},   {10000, 64},   {100000, 16}, {100000, 64},
-                  {1000000, 16}, {1000000, 64},
+  struct Config {
+    int nodes;
+    int docs;
+    int block;
+  };
+  // The trailing {1e6, 64, 1} row re-runs the flagship configuration in
+  // the document-major layout for the blocked-vs-lane comparison.
+  const std::vector<Config> configs =
+      smoke ? std::vector<Config>{{10000, 8, default_block}}
+            : std::vector<Config>{
+                  {10000, 16, default_block},  {10000, 64, default_block},
+                  {100000, 16, default_block}, {100000, 64, default_block},
+                  {1000000, 16, default_block}, {1000000, 64, default_block},
+                  {1000000, 64, 1},
               };
-  for (const auto& [nodes, docs] : configs) {
+  for (const auto& [nodes, docs, block] : configs) {
     Rng rng(static_cast<std::uint64_t>(nodes) + docs);
     const RoutingTree tree = MakeRandomTree(nodes, rng);
     std::vector<std::vector<double>> lanes = ZipfLanes(nodes, docs, rng);
 
     WebWaveOptions opt;
     opt.threads = threads;
+    opt.lane_block = block;
     const auto t_setup = Clock::now();
     BatchWebWaveSimulator batch(tree, std::move(lanes), opt);
     const double setup_ms = MillisSince(t_setup);
@@ -92,6 +109,7 @@ int main() {
     const double max_load = batch.MaxNodeLoad();
 
     table.AddRow({AsciiTable::Int(nodes), AsciiTable::Int(docs),
+                  AsciiTable::Int(batch.lane_block()),
                   AsciiTable::Int(static_cast<long long>(nodes) * docs),
                   AsciiTable::Num(setup_ms, 1), AsciiTable::Num(ms_per_step, 2),
                   AsciiTable::Num(lane_steps_per_sec / 1e6, 1),
@@ -99,6 +117,7 @@ int main() {
     json.BeginRun();
     json.Add("nodes", nodes);
     json.Add("docs", docs);
+    json.Add("lane_block", batch.lane_block());
     json.Add("threads", batch.thread_count());
     json.Add("setup_ms", setup_ms);
     json.Add("ms_per_step", ms_per_step);

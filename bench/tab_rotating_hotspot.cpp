@@ -20,6 +20,9 @@
 //   WEBWAVE_HOTSPOT_STEPS   diffusion steps per epoch (default 3)
 //   WEBWAVE_HOTSPOT_THREADS worker threads (default: WEBWAVE_THREADS,
 //                           then 0 = one per hardware thread)
+//   WEBWAVE_HOTSPOT_BLOCK   document block width (default:
+//                           WebWaveOptions::lane_block; 1 = the old
+//                           document-major layout, for comparisons)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +72,8 @@ int main() {
 
   WebWaveOptions opt;
   opt.threads = threads;
+  opt.lane_block =
+      EnvInt("WEBWAVE_HOTSPOT_BLOCK", WebWaveOptions{}.lane_block);
   const auto t_setup = Clock::now();
   BatchWebWaveSimulator batch(tree, schedule.Lanes(), opt);
   const double setup_ms = MillisSince(t_setup);
@@ -83,6 +88,7 @@ int main() {
   json.Add("epochs", epochs);
   json.Add("steps_per_epoch", steps_per_epoch);
   json.Add("threads", batch.thread_count());
+  json.Add("lane_block", batch.lane_block());
   json.Add("tree_ms", tree_ms);
   json.Add("setup_ms", setup_ms);
 

@@ -11,10 +11,17 @@
 //
 // Part 2 runs the closed loop at a reduced shape: the diffusion engine
 // starts ignorant, each epoch serves half a demand window from its
-// current diffused copies (QuotaSnapshot::FromBatch), folds the measured
-// arrivals back through ApplyDemandEvents, re-diffuses, and serves the
-// second half from the refreshed placement — head-to-head against
-// home-only on the same stream while the hot spot rotates.
+// current diffused copies, folds the measured arrivals back through
+// ApplyDemandEvents, re-diffuses, incrementally re-syncs one maintained
+// QuotaSnapshot (RefreshFromBatch over the engine's dirty lanes), and
+// serves the second half from the refreshed placement — head-to-head
+// against home-only on the same stream while the hot spot rotates.
+//
+// Part 3 isolates the incremental snapshot: a catalog where 95 % of the
+// documents sit at their diffusion fixed point (they step clean) while
+// 5 % take a rotating hot window, re-snapshotted both ways each epoch —
+// full FromBatch versus RefreshFromBatch over the dirty lanes — with the
+// results asserted cell-for-cell identical and both timings recorded.
 //
 // Emits BENCH_serving.json.  Environment knobs:
 //   WEBWAVE_SMOKE             reduced shapes (the CI smoke configuration)
@@ -23,6 +30,7 @@
 //   WEBWAVE_SERVING_REQUESTS  part-1 requests (default 10000000; smoke 200000)
 //   WEBWAVE_SERVING_THREADS   worker threads (default: WEBWAVE_THREADS, then 1)
 //   WEBWAVE_LOOP_NODES/_DOCS/_EPOCHS/_WINDOW  part-2 shape overrides
+//   WEBWAVE_SNAP_NODES/_DOCS/_EPOCHS          part-3 shape overrides
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -169,6 +177,10 @@ int main() {
   AsciiTable loop_table({"epoch", "events", "webwave max", "home max",
                          "improvement", "hit %", "loop ms"});
   std::vector<Request> window_buf;
+  // One maintained snapshot for the whole loop, re-synced from the
+  // engine's dirty lanes after each re-balance instead of rebuilt.
+  QuotaSnapshot loop_snap = QuotaSnapshot::FromBatch(sim, 1e-12);
+  sim.ClearDirtyLanes();
   for (int epoch = 0; epoch < loop_epochs; ++epoch) {
     const auto t_epoch = Clock::now();
     RequestGenerator wgen(
@@ -187,8 +199,7 @@ int main() {
         EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, loop_nodes));
 
     {  // first half: stale copies; its measurements drive the re-balance
-      ServingPlane plane(loop_tree, QuotaSnapshot::FromBatch(sim, 1e-12),
-                         sopt);
+      ServingPlane plane(loop_tree, loop_snap, sopt);
       plane.Serve(Span<Request>(window_buf.data(), half));
     }
     fold.Count(Span<Request>(window_buf.data(), half));
@@ -196,7 +207,9 @@ int main() {
     sim.ApplyDemandEvents(events);
     for (int s = 0; s < 12; ++s) sim.Step();
 
-    ServingPlane plane(loop_tree, QuotaSnapshot::FromBatch(sim, 1e-12), sopt);
+    loop_snap.RefreshFromBatch(sim);
+    sim.ClearDirtyLanes();
+    ServingPlane plane(loop_tree, loop_snap, sopt);
     plane.Serve(Span<Request>(window_buf.data() + half, loop_window - half));
     ServingPlane home(loop_tree,
                       HomeOnlyPolicy().Place(loop_tree, wgen.ExpectedLanes()),
@@ -228,6 +241,120 @@ int main() {
     json.Add("loop_ms", loop_ms);
   }
   std::printf("%s\n", loop_table.Render().c_str());
+
+  // Part 3 — incremental vs full snapshot at 5 % lane churn --------------
+  //
+  // 95 % of the catalog sits at its diffusion fixed point (demand at the
+  // home only — converged from the first step, so Step() leaves it
+  // bit-identical and clean); the other 5 % are flash-crowd lanes: each
+  // owns a fixed hot stretch of the leaf ring whose request intensity is
+  // redrawn every epoch.  Early epochs grow the hot lanes' copy sets
+  // (diffusion still filling their request paths), exercising the
+  // structural merge; once the paths are provisioned the copy sets
+  // freeze and refreshes run fully in place.  Each epoch re-snapshots
+  // both ways and asserts the results identical cell for cell.
+  const int snap_nodes = EnvInt("WEBWAVE_SNAP_NODES", smoke ? 5000 : 200000);
+  const int snap_docs = EnvInt("WEBWAVE_SNAP_DOCS", smoke ? 20 : 128);
+  const int snap_epochs = EnvInt("WEBWAVE_SNAP_EPOCHS", smoke ? 3 : 12);
+  const int hot_docs = std::max(1, snap_docs / 20);  // ~5 % of the lanes
+  std::printf(
+      "incremental snapshot: %d nodes x %d documents, %d flash-crowd\n"
+      "lane(s) (~%.0f%%) re-shocked per epoch, the rest at their fixed\n"
+      "point.\n\n",
+      snap_nodes, snap_docs, hot_docs,
+      100.0 * hot_docs / snap_docs);
+
+  Rng snap_rng(7);
+  const RoutingTree snap_tree = MakeRandomTree(snap_nodes, snap_rng);
+  std::vector<std::vector<double>> snap_lanes(
+      static_cast<std::size_t>(snap_docs));
+  for (auto& lane : snap_lanes) {
+    lane.assign(static_cast<std::size_t>(snap_tree.size()), 0.0);
+    lane[static_cast<std::size_t>(snap_tree.root())] = 25.0;
+  }
+  WebWaveOptions snap_opt;
+  snap_opt.threads = threads;
+  BatchWebWaveSimulator snap_sim(snap_tree, std::move(snap_lanes), snap_opt);
+
+  std::vector<NodeId> snap_leaves;
+  for (NodeId v = 0; v < snap_tree.size(); ++v)
+    if (snap_tree.is_leaf(v)) snap_leaves.push_back(v);
+  const std::size_t hot_window = std::max<std::size_t>(
+      1, snap_leaves.size() / 500);
+
+  // At this floor a lane's copy set is "every path node diffusion has
+  // ever provisioned" — it grows while the frontier sweeps the (fixed)
+  // request paths, then freezes, which is what moves the refresh from the
+  // structural merge onto the in-place path in the later epochs.
+  const double snap_min_rate = 1e-12;
+  QuotaSnapshot incr = QuotaSnapshot::FromBatch(snap_sim, snap_min_rate);
+  snap_sim.ClearDirtyLanes();
+
+  AsciiTable snap_table({"epoch", "dirty lanes", "cells", "mode", "full ms",
+                         "incremental ms", "speedup", "identical"});
+  for (int epoch = 0; epoch < snap_epochs; ++epoch) {
+    // Re-shock the flash-crowd lanes: each keeps its own fixed stretch of
+    // the leaf ring, the per-leaf intensity is redrawn every epoch (well
+    // above the quota floor, so the copy set freezes once diffusion has
+    // provisioned the request paths).
+    Rng shock(1000 + static_cast<std::uint64_t>(epoch));
+    std::vector<DemandEvent> events;
+    for (int h = 0; h < hot_docs; ++h) {
+      const int d = snap_docs - 1 - h;  // hot lanes live at the catalog tail
+      for (std::size_t i = 0; i < hot_window; ++i) {
+        const std::size_t leaf =
+            (static_cast<std::size_t>(h) * hot_window + i) %
+            snap_leaves.size();
+        events.push_back({d, snap_leaves[leaf], shock.NextDouble(20, 60)});
+      }
+    }
+    snap_sim.ApplyDemandEvents(events);
+    for (int s = 0; s < 8; ++s) snap_sim.Step();
+    const int dirty = snap_sim.dirty_lane_count();
+
+    const auto t_full = Clock::now();
+    const QuotaSnapshot full = QuotaSnapshot::FromBatch(snap_sim,
+                                                        snap_min_rate);
+    const double full_ms = MillisSince(t_full);
+    const auto t_incr = Clock::now();
+    const bool in_place = incr.RefreshFromBatch(snap_sim);
+    const double incr_ms = MillisSince(t_incr);
+    snap_sim.ClearDirtyLanes();
+
+    bool identical = incr.cell_count() == full.cell_count();
+    for (NodeId v = 0; identical && v < snap_tree.size(); ++v)
+      identical = incr.row_begin(v) == full.row_begin(v) &&
+                  incr.row_end(v) == full.row_end(v);
+    for (std::int64_t c = 0; identical && c < full.cell_count(); ++c) {
+      const std::size_t i = static_cast<std::size_t>(c);
+      identical = incr.cell_docs()[i] == full.cell_docs()[i] &&
+                  incr.cell_rates()[i] == full.cell_rates()[i] &&
+                  incr.cell_fractions()[i] == full.cell_fractions()[i];
+    }
+    if (!identical) {
+      std::printf("FATAL: incremental snapshot diverged from full rebuild\n");
+      return 1;
+    }
+
+    snap_table.AddRow(
+        {std::to_string(epoch), AsciiTable::Int(dirty),
+         AsciiTable::Int(full.cell_count()), in_place ? "in-place" : "merge",
+         AsciiTable::Num(full_ms, 2), AsciiTable::Num(incr_ms, 2),
+         AsciiTable::Num(full_ms / std::max(1e-9, incr_ms), 1) + "x",
+         "yes"});
+    json.BeginRun();
+    json.Add("record", std::string("snapshot_epoch"));
+    json.Add("epoch", epoch);
+    json.Add("nodes", snap_nodes);
+    json.Add("docs", snap_docs);
+    json.Add("dirty_lanes", dirty);
+    json.Add("cells", static_cast<long long>(full.cell_count()));
+    json.Add("in_place", in_place ? 1 : 0);
+    json.Add("full_ms", full_ms);
+    json.Add("incremental_ms", incr_ms);
+    json.Add("snapshot_speedup", full_ms / std::max(1e-9, incr_ms));
+  }
+  std::printf("%s\n", snap_table.Render().c_str());
 
   const char* out = "BENCH_serving.json";
   std::printf("%s %s\n",

@@ -38,6 +38,12 @@ int main() {
   BatchWebWaveSimulator sim(tree, std::move(guess), {});
   ArrivalFold fold(tree.size(), docs);
 
+  // One quota snapshot lives across the whole run; after each re-balance
+  // it is re-synced in place from the lanes diffusion actually moved
+  // (RefreshFromBatch + ClearDirtyLanes) instead of rebuilt from scratch.
+  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, 1e-12);
+  sim.ClearDirtyLanes();
+
   AsciiTable table({"epoch", "phase", "webwave max", "home max",
                     "improvement", "hit %"});
   std::vector<Request> buf;
@@ -54,7 +60,7 @@ int main() {
 
     // Serve the first half from the (stale) diffused copies and fold what
     // actually arrived back into the control plane.
-    ServingPlane stale(tree, QuotaSnapshot::FromBatch(sim, 1e-12), opt);
+    ServingPlane stale(tree, snap, opt);
     stale.Serve(Span<Request>(buf.data(), half));
     fold.Count(Span<Request>(buf.data(), half));
     sim.ApplyDemandEvents(fold.Drain(half / gen.total_rate()));
@@ -62,7 +68,9 @@ int main() {
 
     // The second half is served from the re-balanced placement; home-only
     // faces the same stream as the baseline to beat.
-    ServingPlane fresh(tree, QuotaSnapshot::FromBatch(sim, 1e-12), opt);
+    snap.RefreshFromBatch(sim);
+    sim.ClearDirtyLanes();
+    ServingPlane fresh(tree, snap, opt);
     fresh.Serve(Span<Request>(buf.data() + half, window - half));
     ServingPlane home(tree, HomeOnlyPolicy().Place(tree, gen.ExpectedLanes()),
                       opt);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/load_model.h"
 #include "stats/summary.h"
@@ -11,7 +12,8 @@ namespace webwave {
 
 WebWaveSimulator::WebWaveSimulator(const RoutingTree& tree,
                                    std::vector<double> spontaneous,
-                                   WebWaveOptions options)
+                                   WebWaveOptions options,
+                                   internal::SharedEdgeArrays edges)
     : tree_(tree),
       spontaneous_(std::move(spontaneous)),
       options_(options),
@@ -52,11 +54,25 @@ WebWaveSimulator::WebWaveSimulator(const RoutingTree& tree,
   forwarded_ = ForwardedRates(tree_, spontaneous_, served_);
 
   // Flatten the edges into parallel arrays, ascending child id, with their
-  // diffusion parameters — the fixed sweep order every Step() follows.
-  edges_ = internal::BuildEdgeArrays(tree_, options_);
-  est_down_.assign(edges_.size(), 0.0);
-  est_up_.assign(edges_.size(), 0.0);
-  delta_.assign(edges_.size(), 0.0);
+  // diffusion parameters — the fixed sweep order every Step() follows —
+  // unless the caller already holds a shared build for this tree.
+  if (edges != nullptr) {
+    WEBWAVE_REQUIRE(edges->MatchesTree(tree_),
+                    "shared edge arrays do not match the tree");
+    WEBWAVE_REQUIRE(edges->MatchesOptions(options_),
+                    "shared edge arrays were built under a different "
+                    "alpha policy");
+    edges_ = std::move(edges);
+  } else {
+    edges_ = internal::BuildSharedEdgeArrays(tree_, options_);
+  }
+  // Instantaneous gossip (the default, period 1 / delay 0) needs no
+  // estimate storage at all: a refresh would copy the served vector into
+  // the plane at the end of every step, so during phase 1 of the next
+  // step the plane is bitwise the current served vector — the kernel
+  // reads served directly instead (see Step).
+  if (!InstantGossip()) est_plane_.assign(static_cast<std::size_t>(n), 0.0);
+  delta_.assign(edges_->size(), 0.0);
 
   if (options_.gossip_delay > 0) {
     history_.assign(
@@ -65,6 +81,10 @@ WebWaveSimulator::WebWaveSimulator(const RoutingTree& tree,
     std::copy(served_.begin(), served_.end(), history_.begin());
   }
   RefreshEstimates();
+}
+
+bool WebWaveSimulator::InstantGossip() const {
+  return options_.gossip_period == 1 && options_.gossip_delay == 0;
 }
 
 const double* WebWaveSimulator::DelayedServedView() const {
@@ -88,20 +108,26 @@ void WebWaveSimulator::PushHistory() {
 }
 
 void WebWaveSimulator::RefreshEstimates() {
-  // Gossip delivers the load vector as it was gossip_delay steps ago.
+  // Gossip delivers the load vector as it was gossip_delay steps ago — one
+  // straight copy into the node-indexed estimate plane (the step kernel
+  // reads the edge endpoints out of the plane directly).  Instantaneous
+  // gossip keeps no plane: the kernel reads the live served vector.
+  if (InstantGossip()) return;
   const double* view = DelayedServedView();
-  for (std::size_t k = 0; k < edges_.size(); ++k) {
-    est_down_[k] = view[static_cast<std::size_t>(edges_.child[k])];
-    est_up_[k] = view[static_cast<std::size_t>(edges_.parent[k])];
-  }
+  std::copy(view, view + served_.size(), est_plane_.begin());
 }
 
 void WebWaveSimulator::Step() {
   // The two-phase round of Figure 5 (see webwave_kernel.h): decide every
-  // transfer from one snapshot, then apply them edge-atomically.
-  internal::StepLane(edges_, capacity_.data(), options_, rng_,
-                     served_.data(), forwarded_.data(), est_down_.data(),
-                     est_up_.data(), delta_.data());
+  // transfer from one snapshot, then apply them edge-atomically.  Width-1
+  // call of the same blocked kernel the batch engine sweeps.  Phase 1
+  // reads estimates before phase 2 writes anything, so under
+  // instantaneous gossip the served vector itself serves as the estimate
+  // plane — bitwise the same values a per-step refresh would have copied.
+  internal::StepLaneBlock(*edges_, capacity_.data(), options_, &rng_, 1,
+                          served_.data(), forwarded_.data(),
+                          InstantGossip() ? served_.data() : est_plane_.data(),
+                          delta_.data());
 
   ++steps_;
   PushHistory();

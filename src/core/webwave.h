@@ -20,18 +20,21 @@
 //
 // Layout: the simulator is structure-of-arrays over *edges*.  The tree's
 // n − 1 edges are flattened once at construction into parallel arrays
-// (edges_.parent[k], edges_.child[k], edges_.alpha[k] — see
-// webwave_kernel.h, shared with the batched simulator) in ascending
-// child-id order, and every per-edge quantity lives in a flat array
-// indexed by the same k: est_down_[k] is the parent's gossiped estimate of the child's
-// load, est_up_[k] the child's estimate of the parent's, delta_[k] the
-// transfer decided this round.  Step() is therefore two linear sweeps over
-// k with no pointer chasing and no per-neighbor search (the old layout
-// kept a per-node vector of (neighbor, estimate) pairs and scanned it for
-// every edge).  Past served vectors for delayed gossip sit in a
-// fixed-capacity flat ring buffer of gossip_delay + 1 slots — no
-// allocation after construction; with zero delay the ring is elided and
-// gossip reads the live served vector.
+// (edges_->parent[k], edges_->child[k], edges_->alpha[k] — see
+// webwave_kernel.h, shared with the batched simulator; pass a
+// SharedEdgeArrays to reuse one build across several simulators over the
+// same tree) in ascending child-id order.  Gossiped neighbor estimates
+// live in a single node-indexed *estimate plane* (est_plane_[v] = the load
+// of v as gossip last delivered it): the step kernel reads the two
+// endpoint slots of each edge directly, so one n-sized plane replaces the
+// two edge-indexed estimate arrays the previous layout materialized, and a
+// gossip refresh is a straight n-element copy instead of a 2(n−1)-element
+// gather.  delta_[k] is the transfer decided this round.  Step() is two
+// linear sweeps over k with no pointer chasing and no per-neighbor search.
+// Past served vectors for delayed gossip sit in a fixed-capacity flat ring
+// buffer of gossip_delay + 1 slots — no allocation after construction;
+// with zero delay the ring is elided and gossip reads the live served
+// vector.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +50,16 @@ namespace webwave {
 
 class WebWaveSimulator {
  public:
+  // `edges` optionally shares one flattened edge structure between several
+  // simulators over the same tree and alpha policy (see
+  // internal::BuildSharedEdgeArrays); null builds a private copy.
   WebWaveSimulator(const RoutingTree& tree, std::vector<double> spontaneous,
-                   WebWaveOptions options = {});
+                   WebWaveOptions options = {},
+                   internal::SharedEdgeArrays edges = nullptr);
+
+  // The edge structure this simulator sweeps — pass to further simulators
+  // over the same tree to share the build.
+  internal::SharedEdgeArrays shared_edges() const { return edges_; }
 
   // Executes one diffusion period for every server.
   void Step();
@@ -88,6 +99,10 @@ class WebWaveSimulator {
   void CheckInvariants(double tol = 1e-6) const;
 
  private:
+  // Gossip period 1 with delay 0 (the paper's instantaneous-gossip
+  // default): the estimate plane would always equal the start-of-step
+  // served vector, so none is kept and the kernel reads served directly.
+  bool InstantGossip() const;
   void RefreshEstimates();
   // Projection + gossip restart shared by UpdateSpontaneous and
   // ApplyDemandEvents (see the comment in UpdateSpontaneous's body).
@@ -107,11 +122,10 @@ class WebWaveSimulator {
   int steps_ = 0;
 
   // Structure-of-arrays edge layout (see file comment): slot k describes
-  // the tree edge to child edges_.child[k], in ascending child-id order.
-  internal::EdgeArrays edges_;
-  std::vector<double> est_down_;   // parent's estimate of child's load
-  std::vector<double> est_up_;     // child's estimate of parent's load
-  std::vector<double> delta_;      // per-edge transfer scratch
+  // the tree edge to child edges_->child[k], in ascending child-id order.
+  internal::SharedEdgeArrays edges_;
+  std::vector<double> est_plane_;  // node-indexed gossiped load estimates
+  std::vector<double> delta_;     // per-edge transfer scratch
 
   // Flat ring of past served vectors: slot (history_head_) is the current
   // step, slot (history_head_ − d) the vector d steps ago.  Sized

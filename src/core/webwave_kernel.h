@@ -7,9 +7,23 @@
 // batch form's guarantee — per-document lanes bit-identical to independent
 // simulators — holds *by construction* because both call the functions in
 // this header rather than keeping copies of the kernel.
+//
+// The kernel is *width-generic*: StepLaneBlock advances `width` lanes in
+// one sweep over the edge list, with every per-lane quantity stored
+// interleaved ([edge or node][width] — lane b of the block at slot
+// index·width + b).  The single-document simulator calls it with width 1
+// (where the layout degenerates to the plain flat arrays); the batch
+// simulator calls it with width = its document block size, so the shared
+// edge metadata (parent, child, alpha) is streamed once per *block*
+// instead of once per document.  Each lane's arithmetic is independent and
+// executed in the same IEEE order at every width, so per-lane results are
+// bit-identical across widths — the invariant the batch property tests
+// assert against independent simulators.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/webwave_options.h"
@@ -19,6 +33,20 @@
 namespace webwave {
 namespace internal {
 
+// Relative utilization imbalances at or below this are treated as
+// balanced: no transfer is scheduled for them.  Without the dead band the
+// protocol never reaches a floating-point fixed point — near convergence
+// it keeps applying transfers smaller than 1 ulp of the endpoint loads
+// (which therefore never move) but comparable to 1 ulp of the smaller
+// forwarded rates, which drift one ulp per step forever, slowly eroding
+// exact flow conservation and keeping every lane permanently "changed".
+// Cutting transfers ~4 decimal orders above load ulps stops the leak and
+// makes convergence literal: once every edge is within 1e-12 relative of
+// balance, a step changes nothing, the batch engine's dirty-lane tracking
+// sees the lane clean, and incremental snapshots skip it.  1e-12 is ~1e6×
+// below every tolerance the tests and the paper's convergence metric use.
+inline constexpr double kImbalanceDeadband = 1e-12;
+
 // The tree's edges flattened into parallel arrays in ascending child-id
 // order — the fixed sweep order of every step — with the per-edge
 // diffusion parameter resolved from the alpha policy.
@@ -26,13 +54,46 @@ struct EdgeArrays {
   std::vector<NodeId> parent;
   std::vector<NodeId> child;
   std::vector<double> alpha;
+  // The options the alphas were resolved from — lets a simulator reject a
+  // shared build whose diffusion parameters do not match its own options.
+  AlphaPolicy alpha_policy = AlphaPolicy::kDegree;
+  double alpha_value = 0;
 
   std::size_t size() const { return child.size(); }
+
+  bool MatchesOptions(const WebWaveOptions& options) const {
+    if (alpha_policy != options.alpha_policy) return false;
+    return alpha_policy == AlphaPolicy::kDegree ||
+           alpha_value == options.alpha;
+  }
+
+  // True iff these arrays describe exactly `tree`'s edges — the guard the
+  // simulator constructors apply to a caller-supplied shared build, so a
+  // build for a *different* same-sized tree cannot silently diffuse over
+  // the wrong topology.  O(edges), far cheaper than rebuilding.
+  bool MatchesTree(const RoutingTree& tree) const {
+    if (size() != static_cast<std::size_t>(tree.size() - 1)) return false;
+    for (std::size_t k = 0; k < size(); ++k) {
+      const NodeId c = child[k];
+      if (c < 0 || c >= tree.size() || tree.is_root(c) ||
+          tree.parent(c) != parent[k])
+        return false;
+    }
+    return true;
+  }
 };
+
+// Read-only edge structure shared between simulators: the arrays depend
+// only on (tree, alpha policy), so one build can back a batch engine, its
+// per-document reference simulators and any closed-loop re-derivations at
+// once instead of each constructor re-flattening the same tree.
+using SharedEdgeArrays = std::shared_ptr<const EdgeArrays>;
 
 inline EdgeArrays BuildEdgeArrays(const RoutingTree& tree,
                                   const WebWaveOptions& options) {
   EdgeArrays edges;
+  edges.alpha_policy = options.alpha_policy;
+  edges.alpha_value = options.alpha;
   const std::size_t edge_count = static_cast<std::size_t>(tree.size() - 1);
   edges.parent.reserve(edge_count);
   edges.child.reserve(edge_count);
@@ -60,7 +121,12 @@ inline EdgeArrays BuildEdgeArrays(const RoutingTree& tree,
   return edges;
 }
 
-// One two-phase diffusion round over a single load lane.
+inline SharedEdgeArrays BuildSharedEdgeArrays(const RoutingTree& tree,
+                                              const WebWaveOptions& options) {
+  return std::make_shared<const EdgeArrays>(BuildEdgeArrays(tree, options));
+}
+
+// One two-phase diffusion round over a block of `width` load lanes.
 //
 // Phase 1 decides every edge's transfer from the same snapshot — the
 // synchronous rounds of Figure 5, where steps (2.1)-(2.2) read the
@@ -76,62 +142,106 @@ inline EdgeArrays BuildEdgeArrays(const RoutingTree& tree,
 // evolving state so that L >= 0 and A >= 0 hold exactly even when a node
 // participates in several transfers within one round.
 //
-// `rng` is consumed (one Bernoulli per edge) only in asynchronous mode;
-// `delta` is caller-provided scratch of edges.size() entries.
-inline void StepLane(const EdgeArrays& edges, const double* capacity,
-                     const WebWaveOptions& options, Rng& rng, double* served,
-                     double* forwarded, const double* est_down,
-                     const double* est_up, double* delta) {
+// Estimates are read from `est_plane`, the gossiped load snapshot indexed
+// by *node* (not by edge): the parent's view of child c is
+// est_plane[c·width + b], the child's view of parent p is
+// est_plane[p·width + b].  One n-sized plane per lane replaces the two
+// edge-indexed estimate arrays the simulators used to materialize — the
+// same values, read through the edge endpoints instead of pre-gathered.
+//
+// `rng` points at `width` per-lane generators; lane b consumes one
+// Bernoulli per edge (ascending edge order) in asynchronous mode only —
+// the identical draw sequence an independent simulator of that lane makes.
+// `delta` is caller-provided scratch of edges.size()·width entries.
+//
+// `changed`, when non-null, points at `width` per-lane flags; a lane's
+// flag is OR-ed to 1 iff any of its served/forwarded values actually
+// changed (a transfer below 1 ulp of its endpoint leaves the value — and
+// the flag — untouched).  This is what feeds the batch engine's dirty-lane
+// set: clean means bit-identical state, not merely "no events".
+inline void StepLaneBlock(const EdgeArrays& edges, const double* capacity,
+                          const WebWaveOptions& options, Rng* rng, int width,
+                          double* served, double* forwarded,
+                          const double* est_plane, double* delta,
+                          std::uint8_t* changed = nullptr) {
   const std::size_t edge_count = edges.size();
+  const std::size_t w = static_cast<std::size_t>(width);
   for (std::size_t k = 0; k < edge_count; ++k) {
-    if (options.asynchronous &&
-        !rng.NextBernoulli(options.activation_probability)) {
-      delta[k] = 0;
-      continue;
-    }
     const std::size_t p = static_cast<std::size_t>(edges.parent[k]);
     const std::size_t c = static_cast<std::size_t>(edges.child[k]);
     const double cp = capacity[p];
     const double cc = capacity[c];
-    const double up = served[p] / cp;
-    const double uc = served[c] / cc;
-    const double parent_view = est_down[k] / cc;
-    const double child_view = est_up[k] / cp;
     const double scale = std::min(cp, cc);
-    double d = 0;
-    if (up > parent_view) {
-      d = std::min(edges.alpha[k] * (up - parent_view) * scale, forwarded[c]);
-    } else if (uc > child_view) {
-      d = -std::min(edges.alpha[k] * (uc - child_view) * scale, served[c]);
+    const double alpha = edges.alpha[k];
+    const double* sp = served + p * w;
+    const double* sc = served + c * w;
+    const double* fc = forwarded + c * w;
+    const double* ep = est_plane + p * w;
+    const double* ec = est_plane + c * w;
+    double* dk = delta + k * w;
+    for (std::size_t b = 0; b < w; ++b) {
+      if (options.asynchronous &&
+          !rng[b].NextBernoulli(options.activation_probability)) {
+        dk[b] = 0;
+        continue;
+      }
+      const double up = sp[b] / cp;
+      const double uc = sc[b] / cc;
+      const double parent_view = ec[b] / cc;
+      const double child_view = ep[b] / cp;
+      double d = 0;
+      if (up - parent_view > kImbalanceDeadband * up) {
+        d = std::min(alpha * (up - parent_view) * scale, fc[b]);
+      } else if (uc - child_view > kImbalanceDeadband * uc) {
+        d = -std::min(alpha * (uc - child_view) * scale, sc[b]);
+      }
+      dk[b] = d;
     }
-    delta[k] = d;
   }
 
   for (std::size_t k = 0; k < edge_count; ++k) {
-    double d = delta[k];
-    if (d == 0) continue;
     const std::size_t p = static_cast<std::size_t>(edges.parent[k]);
     const std::size_t c = static_cast<std::size_t>(edges.child[k]);
-    if (d > 0) {
-      d = std::min({d, forwarded[c], served[p]});
-      if (d <= 0) continue;
-      served[p] -= d;
-      served[c] += d;
-      forwarded[c] -= d;
-    } else {
-      const double up_amt = std::min(-d, served[c]);
-      if (up_amt <= 0) continue;
-      served[c] -= up_amt;
-      served[p] += up_amt;
-      forwarded[c] += up_amt;
+    double* sp = served + p * w;
+    double* sc = served + c * w;
+    double* fc = forwarded + c * w;
+    const double* dk = delta + k * w;
+    for (std::size_t b = 0; b < w; ++b) {
+      double d = dk[b];
+      if (d == 0) continue;
+      if (d > 0) {
+        d = std::min({d, fc[b], sp[b]});
+        if (d <= 0) continue;
+        const double np = sp[b] - d;
+        const double nc = sc[b] + d;
+        const double nf = fc[b] - d;
+        if (changed != nullptr)
+          changed[b] |= static_cast<std::uint8_t>(np != sp[b] || nc != sc[b] ||
+                                                  nf != fc[b]);
+        sp[b] = np;
+        sc[b] = nc;
+        fc[b] = nf;
+      } else {
+        const double up_amt = std::min(-d, sc[b]);
+        if (up_amt <= 0) continue;
+        const double nc = sc[b] - up_amt;
+        const double np = sp[b] + up_amt;
+        const double nf = fc[b] + up_amt;
+        if (changed != nullptr)
+          changed[b] |= static_cast<std::uint8_t>(nc != sc[b] || np != sp[b] ||
+                                                  nf != fc[b]);
+        sc[b] = nc;
+        sp[b] = np;
+        fc[b] = nf;
+      }
     }
   }
 }
 
 // Projects a lane's served vector onto the feasible set of (possibly new)
-// spontaneous rates — the demand-churn counterpart of StepLane, shared by
-// WebWaveSimulator::UpdateSpontaneous/ApplyDemandEvents and the batch
-// simulator's per-lane churn path so the two stay equivalent by
+// spontaneous rates — the demand-churn counterpart of StepLaneBlock,
+// shared by WebWaveSimulator::UpdateSpontaneous/ApplyDemandEvents and the
+// batch simulator's per-lane churn path so the two stay equivalent by
 // construction.
 //
 // In postorder, every node may keep at most the flow that now arrives at
@@ -140,17 +250,39 @@ inline void StepLane(const EdgeArrays& edges, const double* capacity,
 // is the authoritative copy, Constraint 1: A_root = 0).  This models
 // servers instantly noticing their request streams thinned.  On return the
 // lane satisfies flow conservation, L >= 0 and A >= 0 exactly.
+//
+// The width-generic form mirrors StepLaneBlock's layout: arrays are
+// [node][width] interleaved, and `select` (width flags, null = all)
+// picks which lanes of the block to project.  One postorder sweep
+// projects every selected lane — under churn that touches most of a
+// block this reads each cache line once instead of once per lane, which
+// is what keeps ApplyDemandEvents' cost flat in the block width.  Each
+// lane's arithmetic is independent and ordered exactly as the width-1
+// form, so projections agree bit for bit across layouts.
+inline void ProjectLaneBlock(const RoutingTree& tree,
+                             const double* spontaneous, double* served,
+                             double* forwarded, int width,
+                             const std::uint8_t* select) {
+  const std::size_t w = static_cast<std::size_t>(width);
+  for (const NodeId v : tree.postorder()) {
+    const std::size_t row = static_cast<std::size_t>(v) * w;
+    const bool root = tree.is_root(v);
+    for (std::size_t b = 0; b < w; ++b) {
+      if (select != nullptr && select[b] == 0) continue;
+      double arrive = spontaneous[row + b];
+      for (const NodeId c : tree.children(v))
+        arrive += forwarded[static_cast<std::size_t>(c) * w + b];
+      double serve = std::min(served[row + b], arrive);
+      if (root) serve = arrive;
+      served[row + b] = serve;
+      forwarded[row + b] = arrive - serve;
+    }
+  }
+}
+
 inline void ProjectLane(const RoutingTree& tree, const double* spontaneous,
                         double* served, double* forwarded) {
-  for (const NodeId v : tree.postorder()) {
-    double arrive = spontaneous[static_cast<std::size_t>(v)];
-    for (const NodeId c : tree.children(v))
-      arrive += forwarded[static_cast<std::size_t>(c)];
-    double serve = std::min(served[static_cast<std::size_t>(v)], arrive);
-    if (tree.is_root(v)) serve = arrive;
-    served[static_cast<std::size_t>(v)] = serve;
-    forwarded[static_cast<std::size_t>(v)] = arrive - serve;
-  }
+  ProjectLaneBlock(tree, spontaneous, served, forwarded, 1, nullptr);
 }
 
 }  // namespace internal

@@ -42,11 +42,18 @@ struct WebWaveOptions {
   std::vector<double> capacities;
   // Worker threads for the batched simulator's per-lane sweeps (ignored by
   // the single-document simulator).  0 picks one per hardware thread; the
-  // pool is clamped to the document count (a lane is the unit of work).
-  // Document lanes are partitioned statically and share no mutable state
-  // between gossip refreshes, so results are bit-identical at every thread
-  // count.
+  // pool is clamped to the document count.  Document blocks are
+  // partitioned statically and share no mutable state between gossip
+  // refreshes, so results are bit-identical at every thread count.
   int threads = 1;
+  // Document block width of the batched simulator: lanes are stored and
+  // stepped in blocks of this many documents interleaved per node/edge
+  // slot, so one sweep of the shared edge metadata advances lane_block
+  // lanes (the last block is ragged when the catalog size is not a
+  // multiple).  Purely a memory-layout knob — per-lane results are
+  // bit-identical at every width.  8 won the micro-benchmark sweep
+  // (BENCH_step_blocked.json); 1 reproduces the document-major layout.
+  int lane_block = 8;
   std::uint64_t seed = 1;
 };
 

@@ -1,5 +1,8 @@
 #include "serve/closed_loop.h"
 
+#include <algorithm>
+#include <iterator>
+
 #include "util/check.h"
 
 namespace webwave {
@@ -21,8 +24,11 @@ void ArrivalFold::Count(Span<Request> batch) {
                     "request origin out of range");
     WEBWAVE_REQUIRE(r.doc >= 0 && r.doc < docs_,
                     "request document out of range");
-    ++counts_[static_cast<std::size_t>(r.node) * dd +
-              static_cast<std::size_t>(r.doc)];
+    const std::size_t cell = static_cast<std::size_t>(r.node) * dd +
+                             static_cast<std::size_t>(r.doc);
+    // First hit of the window registers the cell for Drain's sparse walk.
+    if (counts_[cell]++ == 0)
+      touched_.push_back(static_cast<std::int64_t>(cell));
   }
   counted_ += batch.size();
 }
@@ -30,19 +36,33 @@ void ArrivalFold::Count(Span<Request> batch) {
 std::vector<DemandEvent> ArrivalFold::Drain(double window_seconds) {
   WEBWAVE_REQUIRE(window_seconds > 0, "window must be positive");
   const std::size_t dd = static_cast<std::size_t>(docs_);
+  // The cells that can produce an event are exactly (touched this window)
+  // ∪ (applied nonzero last time): anything else has count 0 and applied
+  // 0, so rate == applied and the old dense scan skipped it too.  Sorting
+  // the union restores the dense scan's node-major, document-minor
+  // emission order, so the event batches are byte-identical to it.
+  std::sort(touched_.begin(), touched_.end());
+  std::vector<std::int64_t> cells;
+  cells.reserve(touched_.size() + active_.size());
+  std::merge(touched_.begin(), touched_.end(), active_.begin(),
+             active_.end(), std::back_inserter(cells));
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
   std::vector<DemandEvent> events;
-  for (std::size_t v = 0; v < static_cast<std::size_t>(nodes_); ++v)
-    for (std::size_t d = 0; d < dd; ++d) {
-      const std::size_t cell = v * dd + d;
-      const double rate =
-          static_cast<double>(counts_[cell]) / window_seconds;
-      if (rate != applied_[cell]) {
-        events.push_back({static_cast<std::int32_t>(d),
-                          static_cast<NodeId>(v), rate});
-        applied_[cell] = rate;
-      }
-      counts_[cell] = 0;
+  std::vector<std::int64_t> next_active;
+  for (const std::int64_t cell64 : cells) {
+    const std::size_t cell = static_cast<std::size_t>(cell64);
+    const double rate = static_cast<double>(counts_[cell]) / window_seconds;
+    if (rate != applied_[cell]) {
+      events.push_back({static_cast<std::int32_t>(cell % dd),
+                        static_cast<NodeId>(cell / dd), rate});
+      applied_[cell] = rate;
     }
+    if (applied_[cell] != 0) next_active.push_back(cell64);
+    counts_[cell] = 0;
+  }
+  active_ = std::move(next_active);
+  touched_.clear();
   counted_ = 0;
   return events;
 }

@@ -13,11 +13,19 @@
 // and the serving tests:
 //
 //   generate -> serve (QuotaSnapshot::FromBatch) -> Count -> Drain ->
-//   ApplyDemandEvents -> Step x k -> re-snapshot -> next window
+//   ApplyDemandEvents -> Step x k -> RefreshFromBatch (dirty lanes only)
+//   -> ClearDirtyLanes -> next window
 //
 // so diffusion re-balances against observed demand and the serving plane
 // routes against the re-balanced copies, with no oracle knowledge of the
 // generator's true rates anywhere in the loop.
+//
+// Every stage of the loop costs O(what changed), not O(the catalog):
+// Count touches the cells requests actually hit, Drain walks only the
+// cells touched this window plus those whose previously-emitted rate must
+// be forgotten (a sorted sparse merge, byte-identical events to the old
+// dense grid scan), ApplyDemandEvents re-projects only affected lanes,
+// and RefreshFromBatch rewrites only dirty lanes' snapshot cells.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +60,11 @@ class ArrivalFold {
   std::uint64_t counted_ = 0;
   std::vector<std::uint32_t> counts_;  // node-major [v][d], current window
   std::vector<double> applied_;        // rates emitted by the last Drain
+  // Sparse bookkeeping so Drain is O(active + touched), not O(nodes·docs):
+  // cells first hit this window, and cells whose applied_ rate is nonzero
+  // (kept sorted across windows).
+  std::vector<std::int64_t> touched_;
+  std::vector<std::int64_t> active_;
 };
 
 }  // namespace webwave

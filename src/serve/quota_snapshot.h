@@ -8,15 +8,28 @@
 // the copy takes everything that reaches it).  The fraction is what lets
 // the serving plane realize quotas thinner than one request per token
 // window by Poisson thinning instead of token counting.  The layout is
-// flat and immutable: the serving plane's hot loop walks rows with no
-// hashing, no pointers and no allocation, and snapshots are cheap to
-// rebuild whenever the control plane re-balances (the closed loop
-// re-snapshots every epoch).
+// flat: the serving plane's hot loop walks rows with no hashing, no
+// pointers and no allocation.
 //
 // Snapshots come from three places: any PlacementPolicy (home-only and the
 // other baselines), DerivePlacement's TLB-realizing quotas, or live
 // BatchWebWaveSimulator lane loads through the ExportQuotas hook — the
 // diffused copy set of §7.
+//
+// Batch-produced snapshots can be refreshed *incrementally*:
+// RefreshFromBatch rewrites only the cells of lanes the engine marked
+// dirty since the last export (a per-document column index maps a lane to
+// its cells), so a closed-loop epoch that churned k of D documents pays
+// O(k·copies) instead of O(nodes·documents) — the same churn-proportional
+// cost ApplyDemandEvents already has on the control plane.  When a dirty
+// lane's copy *set* changed (not just its rates) the CSR structure must
+// shift; the refresh then merges the old snapshot's clean cells with the
+// fresh dirty cells row by row — O(cells) over the snapshot arrays, but
+// still never a rescan of the engine's clean lanes.  Either way the
+// result is cell-for-cell identical to a fresh FromBatch(batch, min_rate)
+// (asserted by serving_test); only total_rate() may differ in the last
+// ulps on the in-place path, which applies rate deltas instead of
+// re-summing.
 #pragma once
 
 #include <cstdint>
@@ -70,9 +83,23 @@ class QuotaSnapshot {
 
   // The batch engine's current served rates, via its ExportQuotas hook;
   // fractions come from the engine's tracked flows, served/(served +
-  // forwarded).
+  // forwarded).  Batch-produced snapshots carry a per-document column
+  // index and remember min_rate, so RefreshFromBatch can update them in
+  // place later.
   static QuotaSnapshot FromBatch(const BatchWebWaveSimulator& batch,
                                  double min_rate = 0);
+
+  // Incrementally re-syncs a FromBatch snapshot with the engine: only the
+  // cells of batch.DirtyLanes() are re-exported (rates and fractions
+  // rewritten in place through the column index); clean lanes' cells are
+  // untouched.  When a dirty lane's copy set changed shape, the old clean
+  // cells and the fresh dirty cells are merged into a rebuilt CSR without
+  // rescanning the engine.  Returns true when the in-place path sufficed.
+  // The caller decides when the dirty set is consumed — typically
+  // batch.ClearDirtyLanes() right after this returns.  Requires *this to
+  // have been produced by FromBatch (or a prior RefreshFromBatch) against
+  // an engine with the same node/document counts.
+  bool RefreshFromBatch(const BatchWebWaveSimulator& batch);
 
   int node_count() const { return nodes_; }
   int doc_count() const { return docs_; }
@@ -103,6 +130,8 @@ class QuotaSnapshot {
   std::vector<std::int64_t> CopiesPerDoc() const;
 
  private:
+  void BuildColumnIndex();
+
   int nodes_ = 0;
   int docs_ = 0;
   double total_ = 0;
@@ -110,6 +139,16 @@ class QuotaSnapshot {
   std::vector<std::int32_t> doc_;
   std::vector<double> rate_;
   std::vector<double> frac_;
+
+  // Column index for incremental refresh (FromBatch snapshots only, built
+  // lazily by the first RefreshFromBatch): document d's cells are
+  // col_cells_[col_off_[d] .. col_off_[d+1]), node ascending, with
+  // col_nodes_ the matching node per cell.
+  bool incremental_ = false;
+  double min_rate_ = 0;
+  std::vector<std::int64_t> col_off_;    // docs_ + 1 entries
+  std::vector<std::int64_t> col_cells_;  // cell index per column entry
+  std::vector<NodeId> col_nodes_;        // node per column entry
 };
 
 }  // namespace webwave

@@ -164,6 +164,113 @@ TEST(QuotaSnapshot, FromBatchMatchesServedLanes) {
   }
 }
 
+// Two snapshots must agree cell for cell, byte for byte (total_rate is
+// FP-order sensitive between the incremental and full paths, so it gets a
+// relative tolerance instead).
+void ExpectSameCells(const QuotaSnapshot& got, const QuotaSnapshot& want,
+                     const char* where) {
+  ASSERT_EQ(got.node_count(), want.node_count()) << where;
+  ASSERT_EQ(got.doc_count(), want.doc_count()) << where;
+  ASSERT_EQ(got.cell_count(), want.cell_count()) << where;
+  for (NodeId v = 0; v < want.node_count(); ++v) {
+    ASSERT_EQ(got.row_begin(v), want.row_begin(v)) << where << " node " << v;
+    ASSERT_EQ(got.row_end(v), want.row_end(v)) << where << " node " << v;
+  }
+  for (std::int64_t c = 0; c < want.cell_count(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    ASSERT_EQ(got.cell_docs()[i], want.cell_docs()[i]) << where << " cell " << c;
+    ASSERT_EQ(got.cell_rates()[i], want.cell_rates()[i]) << where << " cell " << c;
+    ASSERT_EQ(got.cell_fractions()[i], want.cell_fractions()[i])
+        << where << " cell " << c;
+  }
+  EXPECT_NEAR(got.total_rate(), want.total_rate(),
+              1e-9 * (1 + std::abs(want.total_rate())));
+}
+
+// The incremental-snapshot contract: across closed-loop style epochs
+// (churn some lanes -> step -> re-snapshot), RefreshFromBatch on a
+// maintained snapshot must equal a from-scratch FromBatch cell for cell —
+// whether the in-place path ran or a copy-set change forced the
+// structural fallback.
+TEST(QuotaSnapshot, RefreshFromBatchMatchesFullRebuildAcrossEpochs) {
+  Rng rng(19);
+  const RoutingTree tree = MakeRandomTree(60, rng);
+  const int docs = 10;
+  std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+  for (auto& lane : lanes) {
+    lane.assign(static_cast<std::size_t>(tree.size()), 0.0);
+    for (auto& r : lane)
+      if (rng.NextBernoulli(0.5)) r = rng.NextDouble(0, 8);
+  }
+  const double min_rate = 1e-9;
+  BatchWebWaveSimulator batch(tree, lanes, {});
+  for (int s = 0; s < 50; ++s) batch.Step();
+
+  QuotaSnapshot maintained = QuotaSnapshot::FromBatch(batch, min_rate);
+  batch.ClearDirtyLanes();
+  ExpectSameCells(maintained, QuotaSnapshot::FromBatch(batch, min_rate),
+                  "initial");
+
+  bool saw_in_place = false, saw_fallback = false;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    // Alternate gentle churn (rates move, copy sets mostly survive) with
+    // violent churn (demand appears at fresh nodes, copy sets change) so
+    // both refresh paths are exercised.
+    std::vector<DemandEvent> events;
+    if (epoch % 2 == 0) {
+      events.push_back({epoch % docs, 3, rng.NextDouble(1, 10)});
+      events.push_back({(epoch + 3) % docs, 7, rng.NextDouble(1, 10)});
+    } else {
+      for (NodeId v = 0; v < tree.size(); ++v)
+        if (rng.NextBernoulli(0.4))
+          events.push_back({(epoch * 3) % docs, v,
+                            rng.NextBernoulli(0.5) ? 0.0
+                                                   : rng.NextDouble(0, 12)});
+    }
+    batch.ApplyDemandEvents(events);
+    for (int s = 0; s < 6; ++s) batch.Step();
+
+    const bool in_place = maintained.RefreshFromBatch(batch);
+    saw_in_place = saw_in_place || in_place;
+    saw_fallback = saw_fallback || !in_place;
+    batch.ClearDirtyLanes();
+    ExpectSameCells(maintained, QuotaSnapshot::FromBatch(batch, min_rate),
+                    "epoch refresh");
+  }
+  // The scenario is built to hit both paths; if it stops doing so the test
+  // has silently lost half its coverage.
+  EXPECT_TRUE(saw_fallback) << "no epoch exercised the structural fallback";
+}
+
+TEST(QuotaSnapshot, RefreshWithNoDirtyLanesLeavesEverythingInPlace) {
+  Rng rng(23);
+  const RoutingTree tree = MakeRandomTree(30, rng);
+  std::vector<std::vector<double>> lanes(3);
+  for (auto& lane : lanes) {
+    lane.assign(static_cast<std::size_t>(tree.size()), 0.0);
+    for (auto& r : lane) r = rng.NextDouble(0, 4);
+  }
+  BatchWebWaveSimulator batch(tree, lanes, {});
+  for (int s = 0; s < 20; ++s) batch.Step();
+  QuotaSnapshot snap = QuotaSnapshot::FromBatch(batch);
+  batch.ClearDirtyLanes();
+  const QuotaSnapshot before = snap;
+  EXPECT_TRUE(snap.RefreshFromBatch(batch));
+  ExpectSameCells(snap, before, "no dirty lanes");
+}
+
+TEST(QuotaSnapshot, RefreshRequiresABatchProducedSnapshot) {
+  Rng rng(29);
+  const RoutingTree tree = MakeRandomTree(20, rng);
+  const DemandMatrix demand = UniformRandomDemand(tree, 3, 5, rng);
+  QuotaSnapshot placed =
+      QuotaSnapshot::FromPlacement(DerivePlacement(tree, demand));
+  std::vector<std::vector<double>> lanes(
+      3, std::vector<double>(static_cast<std::size_t>(tree.size()), 1.0));
+  BatchWebWaveSimulator batch(tree, lanes, {});
+  EXPECT_THROW(placed.RefreshFromBatch(batch), std::invalid_argument);
+}
+
 // Serving -----------------------------------------------------------------
 
 TEST(ServingPlane, ExactProportionalBudgetsOnAChain) {
@@ -393,6 +500,12 @@ TEST(ClosedLoop, ReducesMaxServerLoadVersusHomeOnlyUnderRotation) {
   const std::size_t half = window / 2;
   std::uint64_t worst_webwave = 0, worst_home = 0;
   std::vector<Request> batch;
+  // One maintained snapshot for the whole run, re-synced incrementally
+  // from the engine's dirty lanes each time diffusion moved — the
+  // closed-loop protocol of serve/README.md.
+  const double min_rate = 1e-9 * base * tree.size() * docs;
+  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, min_rate);
+  sim.ClearDirtyLanes();
   for (int epoch = 0; epoch < rotation; ++epoch) {
     RequestGenerator gen(
         tree, docs,
@@ -406,8 +519,7 @@ TEST(ClosedLoop, ReducesMaxServerLoadVersusHomeOnlyUnderRotation) {
 
     // First half: serve (stale placement), measure, re-diffuse.
     {
-      ServingPlane plane(
-          tree, QuotaSnapshot::FromBatch(sim, 1e-9 * gen.total_rate()), sopt);
+      ServingPlane plane(tree, snap, sopt);
       plane.Serve(Span<Request>(batch.data(), half));
     }
     fold.Count(Span<Request>(batch.data(), half));
@@ -415,8 +527,9 @@ TEST(ClosedLoop, ReducesMaxServerLoadVersusHomeOnlyUnderRotation) {
     for (int s = 0; s < 80; ++s) sim.Step();
 
     // Second half: the refreshed copies carry the hot window's load.
-    ServingPlane plane(
-        tree, QuotaSnapshot::FromBatch(sim, 1e-9 * gen.total_rate()), sopt);
+    snap.RefreshFromBatch(sim);
+    sim.ClearDirtyLanes();
+    ServingPlane plane(tree, snap, sopt);
     plane.Serve(Span<Request>(batch.data() + half, window - half));
     worst_webwave = std::max(worst_webwave, plane.metrics().MaxServed());
 

@@ -2,8 +2,10 @@
 // document for document: same tree, same options, lane d seeded
 // options.seed + d.  The sweeps below assert exact per-lane agreement
 // under the paper's assumptions and their relaxations (gossip period,
-// gossip delay, asynchronous activation), plus invariants and the
-// catalog wiring.
+// gossip delay, asynchronous activation) and across document block
+// widths — the blocked kernel interleaves lanes in memory but must not
+// change a single bit of any lane — plus invariants, dirty-lane
+// tracking and the catalog wiring.
 #include "core/load_model.h"
 #include "core/webfold.h"
 #include "core/webwave.h"
@@ -14,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace webwave {
@@ -27,12 +30,14 @@ struct BatchCase {
   int gossip_period;
   int gossip_delay;
   int steps;
+  int lane_block = 8;
 };
 
 std::ostream& operator<<(std::ostream& os, const BatchCase& c) {
   return os << "n=" << c.nodes << " docs=" << c.docs << " seed=" << c.seed
             << (c.asynchronous ? " async" : " sync")
-            << " gp=" << c.gossip_period << " gd=" << c.gossip_delay;
+            << " gp=" << c.gossip_period << " gd=" << c.gossip_delay
+            << " B=" << c.lane_block;
 }
 
 std::vector<std::vector<double>> RandomLanes(int nodes, int docs, Rng& rng) {
@@ -58,14 +63,20 @@ TEST_P(BatchEquivalenceSweep, MatchesIndependentSimulatorsDocumentForDocument) {
   opt.asynchronous = c.asynchronous;
   opt.gossip_period = c.gossip_period;
   opt.gossip_delay = c.gossip_delay;
+  opt.lane_block = c.lane_block;
   opt.seed = c.seed * 101 + 7;
 
   BatchWebWaveSimulator batch(tree, lanes, opt);
+  // The independent reference simulators share the batch's edge build —
+  // one flattening of the tree for the whole test (and a live check that
+  // a shared build gives the same results as a private one).
+  const internal::SharedEdgeArrays edges = batch.shared_edges();
   std::vector<WebWaveSimulator> singles;
   for (int d = 0; d < c.docs; ++d) {
     WebWaveOptions lane_opt = opt;
     lane_opt.seed = opt.seed + static_cast<std::uint64_t>(d);
-    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt);
+    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt,
+                         edges);
   }
 
   for (int s = 0; s < c.steps; ++s) {
@@ -73,10 +84,11 @@ TEST_P(BatchEquivalenceSweep, MatchesIndependentSimulatorsDocumentForDocument) {
     for (auto& single : singles) single.Step();
     if (s % 16 != 0) continue;
     for (int d = 0; d < c.docs; ++d) {
-      const double* lane = batch.served(d);
+      const std::vector<double> lane = batch.ServedLane(d);
       const std::vector<double>& expect = singles[static_cast<std::size_t>(d)].served();
       for (int v = 0; v < c.nodes; ++v)
-        ASSERT_EQ(lane[v], expect[static_cast<std::size_t>(v)])
+        ASSERT_EQ(lane[static_cast<std::size_t>(v)],
+                  expect[static_cast<std::size_t>(v)])
             << c << " step=" << s << " doc=" << d << " node=" << v;
     }
   }
@@ -93,6 +105,22 @@ INSTANTIATE_TEST_SUITE_P(
                       BatchCase{30, 5, 6, false, 4, 3, 150},
                       BatchCase{35, 4, 7, true, 1, 0, 120},
                       BatchCase{30, 4, 8, true, 2, 1, 150}));
+
+// Ragged-block coverage: catalog sizes around the block width (D = 1, 7,
+// B, B+1 and a many-block ragged 65 at B = 8; plus non-default widths),
+// so full blocks, the ragged tail and the single-lane degenerate case all
+// step bit-identically to independent simulators.
+INSTANTIATE_TEST_SUITE_P(
+    RaggedBlocks, BatchEquivalenceSweep,
+    ::testing::Values(BatchCase{24, 1, 11, false, 1, 0, 60, 8},
+                      BatchCase{24, 7, 12, false, 2, 1, 80, 8},
+                      BatchCase{24, 8, 13, false, 1, 0, 80, 8},
+                      BatchCase{24, 9, 14, false, 1, 2, 80, 8},
+                      BatchCase{20, 65, 15, false, 1, 0, 40, 8},
+                      BatchCase{24, 9, 16, true, 2, 1, 80, 8},
+                      BatchCase{24, 10, 17, false, 1, 0, 60, 4},
+                      BatchCase{24, 10, 18, false, 3, 2, 80, 1},
+                      BatchCase{24, 5, 19, true, 1, 0, 60, 16}));
 
 TEST(BatchWebWave, LanesConvergeToTheirOwnTlbAssignments) {
   Rng rng(21);
@@ -118,10 +146,13 @@ TEST(BatchWebWave, NodeLoadsSumLanes) {
   BatchWebWaveSimulator batch(tree, lanes);
   for (int s = 0; s < 40; ++s) batch.Step();
   const std::vector<double> totals = batch.NodeLoads();
+  std::vector<std::vector<double>> served;
+  for (int d = 0; d < 5; ++d) served.push_back(batch.ServedLane(d));
   double mx = 0;
   for (int v = 0; v < 30; ++v) {
     double sum = 0;
-    for (int d = 0; d < 5; ++d) sum += batch.served(d)[v];
+    for (int d = 0; d < 5; ++d)
+      sum += served[static_cast<std::size_t>(d)][static_cast<std::size_t>(v)];
     EXPECT_NEAR(totals[static_cast<std::size_t>(v)], sum, 1e-12);
     mx = std::max(mx, sum);
   }
@@ -171,12 +202,14 @@ std::vector<DemandEvent> ShockEvents(const RoutingTree& tree, int docs,
 
 // The tentpole guarantee: the threaded batch step is bit-identical to the
 // serial path at 1, 2 and 8 threads, including under per-lane demand
-// churn and with delayed gossip in play.
+// churn and with delayed gossip in play.  docs = 20 spans two full blocks
+// plus a ragged tail at the default width, so the static partition splits
+// mid-catalog.
 class ThreadInvarianceSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreadInvarianceSweep, BatchStepsBitIdenticalToSerialUnderChurn) {
   const int gossip_delay = GetParam();
-  const int nodes = 40, docs = 8;  // >= 8 so the pool is not clamped below
+  const int nodes = 40, docs = 20;
   const std::uint64_t seed = 12;
   Rng rng(seed);
   const RoutingTree tree = MakeRandomTree(nodes, rng);
@@ -198,6 +231,7 @@ TEST_P(ThreadInvarianceSweep, BatchStepsBitIdenticalToSerialUnderChurn) {
   ASSERT_EQ(serial.thread_count(), 1);
   ASSERT_EQ(two.thread_count(), 2);
   ASSERT_EQ(eight.thread_count(), 8);
+  ASSERT_EQ(serial.lane_block(), 8);
 
   for (int round = 0; round < 6; ++round) {
     const std::vector<DemandEvent> events =
@@ -211,10 +245,10 @@ TEST_P(ThreadInvarianceSweep, BatchStepsBitIdenticalToSerialUnderChurn) {
       eight.Step();
     }
     for (int d = 0; d < docs; ++d) {
-      const double* expect = serial.served(d);
-      const double* got2 = two.served(d);
-      const double* got8 = eight.served(d);
-      for (int v = 0; v < nodes; ++v) {
+      const std::vector<double> expect = serial.ServedLane(d);
+      const std::vector<double> got2 = two.ServedLane(d);
+      const std::vector<double> got8 = eight.ServedLane(d);
+      for (std::size_t v = 0; v < static_cast<std::size_t>(nodes); ++v) {
         ASSERT_EQ(got2[v], expect[v])
             << "2 threads, gd=" << gossip_delay << " round=" << round
             << " doc=" << d << " node=" << v;
@@ -230,12 +264,36 @@ TEST_P(ThreadInvarianceSweep, BatchStepsBitIdenticalToSerialUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(GossipDelays, ThreadInvarianceSweep,
                          ::testing::Values(0, 2));
 
+// Threaded + asynchronous: per-lane RNG streams must stay on their lanes
+// regardless of which worker sweeps which block.
+TEST(BatchWebWave, AsynchronousThreadedMatchesSerial) {
+  const int nodes = 30, docs = 13;
+  Rng rng(77);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+  const std::vector<std::vector<double>> lanes =
+      RandomLanes(nodes, docs, rng);
+  WebWaveOptions opt;
+  opt.asynchronous = true;
+  opt.seed = 77;
+  opt.lane_block = 4;
+  BatchWebWaveSimulator serial(tree, lanes, opt);
+  opt.threads = 8;
+  BatchWebWaveSimulator threaded(tree, lanes, opt);
+  for (int s = 0; s < 60; ++s) {
+    serial.Step();
+    threaded.Step();
+  }
+  for (int d = 0; d < docs; ++d)
+    ASSERT_EQ(serial.ServedLane(d), threaded.ServedLane(d)) << "doc " << d;
+}
+
 // Churn equivalence: a batch receiving demand events per lane must match
 // independent WebWaveSimulators receiving the merged vectors through
 // UpdateSpontaneous — the per-lane gossip-history restart must not leak
-// into untouched lanes.
+// into untouched lanes (which share ring slots and the front estimate
+// plane with churned lanes of the same block).
 TEST(BatchWebWave, ApplyDemandEventsMatchesIndependentSimulatorsUnderChurn) {
-  const int nodes = 30, docs = 4;
+  const int nodes = 30, docs = 10;  // blocks of 8: one full + ragged pair
   const std::uint64_t seed = 31;
   Rng rng(seed);
   const RoutingTree tree = MakeRandomTree(nodes, rng);
@@ -251,7 +309,8 @@ TEST(BatchWebWave, ApplyDemandEventsMatchesIndependentSimulatorsUnderChurn) {
   for (int d = 0; d < docs; ++d) {
     WebWaveOptions lane_opt = opt;
     lane_opt.seed = opt.seed + static_cast<std::uint64_t>(d);
-    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt);
+    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt,
+                         batch.shared_edges());
   }
 
   for (int round = 0; round < 8; ++round) {
@@ -273,14 +332,100 @@ TEST(BatchWebWave, ApplyDemandEventsMatchesIndependentSimulatorsUnderChurn) {
       for (auto& single : singles) single.Step();
     }
     for (int d = 0; d < docs; ++d) {
-      const double* lane = batch.served(d);
+      const std::vector<double> lane = batch.ServedLane(d);
       const std::vector<double>& expect =
           singles[static_cast<std::size_t>(d)].served();
-      for (int v = 0; v < nodes; ++v)
-        ASSERT_EQ(lane[v], expect[static_cast<std::size_t>(v)])
+      for (std::size_t v = 0; v < static_cast<std::size_t>(nodes); ++v)
+        ASSERT_EQ(lane[v], expect[v])
             << "round=" << round << " doc=" << d << " node=" << v;
     }
   }
+  ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
+}
+
+// ChurnSchedule-driven equivalence at a non-trivial block width: the
+// rotating-hot-spot event stream of the churn layer, applied both to the
+// batch and to merged per-lane vectors on independent simulators.
+TEST(BatchWebWave, ChurnScheduleEventsKeepBlockedLanesEquivalent) {
+  const int nodes = 40, docs = 6;
+  Rng rng(55);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+  ChurnScheduleOptions copt;
+  copt.pattern = ChurnPattern::kRotatingHotSpot;
+  copt.doc_count = docs;
+  copt.base_rate = 1.0;
+  copt.hot_rate = 25.0;
+  copt.hot_fraction = 0.2;
+  copt.rotation_epochs = 5;
+  copt.seed = 9;
+  ChurnSchedule schedule(tree, copt);
+
+  std::vector<std::vector<double>> lanes = schedule.Lanes();
+  WebWaveOptions opt;
+  opt.lane_block = 4;
+  opt.gossip_delay = 1;
+  opt.seed = 2;
+  BatchWebWaveSimulator batch(tree, lanes, opt);
+  std::vector<WebWaveSimulator> singles;
+  for (int d = 0; d < docs; ++d) {
+    WebWaveOptions lane_opt = opt;
+    lane_opt.seed = opt.seed + static_cast<std::uint64_t>(d);
+    singles.emplace_back(tree, lanes[static_cast<std::size_t>(d)], lane_opt,
+                         batch.shared_edges());
+  }
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const std::vector<DemandEvent> events = schedule.NextEvents();
+    batch.ApplyDemandEvents(events);
+    for (const DemandEvent& e : events)
+      lanes[static_cast<std::size_t>(e.doc)][static_cast<std::size_t>(
+          e.node)] = e.rate;
+    for (int d = 0; d < docs; ++d)
+      singles[static_cast<std::size_t>(d)].UpdateSpontaneous(
+          lanes[static_cast<std::size_t>(d)]);
+    for (int s = 0; s < 8; ++s) {
+      batch.Step();
+      for (auto& single : singles) single.Step();
+    }
+    for (int d = 0; d < docs; ++d)
+      ASSERT_EQ(batch.ServedLane(d),
+                singles[static_cast<std::size_t>(d)].served())
+          << "epoch=" << epoch << " doc=" << d;
+  }
+}
+
+// Dirty-lane tracking: construction marks everything dirty; churn marks
+// exactly the affected lanes; a lane at its floating-point fixed point
+// steps clean; ClearDirtyLanes resets.
+TEST(BatchWebWave, DirtyLaneTrackingFollowsActualStateChanges) {
+  const int nodes = 20, docs = 10;
+  Rng rng(61);
+  const RoutingTree tree = MakeRandomTree(nodes, rng);
+  const std::vector<std::vector<double>> lanes =
+      RandomLanes(nodes, docs, rng);
+  BatchWebWaveSimulator batch(tree, lanes);
+  EXPECT_EQ(batch.dirty_lane_count(), docs);  // never snapshotted
+
+  batch.ClearDirtyLanes();
+  EXPECT_EQ(batch.dirty_lane_count(), 0);
+  batch.Step();
+  // A fresh all-at-root start moves load on the first step in every lane
+  // with any demand below the root.
+  EXPECT_GT(batch.dirty_lane_count(), 0);
+
+  // Diffuse to the fixed point: once no transfer changes any value, steps
+  // keep every lane clean — the property RefreshFromBatch relies on.
+  for (int s = 0; s < 20000; ++s) batch.Step();
+  batch.ClearDirtyLanes();
+  for (int s = 0; s < 5; ++s) batch.Step();
+  EXPECT_EQ(batch.dirty_lane_count(), 0)
+      << "converged lanes must step clean";
+
+  // Churn two lanes: exactly those become dirty, and stay the only dirty
+  // ones while the others sit at their fixed points.
+  batch.ApplyDemandEvents({{2, 5, 9.5}, {7, 1, 0.0}});
+  EXPECT_EQ(batch.DirtyLanes(), (std::vector<int>{2, 7}));
+  for (int s = 0; s < 3; ++s) batch.Step();
+  for (const int d : batch.DirtyLanes()) EXPECT_TRUE(d == 2 || d == 7);
   ASSERT_NO_THROW(batch.CheckInvariants(1e-6));
 }
 
@@ -314,8 +459,30 @@ TEST(BatchWebWave, RejectsMalformedInput) {
   EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2}}), std::invalid_argument);
   EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2, -1}}),
                std::invalid_argument);
+  WebWaveOptions opt;
+  opt.lane_block = 0;
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2, 3}}, opt),
+               std::invalid_argument);
   const DemandMatrix wrong(5, 2);
   EXPECT_THROW(MakeCatalogBatch(tree, wrong), std::invalid_argument);
+  // A shared edge build carries its alpha options: passing one built
+  // under a different policy must be rejected, not silently diffused.
+  WebWaveOptions fixed;
+  fixed.alpha_policy = AlphaPolicy::kFixed;
+  fixed.alpha = 0.4;
+  const internal::SharedEdgeArrays mismatched =
+      internal::BuildSharedEdgeArrays(tree, fixed);
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2, 3}}, {}, mismatched),
+               std::invalid_argument);
+  EXPECT_THROW(WebWaveSimulator(tree, {1, 2, 3}, {}, mismatched),
+               std::invalid_argument);
+  // ... and one built for a different same-sized tree must be rejected
+  // too (wrong topology, not just wrong parameters).
+  const RoutingTree other = RoutingTree::FromParents({1, 2, kNoNode});
+  const internal::SharedEdgeArrays wrong_tree =
+      internal::BuildSharedEdgeArrays(other, WebWaveOptions{});
+  EXPECT_THROW(BatchWebWaveSimulator(tree, {{1, 2, 3}}, {}, wrong_tree),
+               std::invalid_argument);
 }
 
 }  // namespace

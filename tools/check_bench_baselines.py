@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Warn-only throughput regression check for the smoke-bench JSON artifacts.
+
+Compares freshly produced BENCH_*.json files against the committed
+baselines in bench/baselines/ and prints a GitHub Actions `::warning::`
+annotation for every throughput field that fell below
+`threshold x baseline`.  The check never fails the build — CI runners are
+noisy and heterogeneous; the point is to surface a suspicious drop on the
+PR, not to gate on it.  Refresh a baseline by copying the smoke artifact
+over the file in bench/baselines/ when a change legitimately moves the
+numbers.
+
+Usage: check_bench_baselines.py [--baselines DIR] [--current DIR]
+                                [--threshold 0.5]
+
+Records are matched per bench by the key fields below; records present on
+only one side are reported informationally and skipped.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# bench name -> (key fields, higher-is-better throughput fields)
+RULES = {
+    "tab_batch_catalog": (("nodes", "docs", "lane_block"),
+                          ("lane_steps_per_sec",)),
+    "tab_rotating_hotspot": (("record", "epoch"), ("lane_steps_per_sec",)),
+    "tab_serving": (("record", "placement", "epoch"),
+                    ("req_per_sec", "snapshot_speedup")),
+    "micro_step_blocked": (("nodes", "docs", "lane_block"),
+                           ("lane_steps_per_sec",)),
+}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def key_of(bench, run):
+    keys, _ = RULES[bench]
+    return tuple((k, run.get(k)) for k in keys if k in run)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baselines", default="bench/baselines")
+    ap.add_argument("--current", default=".")
+    ap.add_argument("--threshold", type=float, default=0.5)
+    args = ap.parse_args()
+
+    warned = 0
+    compared = 0
+    for name in sorted(os.listdir(args.baselines)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        base_path = os.path.join(args.baselines, name)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            print(f"note: {name}: no current artifact, skipping")
+            continue
+        base = load(base_path)
+        cur = load(cur_path)
+        bench = base.get("bench")
+        if bench not in RULES or cur.get("bench") != bench:
+            print(f"note: {name}: bench {bench!r} has no rules, skipping")
+            continue
+        _, fields = RULES[bench]
+        cur_by_key = {}
+        for run in cur.get("runs", []):
+            cur_by_key.setdefault(key_of(bench, run), run)
+        for run in base.get("runs", []):
+            key = key_of(bench, run)
+            got = cur_by_key.get(key)
+            if got is None:
+                print(f"note: {name}: no current run for {dict(key)}")
+                continue
+            for field in fields:
+                want = run.get(field)
+                have = got.get(field)
+                if not isinstance(want, (int, float)) or not isinstance(
+                        have, (int, float)) or want <= 0:
+                    continue
+                compared += 1
+                if have < args.threshold * want:
+                    warned += 1
+                    print(f"::warning title=bench regression ({bench})::"
+                          f"{field} at {dict(key)} dropped to {have:.3g} "
+                          f"from baseline {want:.3g} "
+                          f"({have / want:.0%}, threshold "
+                          f"{args.threshold:.0%})")
+    print(f"bench baseline check: {compared} fields compared, "
+          f"{warned} warning(s)")
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())
