@@ -17,11 +17,20 @@
 // serves the second half from the refreshed placement — head-to-head
 // against home-only on the same stream while the hot spot rotates.
 //
-// Part 3 isolates the incremental snapshot: a catalog where 95 % of the
-// documents sit at their diffusion fixed point (they step clean) while
-// 5 % take a rotating hot window, re-snapshotted both ways each epoch —
-// full FromBatch versus RefreshFromBatch over the dirty lanes — with the
-// results asserted cell-for-cell identical and both timings recorded.
+// Part 3 isolates the incremental snapshot *and* the incremental serving
+// plane: a catalog where 95 % of the documents sit at their diffusion
+// fixed point (they step clean) while 5 % take a rotating hot window,
+// re-snapshotted both ways each epoch — full FromBatch versus
+// RefreshFromBatch over the dirty lanes — with the results asserted
+// cell-for-cell identical and both timings recorded; the same epochs
+// also rebuild a ServingPlane from scratch versus ServingPlane::Refresh
+// over the dirty documents, asserted table-identical.
+//
+// Part 4 is the capacity sweep at part-1 scale: the WebWave-TLB
+// placement clamped through a CapacityProjector at a ladder of per-node
+// byte budgets (lognormal document sizes), served against the part-1
+// stream — the storage axis tab_capacity sweeps in full, here at 10⁶
+// nodes.  Spill conservation and the >= 1x-budget no-op are asserted.
 //
 // Emits BENCH_serving.json.  Environment knobs:
 //   WEBWAVE_SMOKE             reduced shapes (the CI smoke configuration)
@@ -33,6 +42,7 @@
 //   WEBWAVE_SNAP_NODES/_DOCS/_EPOCHS          part-3 shape overrides
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -46,6 +56,9 @@
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
 #include "stats/summary.h"
+#include "store/cache_store.h"
+#include "store/capacity_projector.h"
+#include "store/document_sizes.h"
 #include "tree/builders.h"
 #include "util/ascii.h"
 #include "util/bench_json.h"
@@ -177,10 +190,27 @@ int main() {
   AsciiTable loop_table({"epoch", "events", "webwave max", "home max",
                          "improvement", "hit %", "loop ms"});
   std::vector<Request> window_buf;
-  // One maintained snapshot for the whole loop, re-synced from the
-  // engine's dirty lanes after each re-balance instead of rebuilt.
+  // One maintained snapshot *and* one maintained serving plane for the
+  // whole loop: the snapshot re-syncs from the engine's dirty lanes
+  // (RefreshFromBatch), the plane re-syncs from the snapshot
+  // (ServingPlane::Refresh) — nothing is rebuilt from scratch per epoch.
   QuotaSnapshot loop_snap = QuotaSnapshot::FromBatch(sim, 1e-12);
   sim.ClearDirtyLanes();
+  ServingOptions loop_sopt;
+  loop_sopt.threads = threads;
+  loop_sopt.block_size =
+      EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, loop_nodes));
+  // The generator total is epoch-invariant (the hot window only moves),
+  // so one fixed scale serves every epoch and keeps refreshes hinted.
+  {
+    RequestGenerator probe(
+        loop_tree, loop_docs,
+        {RotatingHotSpotComponent(loop_tree, loop_docs, 1.0, 50.0, 0.05, 0,
+                                  rotation)},
+        500);
+    loop_sopt.offered_rate = probe.total_rate();
+  }
+  ServingPlane plane(loop_tree, loop_snap, loop_sopt);
   for (int epoch = 0; epoch < loop_epochs; ++epoch) {
     const auto t_epoch = Clock::now();
     RequestGenerator wgen(
@@ -192,24 +222,22 @@ int main() {
     const std::size_t half = loop_window / 2;
     const double half_seconds =
         static_cast<double>(half) / wgen.total_rate();
-    ServingOptions sopt;
-    sopt.threads = threads;
-    sopt.offered_rate = wgen.total_rate();
-    sopt.block_size =
-        EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, loop_nodes));
+    ServingOptions sopt = loop_sopt;
 
-    {  // first half: stale copies; its measurements drive the re-balance
-      ServingPlane plane(loop_tree, loop_snap, sopt);
-      plane.Serve(Span<Request>(window_buf.data(), half));
-    }
+    // First half: stale copies; its measurements drive the re-balance.
+    plane.ResetMetrics();
+    plane.Serve(Span<Request>(window_buf.data(), half));
     fold.Count(Span<Request>(window_buf.data(), half));
     const std::vector<DemandEvent> events = fold.Drain(half_seconds);
     sim.ApplyDemandEvents(events);
     for (int s = 0; s < 12; ++s) sim.Step();
 
+    const std::vector<int> loop_dirty = sim.DirtyLanes();
     loop_snap.RefreshFromBatch(sim);
     sim.ClearDirtyLanes();
-    ServingPlane plane(loop_tree, loop_snap, sopt);
+    plane.Refresh(loop_snap, Span<const std::int32_t>(
+                                 loop_dirty.data(), loop_dirty.size()));
+    plane.ResetMetrics();
     plane.Serve(Span<Request>(window_buf.data() + half, loop_window - half));
     ServingPlane home(loop_tree,
                       HomeOnlyPolicy().Place(loop_tree, wgen.ExpectedLanes()),
@@ -290,8 +318,18 @@ int main() {
   QuotaSnapshot incr = QuotaSnapshot::FromBatch(snap_sim, snap_min_rate);
   snap_sim.ClearDirtyLanes();
 
+  // The maintained serving plane refreshed per epoch, timed against a
+  // from-scratch construction and asserted table-identical to it.
+  ServingOptions snap_sopt;
+  snap_sopt.threads = threads;
+  snap_sopt.offered_rate = 25.0 * snap_docs;
+  snap_sopt.block_size =
+      EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, snap_nodes));
+  ServingPlane inc_plane(snap_tree, incr, snap_sopt);
+
   AsciiTable snap_table({"epoch", "dirty lanes", "cells", "mode", "full ms",
-                         "incremental ms", "speedup", "identical"});
+                         "incremental ms", "speedup", "plane full ms",
+                         "plane incr ms", "identical"});
   for (int epoch = 0; epoch < snap_epochs; ++epoch) {
     // Re-shock the flash-crowd lanes: each keeps its own fixed stretch of
     // the leaf ring, the per-leaf intensity is redrawn every epoch (well
@@ -312,6 +350,7 @@ int main() {
     for (int s = 0; s < 8; ++s) snap_sim.Step();
     const int dirty = snap_sim.dirty_lane_count();
 
+    const std::vector<int> snap_dirty = snap_sim.DirtyLanes();
     const auto t_full = Clock::now();
     const QuotaSnapshot full = QuotaSnapshot::FromBatch(snap_sim,
                                                         snap_min_rate);
@@ -320,6 +359,20 @@ int main() {
     const bool in_place = incr.RefreshFromBatch(snap_sim);
     const double incr_ms = MillisSince(t_incr);
     snap_sim.ClearDirtyLanes();
+
+    // The serving-plane analogue: rebuild from scratch vs Refresh over
+    // the dirty documents' rows.
+    const auto t_plane_full = Clock::now();
+    const ServingPlane full_plane(snap_tree, full, snap_sopt);
+    const double plane_full_ms = MillisSince(t_plane_full);
+    const auto t_plane_incr = Clock::now();
+    const bool plane_in_place = inc_plane.Refresh(
+        incr, Span<const std::int32_t>(snap_dirty.data(), snap_dirty.size()));
+    const double plane_incr_ms = MillisSince(t_plane_incr);
+    if (!inc_plane.TablesEqual(full_plane)) {
+      std::printf("FATAL: refreshed serving plane diverged from a fresh one\n");
+      return 1;
+    }
 
     bool identical = incr.cell_count() == full.cell_count();
     for (NodeId v = 0; identical && v < snap_tree.size(); ++v)
@@ -341,6 +394,7 @@ int main() {
          AsciiTable::Int(full.cell_count()), in_place ? "in-place" : "merge",
          AsciiTable::Num(full_ms, 2), AsciiTable::Num(incr_ms, 2),
          AsciiTable::Num(full_ms / std::max(1e-9, incr_ms), 1) + "x",
+         AsciiTable::Num(plane_full_ms, 2), AsciiTable::Num(plane_incr_ms, 2),
          "yes"});
     json.BeginRun();
     json.Add("record", std::string("snapshot_epoch"));
@@ -353,8 +407,79 @@ int main() {
     json.Add("full_ms", full_ms);
     json.Add("incremental_ms", incr_ms);
     json.Add("snapshot_speedup", full_ms / std::max(1e-9, incr_ms));
+    json.Add("plane_full_ms", plane_full_ms);
+    json.Add("plane_incremental_ms", plane_incr_ms);
+    json.Add("plane_in_place", plane_in_place ? 1 : 0);
+    json.Add("plane_speedup", plane_full_ms / std::max(1e-9, plane_incr_ms));
   }
   std::printf("%s\n", snap_table.Render().c_str());
+
+  // Part 4 — capacity sweep at part-1 scale -----------------------------
+  //
+  // The part-1 WebWave-TLB placement clamped to finite per-node storage:
+  // lognormal document sizes, budgets as working-set multiples, the
+  // part-1 request stream replayed against each clamped snapshot.
+  {
+    std::printf(
+        "capacity sweep: WebWave-TLB at %d nodes, budgets as multiples of\n"
+        "the catalog working set (lognormal sizes, median 64 KB).\n\n",
+        nodes);
+    const DocumentSizes sizes = DocumentSizes::FromCatalog(
+        Catalog::MakeLogNormal(docs, 64.0, 1.0, 2027));
+    const QuotaSnapshot base = WebWaveTlbPolicy().Place(tree, lanes);
+    ServingOptions copt;
+    copt.threads = threads;
+    copt.offered_rate = gen.total_rate();
+    copt.block_size = EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, nodes));
+    ServingMetrics uncap;
+    AsciiTable cap_table({"budget x", "evicted", "spill %", "hit %",
+                          "max load", "project ms"});
+    for (const double multiple : {-1.0, 0.1, 0.25, 1.0}) {
+      const bool capped = multiple >= 0;
+      QuotaSnapshot serve_snap = base;
+      std::int64_t evicted = 0;
+      double spilled = 0, project_ms = 0;
+      if (capped) {
+        const auto t_project = Clock::now();
+        CapacityProjector projector(
+            tree, CacheStore::WorkingSetStore(tree, sizes, multiple));
+        projector.Project(base);
+        project_ms = MillisSince(t_project);
+        if (!projector.ConservesTotalRate(base)) {
+          std::printf("FATAL: spill failed to conserve total rate\n");
+          return 1;
+        }
+        evicted = projector.evicted_cells();
+        spilled = projector.spilled_rate();
+        serve_snap = projector.clamped();
+      }
+      ServingPlane cap_plane(tree, std::move(serve_snap), copt);
+      cap_plane.Serve(stream);
+      const ServingMetrics& m = cap_plane.metrics();
+      if (!capped) uncap = m;
+      if (capped && multiple >= 1.0 && !(evicted == 0 && m == uncap)) {
+        std::printf(
+            "FATAL: >=1x working-set budget diverged from uncapacitated\n");
+        return 1;
+      }
+      cap_table.AddRow(
+          {capped ? AsciiTable::Num(multiple, 2) : "inf",
+           AsciiTable::Int(evicted),
+           AsciiTable::Num(100 * spilled / base.total_rate(), 1),
+           AsciiTable::Num(100 * m.HitRatio(), 1),
+           AsciiTable::Int(static_cast<long long>(m.MaxServed())),
+           AsciiTable::Num(project_ms, 1)});
+      json.BeginRun();
+      json.Add("record", std::string("capacity"));
+      json.Add("budget_x", multiple);
+      json.Add("evicted_cells", static_cast<long long>(evicted));
+      json.Add("spilled_rate", spilled);
+      json.Add("hit_ratio", m.HitRatio());
+      json.Add("max_load", static_cast<long long>(m.MaxServed()));
+      json.Add("project_ms", project_ms);
+    }
+    std::printf("%s\n", cap_table.Render().c_str());
+  }
 
   const char* out = "BENCH_serving.json";
   std::printf("%s %s\n",

@@ -1,8 +1,10 @@
-// The closed serving loop in one page: generate requests, serve them from
-// the diffused copies, fold the measured arrivals back into the diffusion
-// engine, re-balance, repeat — while the hot spot rotates.  The engine
-// never sees the generator's true rates; it learns demand purely from
-// what the data plane measured.
+// The capacity-aware closed serving loop in one page: generate requests,
+// serve them from the *resident* diffused copies (every node has a small
+// byte budget, so quota-weighted eviction really fires), fold the
+// measured arrivals back into the diffusion engine, re-balance, re-clamp,
+// repeat — while the hot spot rotates.  The engine never sees the
+// generator's true rates, and the serving plane never sees a copy the
+// store evicted: its quota has spilled up-tree to the surviving ancestor.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -14,6 +16,9 @@
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
+#include "store/cache_store.h"
+#include "store/capacity_projector.h"
+#include "store/document_sizes.h"
 #include "tree/builders.h"
 #include "util/ascii.h"
 #include "util/rng.h"
@@ -24,27 +29,29 @@ int main() {
   const std::size_t window = 80000;
 
   std::printf(
-      "Closed serving loop on a %d-node tree, %d documents: each epoch the\n"
-      "hot spot moves a quarter turn; the engine re-balances only from\n"
-      "folded arrival counts (generate -> serve -> fold -> re-diffuse).\n\n",
+      "Capacity-aware closed loop on a %d-node tree, %d documents: every\n"
+      "node stores at most 30%% of the catalog bytes; each epoch the hot\n"
+      "spot moves a quarter turn and the engine re-balances only from\n"
+      "folded arrival counts (serve -> fold -> re-diffuse -> re-clamp).\n\n",
       nodes, docs);
 
   Rng rng(7);
   const RoutingTree tree = MakeRandomTree(nodes, rng);
-
-  // The diffusion engine starts with a flat, ignorant demand guess.
   std::vector<std::vector<double>> guess(docs);
   for (auto& lane : guess) lane.assign(tree.size(), 1e-3);
   BatchWebWaveSimulator sim(tree, std::move(guess), {});
   ArrivalFold fold(tree.size(), docs);
 
-  // One quota snapshot lives across the whole run; after each re-balance
-  // it is re-synced in place from the lanes diffusion actually moved
-  // (RefreshFromBatch + ClearDirtyLanes) instead of rebuilt from scratch.
+  // Lognormal document sizes; per-node budget 0.3x the catalog working
+  // set — small enough that hot nodes must evict their thinnest copies.
+  CapacityProjector projector(
+      tree, CacheStore::WorkingSetStore(
+                tree, DocumentSizes::LogNormal(docs, 64 * 1024, 1.0, 7), 0.3));
   QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, 1e-12);
   sim.ClearDirtyLanes();
+  projector.Project(snap);
 
-  AsciiTable table({"epoch", "phase", "webwave max", "home max",
+  AsciiTable table({"epoch", "evicted", "spill %", "webwave max", "home max",
                     "improvement", "hit %"});
   std::vector<Request> buf;
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -58,19 +65,20 @@ int main() {
     ServingOptions opt;
     opt.offered_rate = gen.total_rate();
 
-    // Serve the first half from the (stale) diffused copies and fold what
-    // actually arrived back into the control plane.
-    ServingPlane stale(tree, snap, opt);
+    // First half from the stale clamped copies; fold what arrived.
+    ServingPlane stale(tree, projector.clamped(), opt);
     stale.Serve(Span<Request>(buf.data(), half));
     fold.Count(Span<Request>(buf.data(), half));
     sim.ApplyDemandEvents(fold.Drain(half / gen.total_rate()));
     for (int s = 0; s < 60; ++s) sim.Step();
 
-    // The second half is served from the re-balanced placement; home-only
-    // faces the same stream as the baseline to beat.
+    // Re-sync the snapshot from the dirty lanes, re-clamp to the store,
+    // and serve the second half from the refreshed resident copies.
+    const std::vector<int> dirty = sim.DirtyLanes();
     snap.RefreshFromBatch(sim);
+    projector.Refresh(snap, Span<const int>(dirty.data(), dirty.size()));
     sim.ClearDirtyLanes();
-    ServingPlane fresh(tree, snap, opt);
+    ServingPlane fresh(tree, projector.clamped(), opt);
     fresh.Serve(Span<Request>(buf.data() + half, window - half));
     ServingPlane home(tree, HomeOnlyPolicy().Place(tree, gen.ExpectedLanes()),
                       opt);
@@ -79,8 +87,9 @@ int main() {
     const auto ww = fresh.metrics().MaxServed();
     const auto ho = home.metrics().MaxServed();
     table.AddRow({std::to_string(epoch),
-                  AsciiTable::Num(static_cast<double>(epoch % rotation) /
-                                      rotation, 2),
+                  AsciiTable::Int(projector.evicted_cells()),
+                  AsciiTable::Num(100 * projector.spilled_rate() /
+                                      snap.total_rate(), 1),
                   AsciiTable::Int(static_cast<long long>(ww)),
                   AsciiTable::Int(static_cast<long long>(ho)),
                   AsciiTable::Num(static_cast<double>(ho) /
@@ -89,8 +98,9 @@ int main() {
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(
-      "The home server's worst-case load drops by the improvement factor\n"
-      "every epoch, even though the hot region keeps moving: measured\n"
-      "demand -> DemandEvents -> diffusion -> fresh quota snapshot.\n");
+      "Even with every node capped at 0.3x the catalog — thousands of\n"
+      "copies evicted, a quarter of the placed rate spilled up-tree — the\n"
+      "loop still serves several times below home-only's worst-case load,\n"
+      "and the balance survives the rotating hot spot.\n");
   return 0;
 }

@@ -14,6 +14,24 @@ Catalog Catalog::MakeUniform(int doc_count, double size_kb) {
   return c;
 }
 
+Catalog Catalog::MakeLogNormal(int doc_count, double median_kb, double sigma,
+                               std::uint64_t seed) {
+  WEBWAVE_REQUIRE(doc_count >= 1, "catalog needs at least one document");
+  // One shared draw (util/rng) keeps this kilobyte view and the store's
+  // byte view (DocumentSizes::LogNormal) from ever disagreeing: whole
+  // bytes divide 1024 exactly in double, so
+  // DocumentSizes::FromCatalog round-trips these sizes bit for bit.
+  Catalog c;
+  c.docs_.reserve(static_cast<std::size_t>(doc_count));
+  for (DocId d = 0; d < doc_count; ++d)
+    c.docs_.push_back(
+        {d, "doc-" + std::to_string(d),
+         static_cast<double>(
+             CounterLogNormalBytes(seed, d, median_kb * 1024.0, sigma)) /
+             1024.0});
+  return c;
+}
+
 const Document& Catalog::doc(DocId d) const {
   WEBWAVE_REQUIRE(d >= 0 && d < size(), "document id out of range");
   return docs_[static_cast<std::size_t>(d)];

@@ -33,6 +33,15 @@ class Catalog {
  public:
   static Catalog MakeUniform(int doc_count, double size_kb = 8.0);
 
+  // Heavy-tailed per-document sizes: document d is median_kb ·
+  // exp(sigma · z_d) kilobytes, z_d the same deterministic standard
+  // normal DocumentSizes::LogNormal draws from (seed, d) — the two stay
+  // byte-for-byte consistent, so a store built via
+  // DocumentSizes::FromCatalog accounts exactly the catalog's sizes
+  // (asserted by store_test).
+  static Catalog MakeLogNormal(int doc_count, double median_kb, double sigma,
+                               std::uint64_t seed);
+
   int size() const { return static_cast<int>(docs_.size()); }
   const Document& doc(DocId d) const;
   const std::vector<Document>& docs() const { return docs_; }

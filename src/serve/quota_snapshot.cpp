@@ -146,7 +146,7 @@ QuotaSnapshot QuotaSnapshot::FromBatch(const BatchWebWaveSimulator& batch,
   return s;
 }
 
-void QuotaSnapshot::BuildColumnIndex() {
+void QuotaSnapshot::BuildColumnIndex() const {
   // Counting sort of the cells by document: rows are node-ascending, so
   // within one document the cells fall out node-ascending too.
   const std::size_t dd = static_cast<std::size_t>(docs_);
@@ -303,6 +303,26 @@ std::vector<std::int64_t> QuotaSnapshot::CopiesPerDoc() const {
   std::vector<std::int64_t> copies(static_cast<std::size_t>(docs_), 0);
   for (const std::int32_t d : doc_) ++copies[static_cast<std::size_t>(d)];
   return copies;
+}
+
+Span<const NodeId> QuotaSnapshot::DocNodes(std::int32_t d) const {
+  WEBWAVE_REQUIRE(d >= 0 && d < docs_, "document out of range");
+  if (col_off_.empty()) BuildColumnIndex();
+  const std::size_t begin =
+      static_cast<std::size_t>(col_off_[static_cast<std::size_t>(d)]);
+  const std::size_t end =
+      static_cast<std::size_t>(col_off_[static_cast<std::size_t>(d) + 1]);
+  return Span<const NodeId>(col_nodes_.data() + begin, end - begin);
+}
+
+Span<const std::int64_t> QuotaSnapshot::DocCells(std::int32_t d) const {
+  WEBWAVE_REQUIRE(d >= 0 && d < docs_, "document out of range");
+  if (col_off_.empty()) BuildColumnIndex();
+  const std::size_t begin =
+      static_cast<std::size_t>(col_off_[static_cast<std::size_t>(d)]);
+  const std::size_t end =
+      static_cast<std::size_t>(col_off_[static_cast<std::size_t>(d) + 1]);
+  return Span<const std::int64_t>(col_cells_.data() + begin, end - begin);
 }
 
 }  // namespace webwave

@@ -37,10 +37,12 @@
 
 #include "doc/placement.h"
 #include "tree/routing_tree.h"
+#include "util/span.h"
 
 namespace webwave {
 
 class BatchWebWaveSimulator;
+class CapacityProjector;
 
 class QuotaSnapshot {
  public:
@@ -129,8 +131,21 @@ class QuotaSnapshot {
   // Number of copies of document d across all nodes (cells in column d).
   std::vector<std::int64_t> CopiesPerDoc() const;
 
+  // Column view for per-document sweeps (the capacity projector and the
+  // serving plane's incremental refresh): the nodes holding document d,
+  // ascending, and the matching cell indices.  Built lazily on first use
+  // and kept fresh by every structural rebuild; views are invalidated by
+  // the next structural change.  Not thread-safe against the lazy build —
+  // call once before handing the snapshot to parallel readers.
+  Span<const NodeId> DocNodes(std::int32_t d) const;
+  Span<const std::int64_t> DocCells(std::int32_t d) const;
+
  private:
-  void BuildColumnIndex();
+  // The capacity projector owns a clamped QuotaSnapshot and rewrites its
+  // cell values in place on the incremental path (store/capacity_projector).
+  friend class CapacityProjector;
+
+  void BuildColumnIndex() const;
 
   int nodes_ = 0;
   int docs_ = 0;
@@ -140,15 +155,16 @@ class QuotaSnapshot {
   std::vector<double> rate_;
   std::vector<double> frac_;
 
-  // Column index for incremental refresh (FromBatch snapshots only, built
-  // lazily by the first RefreshFromBatch): document d's cells are
-  // col_cells_[col_off_[d] .. col_off_[d+1]), node ascending, with
-  // col_nodes_ the matching node per cell.
+  // Column index for incremental refresh and the DocNodes/DocCells view:
+  // document d's cells are col_cells_[col_off_[d] .. col_off_[d+1]), node
+  // ascending, with col_nodes_ the matching node per cell.  Built lazily
+  // (mutable: the view is logically const), rebuilt by every structural
+  // refresh.
   bool incremental_ = false;
   double min_rate_ = 0;
-  std::vector<std::int64_t> col_off_;    // docs_ + 1 entries
-  std::vector<std::int64_t> col_cells_;  // cell index per column entry
-  std::vector<NodeId> col_nodes_;        // node per column entry
+  mutable std::vector<std::int64_t> col_off_;    // docs_ + 1 entries
+  mutable std::vector<std::int64_t> col_cells_;  // cell index per column entry
+  mutable std::vector<NodeId> col_nodes_;        // node per column entry
 };
 
 }  // namespace webwave

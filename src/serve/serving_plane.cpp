@@ -49,29 +49,6 @@ ServingPlane::ServingPlane(const RoutingTree& tree, QuotaSnapshot snapshot,
   WEBWAVE_REQUIRE(options_.offered_rate >= 0,
                   "offered rate must be non-negative");
   WEBWAVE_REQUIRE(options_.budget_slack > 0, "budget slack must be positive");
-  const double scale_rate = options_.offered_rate > 0
-                                ? options_.offered_rate
-                                : snapshot_.total_rate();
-  WEBWAVE_REQUIRE(scale_rate > 0, "cannot scale budgets to a zero rate");
-
-  // Split the cells by admission regime: coarse cells (≥ 1 token per
-  // block) get compact token-array slots, the rest carry only their
-  // thinning probability.
-  const std::size_t cells = static_cast<std::size_t>(snapshot_.cell_count());
-  serve_prob_.resize(cells);
-  token_index_.assign(cells, kNoToken);
-  const double per_block = options_.budget_slack *
-                           static_cast<double>(options_.block_size) /
-                           scale_rate;
-  for (std::size_t c = 0; c < cells; ++c) {
-    const double r = snapshot_.cell_rates()[c] * per_block;
-    if (r >= 1.0) {
-      token_index_[c] = static_cast<std::int32_t>(tokens_per_block_.size());
-      tokens_per_block_.push_back(r);
-    }
-    serve_prob_[c] =
-        std::min(1.0, options_.budget_slack * snapshot_.cell_fractions()[c]);
-  }
 
   const int requested =
       options_.threads > 0
@@ -86,11 +63,148 @@ ServingPlane::ServingPlane(const RoutingTree& tree, QuotaSnapshot snapshot,
   metrics_.hops.assign(hop_bins, 0);
   workers_.resize(static_cast<std::size_t>(pool_->thread_count()));
   for (WorkerState& ws : workers_) {
-    ws.stamp.assign(tokens_per_block_.size(), 0);
-    ws.avail.assign(tokens_per_block_.size(), 0);
     ws.local.served_per_node.assign(nn, 0);
     ws.local.hops.assign(hop_bins, 0);
   }
+  BuildTables();
+}
+
+void ServingPlane::BuildTables() {
+  const double scale_rate = options_.offered_rate > 0
+                                ? options_.offered_rate
+                                : snapshot_.total_rate();
+  WEBWAVE_REQUIRE(scale_rate > 0, "cannot scale budgets to a zero rate");
+
+  // Split the cells by admission regime: coarse cells (≥ 1 token per
+  // block) get compact token-array slots, the rest carry only their
+  // thinning probability.
+  const std::size_t cells = static_cast<std::size_t>(snapshot_.cell_count());
+  serve_prob_.resize(cells);
+  token_index_.assign(cells, kNoToken);
+  tokens_per_block_.clear();
+  per_block_ = options_.budget_slack *
+               static_cast<double>(options_.block_size) / scale_rate;
+  for (std::size_t c = 0; c < cells; ++c) {
+    const double r = snapshot_.cell_rates()[c] * per_block_;
+    if (r >= 1.0) {
+      token_index_[c] = static_cast<std::int32_t>(tokens_per_block_.size());
+      tokens_per_block_.push_back(r);
+    }
+    serve_prob_[c] =
+        std::min(1.0, options_.budget_slack * snapshot_.cell_fractions()[c]);
+  }
+  for (WorkerState& ws : workers_) {
+    ws.stamp.assign(tokens_per_block_.size(), 0);
+    ws.avail.assign(tokens_per_block_.size(), 0);
+  }
+}
+
+bool ServingPlane::Refresh(QuotaSnapshot snapshot) {
+  return RefreshImpl(std::move(snapshot), Span<const std::int32_t>(), false);
+}
+
+bool ServingPlane::Refresh(QuotaSnapshot snapshot,
+                           Span<const std::int32_t> changed_docs) {
+  // Re-wrapped as a prvalue: Span<const T> parameters must be copy-elided
+  // (an lvalue copy would instantiate std::vector<const T> during overload
+  // resolution, which is ill-formed).
+  return RefreshImpl(
+      std::move(snapshot),
+      Span<const std::int32_t>(changed_docs.data(), changed_docs.size()),
+      true);
+}
+
+bool ServingPlane::RefreshImpl(QuotaSnapshot snapshot,
+                               Span<const std::int32_t> changed_docs,
+                               bool have_hint) {
+  WEBWAVE_REQUIRE(snapshot.node_count() == snapshot_.node_count() &&
+                      snapshot.doc_count() == snapshot_.doc_count(),
+                  "a refresh cannot change the tree or the catalog");
+  // Shape check: same rows, same documents per row.  O(cells) integer
+  // compares — cheap next to recomputing the tables, and it is what
+  // makes the in-place path trustworthy rather than assumed.
+  bool same_shape = snapshot.cell_count() == snapshot_.cell_count();
+  for (NodeId v = 0; same_shape && v < snapshot_.node_count(); ++v)
+    same_shape = snapshot.row_begin(v) == snapshot_.row_begin(v);
+  const std::size_t cells = static_cast<std::size_t>(snapshot.cell_count());
+  for (std::size_t c = 0; same_shape && c < cells; ++c)
+    same_shape = snapshot.cell_docs()[c] == snapshot_.cell_docs()[c];
+
+  const double scale_rate = options_.offered_rate > 0
+                                ? options_.offered_rate
+                                : snapshot.total_rate();
+  WEBWAVE_REQUIRE(scale_rate > 0, "cannot scale budgets to a zero rate");
+  const double per_block = options_.budget_slack *
+                           static_cast<double>(options_.block_size) /
+                           scale_rate;
+  snapshot_ = std::move(snapshot);
+  if (!same_shape) {
+    BuildTables();
+    return false;
+  }
+
+  // In-place: rewrite only the changed cells' rows.  When the budget
+  // scale moved (offered_rate tracking the snapshot total) every cell's
+  // token rate moved with it, so the hint no longer bounds the change
+  // set and the whole table is re-diffed.
+  const bool scale_held = per_block == per_block_;
+  per_block_ = per_block;
+  const double* rates = snapshot_.cell_rates();
+  const double* fracs = snapshot_.cell_fractions();
+  const auto update_cell = [&](std::size_t c) {
+    const double r = rates[c] * per_block_;
+    const std::int32_t tok = token_index_[c];
+    if ((r >= 1.0) != (tok != kNoToken)) return false;  // regime flip
+    if (tok != kNoToken) tokens_per_block_[static_cast<std::size_t>(tok)] = r;
+    serve_prob_[c] =
+        std::min(1.0, options_.budget_slack * fracs[c]);
+    return true;
+  };
+  bool in_place = true;
+  if (have_hint && scale_held) {
+    for (const std::int32_t d : changed_docs) {
+      for (const std::int64_t cell : snapshot_.DocCells(d))
+        if (!update_cell(static_cast<std::size_t>(cell))) {
+          in_place = false;
+          break;
+        }
+      if (!in_place) break;
+    }
+  } else {
+    for (std::size_t c = 0; c < cells; ++c)
+      if (!update_cell(c)) {
+        in_place = false;
+        break;
+      }
+  }
+  if (!in_place) {
+    // A cell crossed the token/thinning boundary: the compact token
+    // numbering shifts, so rebuild everything (the partial updates above
+    // are overwritten).
+    BuildTables();
+    return false;
+  }
+  return true;
+}
+
+bool ServingPlane::TablesEqual(const ServingPlane& other) const {
+  if (snapshot_.node_count() != other.snapshot_.node_count() ||
+      snapshot_.cell_count() != other.snapshot_.cell_count() ||
+      root_ != other.root_ || per_block_ != other.per_block_ ||
+      options_.block_size != other.options_.block_size ||
+      options_.budget_slack != other.options_.budget_slack)
+    return false;
+  for (NodeId v = 0; v < snapshot_.node_count(); ++v)
+    if (snapshot_.row_begin(v) != other.snapshot_.row_begin(v)) return false;
+  const std::size_t cells = static_cast<std::size_t>(snapshot_.cell_count());
+  for (std::size_t c = 0; c < cells; ++c)
+    if (snapshot_.cell_docs()[c] != other.snapshot_.cell_docs()[c] ||
+        snapshot_.cell_rates()[c] != other.snapshot_.cell_rates()[c] ||
+        snapshot_.cell_fractions()[c] != other.snapshot_.cell_fractions()[c] ||
+        serve_prob_[c] != other.serve_prob_[c] ||
+        token_index_[c] != other.token_index_[c])
+      return false;
+  return tokens_per_block_ == other.tokens_per_block_;
 }
 
 void ServingPlane::ResetMetrics() {

@@ -101,6 +101,29 @@ class ServingPlane {
   // sizes) and budgets never leak between blocks.
   void Serve(Span<Request> batch);
 
+  // Installs a new snapshot without tearing the plane down — the
+  // data-plane analogue of QuotaSnapshot::RefreshFromBatch.  When the
+  // CSR shape is unchanged, only the admission rows whose cells changed
+  // are recomputed: the hinted overload touches just `changed_docs`'
+  // cells through the snapshot's column index (the caller promises every
+  // other cell is value-identical — the dirty/affected sets of the
+  // closed loop are exactly that promise); the unhinted overload diffs
+  // every cell.  A shape change, or a cell crossing the token/thinning
+  // regime boundary (which renumbers the compact token slots), falls
+  // back to a full table rebuild.  Either way the admission tables end
+  // up byte-identical to constructing a fresh plane from the snapshot
+  // (asserted by serving_test via TablesEqual); accumulated metrics and
+  // block numbering continue.  Returns true when the in-place path
+  // sufficed.  The tree and catalog shape cannot change.
+  bool Refresh(QuotaSnapshot snapshot);
+  bool Refresh(QuotaSnapshot snapshot, Span<const std::int32_t> changed_docs);
+
+  // True iff the two planes would admit any request stream identically
+  // from the same block position: same snapshot cells, admission tables
+  // and budget scale.  The test hook behind the refresh-equals-fresh
+  // assertions.
+  bool TablesEqual(const ServingPlane& other) const;
+
   const ServingMetrics& metrics() const { return metrics_; }
   void ResetMetrics();
 
@@ -114,6 +137,12 @@ class ServingPlane {
 
   void ProcessBlock(WorkerState& ws, std::uint64_t block_id,
                     const Request* reqs, std::size_t count);
+  // Recomputes serve_prob_ / token_index_ / tokens_per_block_ (and the
+  // per-worker token scratch) from snapshot_ — the constructor's table
+  // build, shared with Refresh's full-rebuild path.
+  void BuildTables();
+  bool RefreshImpl(QuotaSnapshot snapshot,
+                   Span<const std::int32_t> changed_docs, bool have_hint);
 
   QuotaSnapshot snapshot_;
   ServingOptions options_;
@@ -129,6 +158,8 @@ class ServingPlane {
   std::vector<double> serve_prob_;
   std::vector<std::int32_t> token_index_;
   std::vector<double> tokens_per_block_;  // per token cell
+  double per_block_ = 0;  // slack · block_size / scale rate, cached by
+                          // BuildTables so Refresh can detect scale moves
   std::uint64_t next_block_id_ = 1;  // 0 is the never-used stamp value
   ServingMetrics metrics_;
   std::vector<WorkerState> workers_;

@@ -103,4 +103,21 @@ int Rng::NextPoisson(double mean) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+double CounterNormal(std::uint64_t counter) {
+  const double u1 = CounterUnitDouble(counter * 2 + 1);
+  const double u2 = CounterUnitDouble(counter * 2 + 2);
+  // 1 - u1 keeps the log argument in (0, 1]; u1 is in [0, 1).
+  return std::sqrt(-2.0 * std::log(1.0 - u1)) *
+         std::cos(6.283185307179586 * u2);
+}
+
+std::uint64_t CounterLogNormalBytes(std::uint64_t seed, std::int64_t item,
+                                    double median_bytes, double sigma) {
+  const double z = CounterNormal(seed * 0x9e3779b97f4a7c15ULL +
+                                 static_cast<std::uint64_t>(item));
+  const double b = median_bytes * std::exp(sigma * z);
+  const long long rounded = std::llround(b);
+  return rounded < 1 ? 1 : static_cast<std::uint64_t>(rounded);
+}
+
 }  // namespace webwave

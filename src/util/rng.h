@@ -25,6 +25,18 @@ inline double CounterUnitDouble(std::uint64_t counter) {
   return static_cast<double>(SplitMix64(counter) >> 11) * 0x1.0p-53;
 }
 
+// A standard normal as a pure function of a counter: Box–Muller over two
+// counter-hashed uniforms.  The heavy-tailed size models build on this.
+double CounterNormal(std::uint64_t counter);
+
+// One lognormal byte size as a pure function of (seed, item):
+// round(median · exp(sigma · z)) clamped to >= 1 byte.  The single
+// definition both the catalog's kilobyte view (Catalog::MakeLogNormal)
+// and the store's byte view (DocumentSizes::LogNormal) draw through, so
+// the two can never disagree.
+std::uint64_t CounterLogNormalBytes(std::uint64_t seed, std::int64_t item,
+                                    double median_bytes, double sigma);
+
 // xoshiro256++ generator with portable, explicitly-seeded behaviour.
 class Rng {
  public:

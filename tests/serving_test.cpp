@@ -435,6 +435,101 @@ TEST(ServingPlane, WebWavePlacementBeatsHomeOnlyMaxLoad) {
   EXPECT_LT(max_webwave, max_home / 10);
 }
 
+// Incremental plane refresh ----------------------------------------------
+
+// The data-plane analogue of RefreshFromBatch: installing a new snapshot
+// into a live plane must leave admission tables byte-identical to a
+// fresh construction, whether the hinted in-place path, the unhinted
+// diff, or the full rebuild ran — and two live planes refreshed through
+// different paths must keep serving bit-identically.
+TEST(ServingPlane, RefreshMatchesFreshConstructionAcrossEpochs) {
+  Rng rng(43);
+  const RoutingTree tree = MakeRandomTree(500, rng);
+  const int docs = 6;
+  std::vector<std::vector<double>> lanes(static_cast<std::size_t>(docs));
+  for (auto& lane : lanes) {
+    lane.assign(static_cast<std::size_t>(tree.size()), 0.0);
+    for (auto& r : lane) r = rng.NextDouble(0, 4);
+  }
+  BatchWebWaveSimulator sim(tree, lanes, {});
+  for (int s = 0; s < 30; ++s) sim.Step();
+  const double min_rate = 1e-9;
+  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, min_rate);
+  sim.ClearDirtyLanes();
+
+  ServingOptions opt;
+  opt.offered_rate = 60.0;  // fixed scale: refreshes keep the hint valid
+  ServingPlane hinted(tree, snap, opt);
+  ServingPlane diffed(tree, snap, opt);
+
+  RequestGenerator gen(tree, docs, {ZipfLeafComponent(tree, docs, 2.0, 1.0)},
+                       19);
+  std::vector<Request> window;
+  bool saw_in_place = false, saw_rebuild = false;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    gen.NextBatch(40000, &window);
+    hinted.Serve(window);
+    diffed.Serve(window);
+    ASSERT_TRUE(hinted.metrics() == diffed.metrics()) << "epoch " << epoch;
+
+    // Churn some lanes (gentle on even epochs, copy-set-moving on odd),
+    // re-diffuse, re-snapshot, refresh both planes through different
+    // paths.
+    std::vector<DemandEvent> events;
+    if (epoch % 2 == 0) {
+      events.push_back({epoch % docs, 5, rng.NextDouble(1, 8)});
+    } else {
+      for (NodeId v = 0; v < tree.size(); ++v)
+        if (rng.NextBernoulli(0.3))
+          events.push_back({(epoch * 2) % docs, v, rng.NextDouble(0, 9)});
+    }
+    sim.ApplyDemandEvents(events);
+    for (int s = 0; s < 6; ++s) sim.Step();
+    const std::vector<int> dirty = sim.DirtyLanes();
+    snap.RefreshFromBatch(sim);
+    sim.ClearDirtyLanes();
+
+    std::vector<std::int32_t> changed(dirty.begin(), dirty.end());
+    const bool a = hinted.Refresh(
+        snap, Span<const std::int32_t>(changed.data(), changed.size()));
+    const bool b = diffed.Refresh(snap);
+    EXPECT_EQ(a, b) << "epoch " << epoch;
+    saw_in_place = saw_in_place || a;
+    saw_rebuild = saw_rebuild || !a;
+
+    const ServingPlane fresh(tree, snap, opt);
+    EXPECT_TRUE(hinted.TablesEqual(fresh)) << "epoch " << epoch;
+    EXPECT_TRUE(diffed.TablesEqual(fresh)) << "epoch " << epoch;
+  }
+  EXPECT_TRUE(saw_in_place) << "no epoch exercised the in-place refresh";
+  EXPECT_TRUE(saw_rebuild) << "no epoch exercised the full rebuild";
+}
+
+TEST(ServingPlane, RefreshTracksSnapshotTotalWhenOfferedRateFloats) {
+  // offered_rate 0 scales budgets to the snapshot's own total, which
+  // moves with every refresh — the hint must be ignored and the tables
+  // still match a fresh construction.
+  Rng rng(47);
+  const RoutingTree tree = MakeRandomTree(200, rng);
+  const int docs = 3;
+  std::vector<std::vector<double>> lanes(
+      docs, std::vector<double>(static_cast<std::size_t>(tree.size()), 1.0));
+  BatchWebWaveSimulator sim(tree, lanes, {});
+  for (int s = 0; s < 20; ++s) sim.Step();
+  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, 1e-9);
+  sim.ClearDirtyLanes();
+
+  ServingOptions opt;  // offered_rate stays 0
+  ServingPlane plane(tree, snap, opt);
+  sim.ApplyDemandEvents({{0, 7, 25.0}});
+  for (int s = 0; s < 5; ++s) sim.Step();
+  snap.RefreshFromBatch(sim);
+  sim.ClearDirtyLanes();
+  const std::vector<std::int32_t> changed = {0};
+  plane.Refresh(snap, Span<const std::int32_t>(changed.data(), changed.size()));
+  EXPECT_TRUE(plane.TablesEqual(ServingPlane(tree, snap, opt)));
+}
+
 // Closed loop -------------------------------------------------------------
 
 TEST(ArrivalFold, DrainsMeasuredRatesAndForgetsStaleCells) {

@@ -4,11 +4,13 @@
 Compares freshly produced BENCH_*.json files against the committed
 baselines in bench/baselines/ and prints a GitHub Actions `::warning::`
 annotation for every throughput field that fell below
-`threshold x baseline`.  The check never fails the build — CI runners are
-noisy and heterogeneous; the point is to surface a suspicious drop on the
-PR, not to gate on it.  Refresh a baseline by copying the smoke artifact
-over the file in bench/baselines/ when a change legitimately moves the
-numbers.
+`threshold x baseline`.  The 2-thread smoke artifacts (the `t2/`
+subdirectory CI stashes) are compared the same way against
+bench/baselines/t2/ when both sides exist.  The check never fails the
+build — CI runners are noisy and heterogeneous; the point is to surface
+a suspicious drop on the PR, not to gate on it.  Refresh a baseline by
+copying the smoke artifact over the file in bench/baselines/ (or
+bench/baselines/t2/) when a change legitimately moves the numbers.
 
 Usage: check_bench_baselines.py [--baselines DIR] [--current DIR]
                                 [--threshold 0.5]
@@ -27,8 +29,10 @@ RULES = {
     "tab_batch_catalog": (("nodes", "docs", "lane_block"),
                           ("lane_steps_per_sec",)),
     "tab_rotating_hotspot": (("record", "epoch"), ("lane_steps_per_sec",)),
-    "tab_serving": (("record", "placement", "epoch"),
-                    ("req_per_sec", "snapshot_speedup")),
+    "tab_serving": (("record", "placement", "epoch", "budget_x"),
+                    ("req_per_sec", "snapshot_speedup", "plane_speedup")),
+    "tab_capacity": (("record", "placement", "budget_x", "epoch"),
+                     ("req_per_sec",)),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
@@ -44,28 +48,24 @@ def key_of(bench, run):
     return tuple((k, run.get(k)) for k in keys if k in run)
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--baselines", default="bench/baselines")
-    ap.add_argument("--current", default=".")
-    ap.add_argument("--threshold", type=float, default=0.5)
-    args = ap.parse_args()
-
+def check_dir(baselines, current, threshold, label):
+    """Compares one artifact directory; returns (compared, warned)."""
     warned = 0
     compared = 0
-    for name in sorted(os.listdir(args.baselines)):
+    for name in sorted(os.listdir(baselines)):
         if not (name.startswith("BENCH_") and name.endswith(".json")):
             continue
-        base_path = os.path.join(args.baselines, name)
-        cur_path = os.path.join(args.current, name)
+        base_path = os.path.join(baselines, name)
+        cur_path = os.path.join(current, name)
         if not os.path.exists(cur_path):
-            print(f"note: {name}: no current artifact, skipping")
+            print(f"note: {label}{name}: no current artifact, skipping")
             continue
         base = load(base_path)
         cur = load(cur_path)
         bench = base.get("bench")
         if bench not in RULES or cur.get("bench") != bench:
-            print(f"note: {name}: bench {bench!r} has no rules, skipping")
+            print(f"note: {label}{name}: bench {bench!r} has no rules, "
+                  f"skipping")
             continue
         _, fields = RULES[bench]
         cur_by_key = {}
@@ -75,7 +75,7 @@ def main():
             key = key_of(bench, run)
             got = cur_by_key.get(key)
             if got is None:
-                print(f"note: {name}: no current run for {dict(key)}")
+                print(f"note: {label}{name}: no current run for {dict(key)}")
                 continue
             for field in fields:
                 want = run.get(field)
@@ -84,13 +84,35 @@ def main():
                         have, (int, float)) or want <= 0:
                     continue
                 compared += 1
-                if have < args.threshold * want:
+                if have < threshold * want:
                     warned += 1
-                    print(f"::warning title=bench regression ({bench})::"
+                    print(f"::warning title=bench regression ({bench}, "
+                          f"{label or '1 thread'})::"
                           f"{field} at {dict(key)} dropped to {have:.3g} "
                           f"from baseline {want:.3g} "
                           f"({have / want:.0%}, threshold "
-                          f"{args.threshold:.0%})")
+                          f"{threshold:.0%})")
+    return compared, warned
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baselines", default="bench/baselines")
+    ap.add_argument("--current", default=".")
+    ap.add_argument("--threshold", type=float, default=0.5)
+    args = ap.parse_args()
+
+    compared, warned = check_dir(args.baselines, args.current,
+                                 args.threshold, "")
+    t2_base = os.path.join(args.baselines, "t2")
+    t2_cur = os.path.join(args.current, "t2")
+    if os.path.isdir(t2_base) and os.path.isdir(t2_cur):
+        c2, w2 = check_dir(t2_base, t2_cur, args.threshold, "t2/")
+        compared += c2
+        warned += w2
+    else:
+        print("note: no t2 baselines or artifacts, skipping the "
+              "2-thread comparison")
     print(f"bench baseline check: {compared} fields compared, "
           f"{warned} warning(s)")
     return 0  # warn-only by design
