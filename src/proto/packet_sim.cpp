@@ -261,7 +261,18 @@ class PacketSim {
 
   void GossipTick() {
     // Every server sends its current load to its tree neighbors; the
-    // message lands after one link latency.
+    // message lands after one link latency.  An active burst window
+    // overrides the static loss knob and delays the survivors — the
+    // draw shape is unchanged, so a burst spanning the run at loss p is
+    // draw-for-draw the same as gossip_loss = p.
+    double loss = options_.gossip_loss;
+    SimTime extra_latency = 0;
+    for (const GossipBurst& burst : options_.gossip_bursts)
+      if (sim_.now() >= burst.start && sim_.now() < burst.end) {
+        loss = burst.loss;
+        extra_latency = burst.extra_latency;
+        break;
+      }
     for (NodeId v = 0; v < tree_.size(); ++v) {
       const double load = servers_[static_cast<std::size_t>(v)].load();
       std::vector<NodeId> neighbors = tree_.children(v);
@@ -269,12 +280,13 @@ class PacketSim {
       for (const NodeId nb : neighbors) {
         ++control_messages_;
         ++link_traversals_;
-        if (options_.gossip_loss > 0 &&
-            rng_.NextBernoulli(options_.gossip_loss))
+        if (loss > 0 && rng_.NextBernoulli(loss))
           continue;  // lost in transit; the neighbor's estimate stays stale
-        sim_.ScheduleIn(options_.link_latency, [this, v, nb, load] {
-          servers_[static_cast<std::size_t>(nb)].RecordNeighborLoad(v, load);
-        });
+        sim_.ScheduleIn(options_.link_latency + extra_latency,
+                        [this, v, nb, load] {
+                          servers_[static_cast<std::size_t>(nb)]
+                              .RecordNeighborLoad(v, load);
+                        });
       }
     }
     sim_.ScheduleIn(options_.gossip_period, [this] { GossipTick(); });

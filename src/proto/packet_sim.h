@@ -31,6 +31,21 @@ enum class CachePolicy { kNoCaching, kEnRouteLru, kIcpLike, kWebWave };
 
 const char* PolicyName(CachePolicy policy);
 
+// A window of link-plane degradation on the gossip channel (the fault
+// plane's packet-level face; FaultSchedule::LinkAt emits these per
+// epoch).  Within [start, end) gossip messages are lost with probability
+// `loss` *instead of* the base gossip_loss, and survivors are delayed by
+// extra_latency on top of link_latency.  A single burst spanning the
+// whole run at loss p with no extra latency is draw-for-draw identical
+// to setting gossip_loss = p (asserted by fault_test) — the burst
+// machinery extends the static knob, it does not fork the RNG stream.
+struct GossipBurst {
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+  double loss = 0.0;
+  SimTime extra_latency = 0;
+};
+
 struct PacketSimOptions {
   CachePolicy policy = CachePolicy::kWebWave;
   SimTime link_latency = 5 * kMicrosPerMilli;
@@ -45,6 +60,9 @@ struct PacketSimOptions {
   // Failure injection: each gossip message is lost independently with
   // this probability (the estimate simply stays stale).
   double gossip_loss = 0.0;
+  // Scheduled degradation windows overriding gossip_loss while active
+  // (first matching burst wins; empty = the static knob everywhere).
+  std::vector<GossipBurst> gossip_bursts;
   // Payload sizes for the network-traffic accounting (§7): a request
   // packet and a document transfer, in KB per link traversal.
   double request_kb = 0.5;

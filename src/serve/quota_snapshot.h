@@ -42,7 +42,7 @@
 namespace webwave {
 
 class BatchWebWaveSimulator;
-class CapacityProjector;
+class SpillProjector;
 
 class QuotaSnapshot {
  public:
@@ -141,9 +141,10 @@ class QuotaSnapshot {
   Span<const std::int64_t> DocCells(std::int32_t d) const;
 
  private:
-  // The capacity projector owns a clamped QuotaSnapshot and rewrites its
-  // cell values in place on the incremental path (store/capacity_projector).
-  friend class CapacityProjector;
+  // The spill projectors (capacity clamping and the fault plane) own a
+  // clamped QuotaSnapshot and rewrite its cell values in place on the
+  // incremental path (store/spill_projector).
+  friend class SpillProjector;
 
   void BuildColumnIndex() const;
 

@@ -21,6 +21,12 @@ double ServingMetrics::MeanHops() const {
              : 0.0;
 }
 
+double ServingMetrics::DropRatio() const {
+  return requests > 0 ? static_cast<double>(dropped_requests) /
+                            static_cast<double>(requests)
+                      : 0.0;
+}
+
 std::uint64_t ServingMetrics::MaxServed() const {
   std::uint64_t mx = 0;
   for (const std::uint64_t s : served_per_node) mx = std::max(mx, s);
@@ -34,6 +40,10 @@ std::vector<double> ServingMetrics::Loads() const {
 bool ServingMetrics::operator==(const ServingMetrics& other) const {
   return requests == other.requests && cache_served == other.cache_served &&
          home_served == other.home_served && hop_sum == other.hop_sum &&
+         failed_attempts == other.failed_attempts &&
+         failovers == other.failovers &&
+         dropped_requests == other.dropped_requests &&
+         backoff_slots == other.backoff_slots &&
          served_per_node == other.served_per_node && hops == other.hops;
 }
 
@@ -49,6 +59,8 @@ ServingPlane::ServingPlane(const RoutingTree& tree, QuotaSnapshot snapshot,
   WEBWAVE_REQUIRE(options_.offered_rate >= 0,
                   "offered rate must be non-negative");
   WEBWAVE_REQUIRE(options_.budget_slack > 0, "budget slack must be positive");
+  WEBWAVE_REQUIRE(options_.max_failover_attempts >= 1,
+                  "a request needs at least one failover attempt");
 
   const int requested =
       options_.threads > 0
@@ -187,12 +199,28 @@ bool ServingPlane::RefreshImpl(QuotaSnapshot snapshot,
   return true;
 }
 
+void ServingPlane::SetDownNodes(Span<const NodeId> down) {
+  if (down.empty()) {
+    down_.clear();
+    return;
+  }
+  down_.assign(static_cast<std::size_t>(snapshot_.node_count()), 0);
+  for (const NodeId v : down) {
+    WEBWAVE_REQUIRE(v >= 0 && v < snapshot_.node_count(),
+                    "down node out of range");
+    WEBWAVE_REQUIRE(v != root_, "the home never crashes");
+    down_[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
 bool ServingPlane::TablesEqual(const ServingPlane& other) const {
   if (snapshot_.node_count() != other.snapshot_.node_count() ||
       snapshot_.cell_count() != other.snapshot_.cell_count() ||
       root_ != other.root_ || per_block_ != other.per_block_ ||
       options_.block_size != other.options_.block_size ||
-      options_.budget_slack != other.options_.budget_slack)
+      options_.budget_slack != other.options_.budget_slack ||
+      options_.max_failover_attempts != other.options_.max_failover_attempts ||
+      down_ != other.down_)
     return false;
   for (NodeId v = 0; v < snapshot_.node_count(); ++v)
     if (snapshot_.row_begin(v) != other.snapshot_.row_begin(v)) return false;
@@ -212,6 +240,10 @@ void ServingPlane::ResetMetrics() {
   metrics_.cache_served = 0;
   metrics_.home_served = 0;
   metrics_.hop_sum = 0;
+  metrics_.failed_attempts = 0;
+  metrics_.failovers = 0;
+  metrics_.dropped_requests = 0;
+  metrics_.backoff_slots = 0;
   std::fill(metrics_.served_per_node.begin(), metrics_.served_per_node.end(),
             0);
   std::fill(metrics_.hops.begin(), metrics_.hops.end(), 0);
@@ -221,6 +253,9 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
                                 const Request* reqs, std::size_t count) {
   const std::int32_t* cell_docs = snapshot_.cell_docs();
   const NodeId* parents = parents_.data();
+  const std::uint8_t* down = down_.empty() ? nullptr : down_.data();
+  const std::uint32_t max_attempts =
+      static_cast<std::uint32_t>(options_.max_failover_attempts);
   for (std::size_t i = 0; i < count; ++i) {
     // The stream-global request index: blocks are numbered for the
     // plane's lifetime, so this is unique and batching-invariant — the
@@ -230,7 +265,28 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
     NodeId v = reqs[i].node;
     const std::int32_t d = reqs[i].doc;
     std::uint64_t hops = 0;
+    std::uint32_t failed = 0;
+    bool dropped = false;
     for (;;) {
+      if (down != nullptr && down[v] != 0) {
+        // Crashed node: the request cannot query it.  Burn an attempt,
+        // account a dither-phased exponential backoff — floor(u·2^a)
+        // slots, u a pure function of (request, attempt), so the sum is
+        // thread-invariant — and retry at the parent.  The root is never
+        // down, so a surviving request always terminates.
+        ++failed;
+        if (failed > max_attempts) {
+          dropped = true;
+          break;
+        }
+        const double u =
+            CounterUnitDouble(req_id + 0xd1342543de82ef95ULL * failed);
+        ws.local.backoff_slots += static_cast<std::uint64_t>(std::floor(
+            std::ldexp(u, static_cast<int>(std::min(failed, 16u)))));
+        v = parents[v];
+        ++hops;
+        continue;
+      }
       // First copy on the upward path that admits the request; rows are
       // doc-ascending, so long rows (leaves often hold most of the
       // catalog) take a binary search, short ones a scan.
@@ -288,6 +344,14 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
       ++hops;
     }
     ++ws.local.requests;
+    ws.local.failed_attempts += failed;
+    if (dropped) {
+      // Retry budget exhausted mid-outage: counted, never served — no
+      // node, hop or hit bookkeeping for a request that went nowhere.
+      ++ws.local.dropped_requests;
+      continue;
+    }
+    if (failed > 0) ++ws.local.failovers;
     ++ws.local.served_per_node[static_cast<std::size_t>(v)];
     ++ws.local.hops[static_cast<std::size_t>(hops)];
     ws.local.hop_sum += hops;
@@ -300,8 +364,9 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
 
 void ServingPlane::Serve(Span<Request> batch) {
   if (batch.empty()) return;
-  // Validate outside the parallel region: the pool's callback must not
-  // throw (worker_pool.h), and the hot loop does no bounds checks.
+  // Validate outside the parallel region: the hot loop does no bounds
+  // checks, and a full-batch sweep here is cheaper than per-request
+  // checks inside it.
   for (const Request& r : batch) {
     WEBWAVE_REQUIRE(r.node >= 0 && r.node < snapshot_.node_count(),
                     "request origin out of range");
@@ -328,6 +393,10 @@ void ServingPlane::Serve(Span<Request> batch) {
     metrics_.cache_served += ws.local.cache_served;
     metrics_.home_served += ws.local.home_served;
     metrics_.hop_sum += ws.local.hop_sum;
+    metrics_.failed_attempts += ws.local.failed_attempts;
+    metrics_.failovers += ws.local.failovers;
+    metrics_.dropped_requests += ws.local.dropped_requests;
+    metrics_.backoff_slots += ws.local.backoff_slots;
     for (std::size_t v = 0; v < metrics_.served_per_node.size(); ++v)
       metrics_.served_per_node[v] += ws.local.served_per_node[v];
     for (std::size_t h = 0; h < metrics_.hops.size(); ++h)
@@ -336,6 +405,10 @@ void ServingPlane::Serve(Span<Request> batch) {
     ws.local.cache_served = 0;
     ws.local.home_served = 0;
     ws.local.hop_sum = 0;
+    ws.local.failed_attempts = 0;
+    ws.local.failovers = 0;
+    ws.local.dropped_requests = 0;
+    ws.local.backoff_slots = 0;
     std::fill(ws.local.served_per_node.begin(), ws.local.served_per_node.end(),
               0);
     std::fill(ws.local.hops.begin(), ws.local.hops.end(), 0);

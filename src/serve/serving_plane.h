@@ -35,6 +35,21 @@
 // integer counts merged per worker — so serving results are bit-identical
 // at every thread count, the same guarantee the batch simulator gives
 // (asserted at 1/2/8 threads by serving_test).
+//
+// Failover (the fault plane's data-plane half): SetDownNodes marks a set
+// of crashed nodes.  A request reaching a down node cannot query it — it
+// burns a failed attempt, waits a deterministic dither-phased exponential
+// backoff (an accounting counter, not wall time: floor(u · 2^min(a,16))
+// slots with u a pure hash of (request, attempt)), and retries at the
+// parent.  A request that exhausts max_failover_attempts is dropped —
+// counted, never served, modelling a client whose retry budget ran out
+// mid-outage.  The home never crashes, so every surviving request still
+// terminates.  All failover metrics are integer counters folded into the
+// same per-worker merge, hence bit-identical at every thread count and
+// block partition (asserted by fault_test at 1/2/8 threads × lane_block
+// 1/4/8).  Pair SetDownNodes with a FaultProjector-clamped snapshot: the
+// projector moves the dead copies' quota to live ancestors (control
+// plane), the down mask makes the walk skip the dead nodes (data plane).
 #pragma once
 
 #include <cstdint>
@@ -65,6 +80,11 @@ struct ServingOptions {
   // enforces the placement exactly; the default absorbs the Poisson
   // burstiness of real request streams at the copies themselves.
   double budget_slack = 2.0;
+  // Failed attempts at down nodes a request may burn before it is
+  // dropped.  8 lets a request climb past any realistic dead chain (tree
+  // heights here are ~log n) while still modelling a finite client
+  // retry budget.
+  int max_failover_attempts = 8;
 };
 
 // Integer serving counters; everything derived (ratios, loads) comes from
@@ -74,12 +94,19 @@ struct ServingMetrics {
   std::uint64_t cache_served = 0;  // served strictly below the home
   std::uint64_t home_served = 0;   // served at the root
   std::uint64_t hop_sum = 0;       // total edges climbed by served requests
+  // Fault-plane counters (all zero while every node is live):
+  std::uint64_t failed_attempts = 0;   // arrivals at down nodes
+  std::uint64_t failovers = 0;         // served requests that failed ≥ once
+  std::uint64_t dropped_requests = 0;  // retry budget exhausted, never served
+  std::uint64_t backoff_slots = 0;     // dither-phased backoff, in slots
   std::vector<std::uint64_t> served_per_node;
   std::vector<std::uint64_t> hops;  // hops[h]: requests served h hops up
 
   // Fraction of requests a cache copy (not the home) absorbed.
   double HitRatio() const;
   double MeanHops() const;
+  // Fraction of requests dropped after exhausting the retry budget.
+  double DropRatio() const;
   std::uint64_t MaxServed() const;
   // served_per_node as doubles, for the stats/ helpers.
   std::vector<double> Loads() const;
@@ -94,6 +121,13 @@ class ServingPlane {
 
   int thread_count() const { return pool_->thread_count(); }
   const QuotaSnapshot& snapshot() const { return snapshot_; }
+
+  // Installs the set of crashed nodes (ascending not required; the root
+  // must be live).  Takes effect from the next Serve call; an empty span
+  // restores the all-live fast path.  Typically driven by
+  // FaultProjector::down() right after the projector refreshed the
+  // snapshot this plane serves.
+  void SetDownNodes(Span<const NodeId> down);
 
   // Serves a batch of requests, accumulating into metrics().  Block
   // numbering continues across calls, so a stream serves identically
@@ -160,6 +194,9 @@ class ServingPlane {
   std::vector<double> tokens_per_block_;  // per token cell
   double per_block_ = 0;  // slack · block_size / scale rate, cached by
                           // BuildTables so Refresh can detect scale moves
+  // Per node, 1 = crashed; empty means every node is live (the hot loop
+  // skips the mask probe entirely in that case).
+  std::vector<std::uint8_t> down_;
   std::uint64_t next_block_id_ = 1;  // 0 is the never-used stamp value
   ServingMetrics metrics_;
   std::vector<WorkerState> workers_;

@@ -9,21 +9,14 @@
 // The serving plane then routes against the clamped snapshot, so requests
 // walk past evicted nodes exactly as if the copy had never been placed,
 // and the spill target's enlarged quota absorbs what the evicted copy
-// would have served.  Total rate is conserved by construction:
-// clamped.total_rate() == base.total_rate() up to summation order.
+// would have served.
 //
-// Spill semantics per document: let A_v = q_v / f_v be the flow that
-// arrived at copy v under the base snapshot (f_v its serve fraction; f_v
-// = 1 means the copy owned everything that reached it, A_v = q_v).  An
-// evicted copy forwards its whole arrival, and by definition of "nearest
-// surviving ancestor" nothing between v and its target u can absorb it,
-// so u's arrival grows by exactly the spilled quota S_u and its clamped
-// cell becomes rate q_u + S_u with fraction min(1, (q_u + S_u) /
-// (A_u + S_u)).  A document whose spill reaches a home with no cell of
-// its own gets one synthesized there (fraction 1 — the home serves
-// whatever arrives).  Untouched cells pass through bit-identical, so an
-// over-provisioned store (budget >= working set everywhere) clamps to
-// exactly the base snapshot.
+// The spill law itself — nearest-surviving-ancestor re-homing, fraction
+// re-derivation (q+S)/(A+S), home-cell synthesis, bit-identical
+// pass-through of untouched cells, conservation of total rate — lives in
+// SpillProjector (store/spill_projector.h), shared with the fault
+// plane's FaultProjector; this class contributes only the survivor
+// predicate (store residency) and the churn-proportional bookkeeping.
 //
 // Refresh is the churn-proportional path, mirroring
 // QuotaSnapshot::RefreshFromBatch one layer down: given the freshly
@@ -32,11 +25,8 @@
 // ones), then re-projects dirty lanes ∪ documents whose residency moved
 // — capacity couples documents through the shared byte budget, so a
 // dirty lane can evict a clean lane's copy, and the union is exactly the
-// set whose clamped cells can change.  When no copy set and no residency
-// changed shape, cell values are rewritten in place through the clamped
-// snapshot's column index; otherwise clean rows and fresh cells merge
-// into a rebuilt CSR.  Either way the result is cell-identical to a full
-// Project(base) (asserted under ChurnSchedule churn by store_test).
+// set whose clamped cells can change.  The result is cell-identical to a
+// full Project(base) (asserted under ChurnSchedule churn by store_test).
 //
 // Everything here is a pure serial function of (base, store state):
 // deterministic across thread counts and lane_block widths by
@@ -49,12 +39,13 @@
 
 #include "serve/quota_snapshot.h"
 #include "store/cache_store.h"
+#include "store/spill_projector.h"
 #include "tree/routing_tree.h"
 #include "util/span.h"
 
 namespace webwave {
 
-class CapacityProjector {
+class CapacityProjector : public SpillProjector {
  public:
   CapacityProjector(const RoutingTree& tree, CacheStore store);
 
@@ -69,50 +60,16 @@ class CapacityProjector {
   // values were rewritten in place.
   bool Refresh(const QuotaSnapshot& base, Span<const int> dirty_lanes);
 
-  const QuotaSnapshot& clamped() const { return clamped_; }
   const CacheStore& store() const { return store_; }
 
-  // Stats of the last projection: total quota rate moved up-tree, and
-  // how many base cells were evicted.
-  double spilled_rate() const;
-  std::int64_t evicted_cells() const;
-
-  // The spill invariant, checkable against the snapshot the last
-  // projection consumed: |clamped total − base total| within rel_tol
-  // relatively (total_rate is the one field that may drift ulps on the
-  // in-place refresh path).  The benches assert this every projection.
-  bool ConservesTotalRate(const QuotaSnapshot& base,
-                          double rel_tol = 1e-6) const;
+ protected:
+  // A copy survives iff the store kept it resident (the home is resident
+  // for the whole catalog by definition).
+  bool Survives(const QuotaSnapshot& base, NodeId v,
+                std::int32_t d) const override;
 
  private:
-  // One clamped cell of a single document's projection.
-  struct DocCell {
-    NodeId node;
-    double rate;
-    double frac;
-  };
-
-  // Computes document d's clamped cells from the base column into
-  // doc_scratch_[d] (node ascending) and refreshes doc_spill_[d] /
-  // doc_evicted_[d].
-  void ProjectDoc(const QuotaSnapshot& base, std::int32_t d);
-  // Rebuilds clamped_ from scratch rows `fresh` (sorted by (node, doc))
-  // merged with the current clamped cells of unaffected documents; with
-  // every document affected this is the full assembly.
-  void Assemble(const std::vector<std::int32_t>& affected);
-
-  const RoutingTree& tree_;
   CacheStore store_;
-  QuotaSnapshot clamped_;
-  bool projected_ = false;
-
-  std::vector<double> doc_spill_;          // per document, last projection
-  std::vector<std::int64_t> doc_evicted_;  // per document, last projection
-  std::vector<std::vector<DocCell>> doc_scratch_;  // per-doc clamped cells
-
-  // Per-node scratch for one document's spill pass.
-  std::vector<double> spill_;
-  std::vector<NodeId> spill_touched_;
 };
 
 }  // namespace webwave

@@ -39,7 +39,7 @@ void WorkerPool::Partition(std::size_t count, int parts, int part,
 void WorkerPool::ParallelFor(std::size_t count, const Task& fn) {
   if (count == 0) return;
   if (threads_ == 1) {
-    fn(0, 0, count);
+    fn(0, 0, count);  // a serial loop's exception propagates naturally
     return;
   }
   {
@@ -54,11 +54,27 @@ void WorkerPool::ParallelFor(std::size_t count, const Task& fn) {
 
   std::size_t begin = 0, end = 0;
   Partition(count, threads_, 0, &begin, &end);
-  if (begin < end) fn(0, begin, end);
+  std::exception_ptr error;
+  if (begin < end) {
+    try {
+      fn(0, begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
+  if (error && !first_error_) first_error_ = error;
   done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
+  // Rethrow the sweep's first exception on the submitting thread, after
+  // every block has drained — the pool itself is reusable afterwards.
+  if (first_error_) {
+    std::exception_ptr rethrow = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(rethrow);
+  }
 }
 
 void WorkerPool::WorkerMain(int worker) {
@@ -77,9 +93,17 @@ void WorkerPool::WorkerMain(int worker) {
     }
     std::size_t begin = 0, end = 0;
     Partition(count, threads_, worker, &begin, &end);
-    if (begin < end) (*task)(worker, begin, end);
+    std::exception_ptr error;
+    if (begin < end) {
+      try {
+        (*task)(worker, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --pending_;
     }
     done_.notify_one();

@@ -17,15 +17,20 @@
 // calling thread so a single-threaded pool degrades to a plain loop with
 // no synchronization at all.
 //
-// The callback must not throw: workers run without a try block, so an
-// exception escaping fn would terminate the process.  Callers validate
-// inputs before entering the parallel region (see
+// The callback may throw: the first exception raised in any block is
+// captured and rethrown on the submitting thread after every worker has
+// finished its block, so a throwing sweep behaves like a throwing serial
+// loop instead of terminating the process.  Later exceptions of the same
+// sweep are discarded ("first" is first-recorded; with one thread it is
+// the serial loop's first, with more it depends on timing — callers that
+// need a specific exception should still validate inputs up front, see
 // BatchWebWaveSimulator::ApplyDemandEvents).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,8 +58,10 @@ class WorkerPool {
 
   // Runs fn over the static partition of [0, count) into thread_count()
   // blocks and returns when every block is done.  Serial when the pool has
-  // one thread or the range is empty.  Not reentrant: fn must not call
-  // ParallelFor on the same pool.
+  // one thread or the range is empty.  If fn throws in any block, the
+  // first captured exception is rethrown here once the sweep has drained
+  // (see file comment).  Not reentrant: fn must not call ParallelFor on
+  // the same pool.
   void ParallelFor(std::size_t count, const Task& fn);
 
   // Block `part` of the deterministic partition of [0, count) into `parts`
@@ -77,6 +84,7 @@ class WorkerPool {
   std::uint64_t generation_ = 0; // bumped once per sweep
   int pending_ = 0;              // workers still running the current sweep
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first exception of the current sweep
 };
 
 }  // namespace webwave

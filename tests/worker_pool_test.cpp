@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace webwave {
@@ -98,6 +100,56 @@ TEST(WorkerPool, MoreThreadsThanWork) {
     for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
   });
   for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(WorkerPool, RethrowsTheFirstWorkerExceptionAndStaysUsable) {
+  for (const int threads : {1, 2, 4}) {
+    WorkerPool pool(threads);
+    // Every range throws; exactly one exception must surface, on the
+    // submitting thread, after the sweep has fully quiesced.
+    auto boom = [](int, std::size_t begin, std::size_t) {
+      throw std::runtime_error("boom " + std::to_string(begin));
+    };
+    EXPECT_THROW(pool.ParallelFor(64, boom), std::runtime_error)
+        << "threads=" << threads;
+
+    // The error must not poison the pool: the next sweep runs normally…
+    std::atomic<long long> sum{0};
+    pool.ParallelFor(100, [&](int, std::size_t begin, std::size_t end) {
+      long long local = 0;
+      for (std::size_t i = begin; i < end; ++i)
+        local += static_cast<long long>(i);
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 99ll * 100 / 2) << "threads=" << threads;
+
+    // …and a later throwing sweep reports its own error, not a stale one.
+    EXPECT_THROW(pool.ParallelFor(8, boom), std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(WorkerPool, ThrowingSweepStillVisitsIndependentRanges) {
+  // One range throws; the others' work is not discarded (the sweep always
+  // quiesces before rethrowing, so completed ranges have fully executed).
+  WorkerPool pool(4);
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> visits(count);
+  for (auto& v : visits) v.store(0);
+  EXPECT_THROW(
+      pool.ParallelFor(count,
+                       [&](int, std::size_t begin, std::size_t end) {
+                         if (begin == 0) throw std::runtime_error("range 0");
+                         for (std::size_t i = begin; i < end; ++i)
+                           visits[i].fetch_add(1);
+                       }),
+      std::runtime_error);
+  int visited = 0;
+  for (auto& v : visits) visited += v.load();
+  // All ranges except the throwing worker's ran to completion.
+  std::size_t begin = 0, end = 0;
+  WorkerPool::Partition(count, 4, 0, &begin, &end);
+  EXPECT_EQ(visited, static_cast<int>(count - (end - begin)));
 }
 
 TEST(WorkerPool, DefaultPicksAtLeastOneThread) {

@@ -33,6 +33,9 @@ RULES = {
                     ("req_per_sec", "snapshot_speedup", "plane_speedup")),
     "tab_capacity": (("record", "placement", "budget_x", "epoch"),
                      ("req_per_sec",)),
+    "tab_faults": (("record", "placement", "pattern", "crash_fraction",
+                    "epoch"),
+                   ("req_per_sec",)),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
@@ -58,7 +61,10 @@ def check_dir(baselines, current, threshold, label):
         base_path = os.path.join(baselines, name)
         cur_path = os.path.join(current, name)
         if not os.path.exists(cur_path):
-            print(f"note: {label}{name}: no current artifact, skipping")
+            warned += 1
+            print(f"::warning title=missing bench artifact::{label}{name} "
+                  f"has a committed baseline but the smoke run produced no "
+                  f"artifact — did the bench crash or get dropped from CI?")
             continue
         base = load(base_path)
         cur = load(cur_path)
@@ -92,6 +98,18 @@ def check_dir(baselines, current, threshold, label):
                           f"from baseline {want:.3g} "
                           f"({have / want:.0%}, threshold "
                           f"{threshold:.0%})")
+    # The reverse gap: a fresh artifact with no committed baseline means a
+    # new bench whose numbers nobody is tracking yet.  Warn (never fail) so
+    # the PR that adds the bench also commits its baseline.
+    for name in sorted(os.listdir(current)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if not os.path.exists(os.path.join(baselines, name)):
+            warned += 1
+            print(f"::warning title=missing bench baseline::{label}{name} "
+                  f"was produced by the smoke run but has no committed "
+                  f"baseline — copy it to "
+                  f"{os.path.join(baselines, name)} to start tracking it")
     return compared, warned
 
 
