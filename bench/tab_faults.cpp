@@ -41,6 +41,7 @@
 #include "fault/fault_projector.h"
 #include "fault/fault_schedule.h"
 #include "serve/closed_loop.h"
+#include "serve/epoch_driver.h"
 #include "serve/placement_policy.h"
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
@@ -249,10 +250,9 @@ int main() {
   lopt.seed = 11;
   FaultSchedule faults(loop_tree, lopt);
 
-  QuotaSnapshot base = QuotaSnapshot::FromBatch(sim, 1e-12);
-  sim.ClearDirtyLanes();
   FaultProjector projector(loop_tree);
-  projector.Project(base);
+  EpochDriver driver(sim);  // default 12 diffusion steps per epoch
+  driver.AttachFaults(&projector);
 
   AsciiTable loop_table({"epoch", "down", "events", "ww max", "home max",
                          "hit %", "failovers", "dropped"});
@@ -275,38 +275,31 @@ int main() {
     // the fold — arrivals keep flowing from clients under a dead subtree,
     // so the loop keeps learning straight through the outage.
     {
-      ServingPlane stale(loop_tree, projector.clamped(), sopt);
-      stale.SetDownNodes(Span<const NodeId>(projector.down().data(), projector.down().size()));
+      ServingPlane stale(loop_tree, driver.serving(), sopt);
+      driver.InstallDown(stale);
       stale.Serve(Span<Request>(window_buf.data(), half));
     }
     fold.Count(Span<Request>(window_buf.data(), half));
-    sim.ApplyDemandEvents(
-        fold.Drain(static_cast<double>(half) / wgen.total_rate()));
-    for (int s = 0; s < 12; ++s) sim.Step();
 
-    const std::vector<int> dirty = sim.DirtyLanes();
-    base.RefreshFromBatch(sim);
-    sim.ClearDirtyLanes();
+    // One call per control epoch: demand into the engine, diffusion,
+    // snapshot re-sync, event-proportional re-homing (conservation
+    // asserted inside the driver).
+    std::vector<DemandEvent> churn =
+        fold.Drain(static_cast<double>(half) / wgen.total_rate());
     const std::vector<FaultEvent> events = faults.NextEvents();
-    projector.Refresh(base,
-                      Span<const FaultEvent>(events.data(), events.size()),
-                      Span<const int>(dirty.data(), dirty.size()));
-    if (!projector.ConservesTotalRate(base)) {
-      std::printf("FATAL: fault refresh failed to conserve total rate at\n"
-                  "epoch %d\n", epoch);
-      return 1;
-    }
+    driver.ApplyEpoch(Span<DemandEvent>(churn.data(), churn.size()),
+                      Span<const FaultEvent>(events.data(), events.size()));
 
     const Span<Request> second(window_buf.data() + half, loop_window - half);
-    ServingPlane wave(loop_tree, projector.clamped(), sopt);
-    wave.SetDownNodes(Span<const NodeId>(projector.down().data(), projector.down().size()));
+    ServingPlane wave(loop_tree, driver.serving(), sopt);
+    driver.InstallDown(wave);
     const auto t_serve = Clock::now();
     wave.Serve(second);
     const double serve_ms = MillisSince(t_serve);
     ServingPlane home(
         loop_tree, HomeOnlyPolicy().Place(loop_tree, wgen.ExpectedLanes()),
         sopt);
-    home.SetDownNodes(Span<const NodeId>(projector.down().data(), projector.down().size()));
+    driver.InstallDown(home);
     home.Serve(second);
 
     if (wave.metrics().MaxServed() >= home.metrics().MaxServed()) {

@@ -1,0 +1,292 @@
+// E17 — one wire protocol, two transports: the netd fleet vs the oracle.
+//
+// Part 1 carves a serving subtree out of the 10⁶-node internet tree,
+// derives a WebWave placement for it, serializes the quotas to a
+// QuotaWireTable blob and launches a fleet of forked cache-server
+// daemons over loopback sockets — each owning a contiguous preorder
+// shard, answering GETs from its quota table and forwarding misses
+// up-tree to the owning peer's socket.  The same (seed, i) request
+// stream is then replayed on one in-process ServingPlane built from the
+// *same* blob, and every integer serving counter — hits, home serves,
+// hops, failovers, backoff slots, drops — is asserted EQUAL, fleet sum
+// vs oracle, across three scenarios: all-live, a crashed subtree root
+// (failovers > 0), and a dead ancestor chain longer than the retry
+// budget (drops > 0).  The process exits nonzero on any mismatch: the
+// socket transport is not approximately right, it is the same protocol.
+//
+// Part 2 turns the simulator into the second transport of that protocol:
+// a PacketSim step hook injects encoded GetRequest/LoadGossip frames —
+// the daemon's own byte format, pushed through MessageCodec — into the
+// running packet simulation, and the run reports how many wire frames
+// the simulation itself round-tripped.
+//
+// Emits BENCH_netd.json.  Environment knobs:
+//   WEBWAVE_SMOKE          reduced shapes (the CI smoke configuration)
+//   WEBWAVE_NETD_NODES     big-tree nodes to carve from (default 1000000;
+//                          smoke 60000)
+//   WEBWAVE_NETD_CARVE     target carved-subtree size (default 4000;
+//                          smoke 1200)
+//   WEBWAVE_NETD_DOCS      documents (default 16; smoke 8)
+//   WEBWAVE_NETD_SERVERS   forked daemons (default 4)
+//   WEBWAVE_NETD_REQUESTS  requests per scenario (default 400000;
+//                          smoke 120000)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "doc/catalog.h"
+#include "doc/placement.h"
+#include "netd/cluster.h"
+#include "proto/packet_sim.h"
+#include "serve/quota_snapshot.h"
+#include "tree/builders.h"
+#include "util/ascii.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+#include "wire/codec.h"
+#include "wire/quota_wire.h"
+
+int main() {
+  using namespace webwave;
+  using bench::EnvInt;
+  using bench::MillisSince;
+  using Clock = std::chrono::steady_clock;
+
+  const bool smoke = bench::EnvFlag("WEBWAVE_SMOKE");
+  const int big_nodes =
+      EnvInt("WEBWAVE_NETD_NODES", smoke ? 60000 : 1000000);
+  const int carve_target = EnvInt("WEBWAVE_NETD_CARVE", smoke ? 1200 : 4000);
+  const int docs = EnvInt("WEBWAVE_NETD_DOCS", smoke ? 8 : 16);
+  const int servers = EnvInt("WEBWAVE_NETD_SERVERS", 4);
+  const long long requests =
+      bench::EnvLong("WEBWAVE_NETD_REQUESTS", smoke ? 120000LL : 400000LL);
+
+  std::printf(
+      "E17 — one wire protocol, two transports: %d-node tree, a carved\n"
+      "~%d-node serving subtree, %d forked daemons over loopback, %lld\n"
+      "requests per scenario, every serving counter asserted equal to the\n"
+      "in-process oracle replaying the identical (seed, i) stream.%s\n\n",
+      big_nodes, carve_target, servers, requests,
+      smoke ? "\n(WEBWAVE_SMOKE: reduced configuration)" : "");
+
+  BenchJson json("tab_netd");
+  json.BeginRun();
+  json.Add("record", std::string("config"));
+  json.Add("big_nodes", big_nodes);
+  json.Add("carve_target", carve_target);
+  json.Add("docs", docs);
+  json.Add("servers", servers);
+  json.Add("requests", requests);
+
+  // Part 1 — the forked fleet vs the oracle ------------------------------
+  Rng rng(static_cast<std::uint64_t>(big_nodes) + docs + 17);
+  const auto t_tree = Clock::now();
+  const RoutingTree big = MakeRandomTree(big_nodes, rng);
+  NodeId pivot = big.root();
+  for (const NodeId v : big.preorder())
+    if (!big.is_root(v) && big.subtree_size(v) >= carve_target &&
+        big.subtree_size(v) <= 4 * carve_target) {
+      pivot = v;
+      break;
+    }
+  if (big.is_root(pivot)) {
+    // No subtree in range (tiny trees): take the largest proper subtree.
+    for (const NodeId v : big.children(big.root())) {
+      if (pivot == big.root() ||
+          big.subtree_size(v) > big.subtree_size(pivot))
+        pivot = v;
+    }
+  }
+  const CarvedTree carved = CarveSubtree(big, pivot);
+  const RoutingTree tree = RoutingTree::FromParents(carved.parents);
+  const double carve_ms = MillisSince(t_tree);
+  std::printf("carved %d of %d nodes (subtree of node %d, height %d) in %.0f ms\n",
+              tree.size(), big.size(), pivot, tree.height(), carve_ms);
+
+  DemandMatrix demand(tree.size(), docs);
+  Rng drng(7);
+  for (NodeId v = 0; v < tree.size(); ++v)
+    if (tree.is_leaf(v))
+      for (DocId d = 0; d < docs; ++d)
+        demand.set(v, d, drng.NextDouble(0.1, 4.0));
+  const PlacementResult placement = DerivePlacement(tree, demand);
+  const QuotaSnapshot snapshot =
+      QuotaSnapshot::FromPlacement(tree, placement, demand, 1e-9);
+
+  NetdClusterConfig config;
+  config.parents = tree.parents();
+  config.owner = PartitionOwners(tree, servers);
+  config.server_count = servers;
+  QuotaWireTable::Serialize(snapshot, &config.quota_blob);
+  config.serving.block_size = 1;
+  config.serving.threads = 1;
+  config.docs = docs;
+  config.stream_seed = 0x77aeULL + static_cast<std::uint64_t>(big_nodes);
+  config.total_requests = static_cast<std::uint64_t>(requests);
+  std::printf("quota blob: %zu bytes, %d serving nodes, %d documents\n\n",
+              config.quota_blob.size(), tree.size(), docs);
+
+  // The three scenarios: live, a crashed subtree root, a dead ancestor
+  // chain longer than the retry budget.
+  struct Scenario {
+    const char* label;
+    std::vector<NodeId> down;
+    int max_failover_attempts;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"live", {}, 8});
+  {
+    std::vector<NodeId> down;
+    for (const NodeId v : tree.preorder())
+      if (!tree.is_root(v) && tree.subtree_size(v) >= tree.size() / 20) {
+        down.push_back(v);
+        break;
+      }
+    scenarios.push_back({"faulted", down, 8});
+  }
+  {
+    NodeId deep = 0;
+    for (const NodeId v : tree.preorder())
+      if (tree.depth(v) > tree.depth(deep)) deep = v;
+    std::vector<NodeId> chain;
+    for (NodeId v = deep; !tree.is_root(v); v = tree.parent(v))
+      chain.push_back(v);
+    scenarios.push_back(
+        {"drops", chain, std::max(1, static_cast<int>(chain.size()) - 1)});
+  }
+
+  AsciiTable table({"scenario", "served", "dropped", "failovers", "hop sum",
+                    "forwards", "gossip", "fleet kreq/s", "oracle Mreq/s",
+                    "match"});
+  bool all_match = true;
+  for (const Scenario& sc : scenarios) {
+    config.down = sc.down;
+    config.serving.max_failover_attempts = sc.max_failover_attempts;
+
+    const auto t_fleet = Clock::now();
+    const NetdRunResult run = RunNetdCluster(config);
+    const double fleet_ms = MillisSince(t_fleet);
+
+    const auto t_oracle = Clock::now();
+    const ServingMetrics oracle = ReplayOracle(config);
+    const double oracle_ms = MillisSince(t_oracle);
+
+    const bool match =
+        run.ok && ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)) &&
+        run.client_served == oracle.requests - oracle.dropped_requests &&
+        run.client_hop_sum == oracle.hop_sum;
+    all_match = all_match && match;
+
+    table.AddRow({sc.label,
+                  AsciiTable::Int(static_cast<long long>(run.client_served)),
+                  AsciiTable::Int(static_cast<long long>(run.client_dropped)),
+                  AsciiTable::Int(static_cast<long long>(run.fleet.failovers)),
+                  AsciiTable::Int(static_cast<long long>(run.fleet.hop_sum)),
+                  AsciiTable::Int(static_cast<long long>(run.fleet.net_forwards)),
+                  AsciiTable::Int(static_cast<long long>(run.fleet.gossip_sent)),
+                  AsciiTable::Num(static_cast<double>(requests) / fleet_ms, 1),
+                  AsciiTable::Num(static_cast<double>(requests) / oracle_ms / 1e3,
+                                  3),
+                  match ? "EXACT" : "MISMATCH"});
+
+    json.BeginRun();
+    json.Add("record", std::string("fleet"));
+    json.Add("scenario", std::string(sc.label));
+    json.Add("servers", servers);
+    json.Add("requests", requests);
+    json.Add("down", static_cast<long long>(sc.down.size()));
+    json.Add("served", static_cast<long long>(run.client_served));
+    json.Add("dropped", static_cast<long long>(run.client_dropped));
+    json.Add("failovers", static_cast<long long>(run.fleet.failovers));
+    json.Add("hop_sum", static_cast<long long>(run.fleet.hop_sum));
+    json.Add("net_forwards", static_cast<long long>(run.fleet.net_forwards));
+    json.Add("gossip_sent", static_cast<long long>(run.fleet.gossip_sent));
+    json.Add("fleet_ms", fleet_ms);
+    json.Add("req_per_sec", static_cast<double>(requests) / fleet_ms * 1e3);
+    json.Add("oracle_req_per_sec",
+             static_cast<double>(requests) / oracle_ms * 1e3);
+    json.Add("match", match ? 1 : 0);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Part 2 — the simulator as the protocol's second transport ------------
+  {
+    const int sim_nodes = smoke ? 400 : 2000;
+    const int sim_docs = 8;
+    Rng srng(21);
+    const RoutingTree sim_tree = MakeRandomTree(sim_nodes, srng);
+    DemandMatrix sim_demand(sim_nodes, sim_docs);
+    Rng sdr(5);
+    for (NodeId v = 0; v < sim_tree.size(); ++v)
+      if (sim_tree.is_leaf(v))
+        for (DocId d = 0; d < sim_docs; ++d)
+          sim_demand.set(v, d, sdr.NextDouble(0.5, 2.0));
+    PacketSimOptions opt;
+    opt.policy = CachePolicy::kWebWave;
+    opt.duration = 6 * kMicrosPerSecond;
+    opt.warmup = 1 * kMicrosPerSecond;
+    opt.seed = 29;
+
+    PacketSim sim(sim_tree, sim_demand, opt);
+    std::uint64_t injected = 0;
+    sim.set_step_hook([&](PacketSim& s) {
+      // Inject daemon-format frames into the running simulation: the
+      // codec's bytes, not a parallel in-sim vocabulary.
+      GetRequest g;
+      g.req_id = 1u << 20;
+      g.doc = static_cast<DocId>(injected % sim_docs);
+      g.origin_node = static_cast<NodeId>((injected * 37) %
+                                          static_cast<std::uint64_t>(sim_nodes));
+      std::vector<std::uint8_t> frame;
+      MessageCodec::Encode(g, &frame);
+      if (s.InjectFrame(frame.data(), frame.size())) ++injected;
+      LoadGossip lg;
+      lg.node = g.origin_node;
+      lg.epoch = static_cast<std::uint32_t>(injected);
+      lg.load = static_cast<double>(injected);
+      s.InjectGossip(lg);
+    });
+    const auto t_sim = Clock::now();
+    sim.Run();
+    const double sim_ms = MillisSince(t_sim);
+    const PacketSimReport report = sim.Report();
+    std::printf(
+        "packet_sim transport: %llu wire frames round-tripped in-sim,\n"
+        "%llu injected via the step hook, %llu requests total (%.0f ms)\n\n",
+        static_cast<unsigned long long>(report.wire_frames),
+        static_cast<unsigned long long>(injected),
+        static_cast<unsigned long long>(report.total_requests), sim_ms);
+
+    json.BeginRun();
+    json.Add("record", std::string("packet_wire"));
+    json.Add("sim_nodes", sim_nodes);
+    json.Add("wire_frames", static_cast<long long>(report.wire_frames));
+    json.Add("injected", static_cast<long long>(injected));
+    json.Add("sim_requests", static_cast<long long>(report.total_requests));
+    json.Add("sim_ms", sim_ms);
+
+    if (report.wire_frames == 0 || injected == 0) {
+      std::printf("ASSERT FAILED: the simulator round-tripped no frames\n");
+      all_match = false;
+    }
+  }
+
+  const char* out = "BENCH_netd.json";
+  std::printf("%s %s\n", json.WriteFile(out) ? "wrote" : "FAILED to write",
+              out);
+  if (!all_match) {
+    std::printf("\nASSERT FAILED: fleet and oracle disagree — the two\n"
+                "transports are not running the same protocol.\n");
+    return 1;
+  }
+  std::printf(
+      "\nReading: the daemons and the oracle do not merely agree\n"
+      "statistically — every counter is identical, because block_size = 1\n"
+      "makes each admission decision a pure function of (req_id, cell) and\n"
+      "both transports execute the same ServingPlane core on the same\n"
+      "QuotaWireTable bytes.  The socket layer adds delivery, not policy.\n");
+  return 0;
+}

@@ -81,7 +81,7 @@ int main() {
     opt.lru_capacity = 3;
     opt.seed = 17;
     const PacketSimReport report =
-        RunPacketSimulation(tree, demand, opt, target.load);
+        PacketSim(tree, demand, opt, target.load).Run();
     double max_load = 0;
     for (const double l : report.measured_loads)
       max_load = std::max(max_load, l);
@@ -105,7 +105,7 @@ int main() {
   opt.warmup = 10 * kMicrosPerSecond;
   opt.seed = 17;
   const PacketSimReport wave =
-      RunPacketSimulation(tree, demand, opt, target.load);
+      PacketSim(tree, demand, opt, target.load).Run();
   std::printf("WebWave distance-to-TLB trajectory (EWMA loads, one sample "
               "per 200 ms):\n\n");
   std::vector<std::pair<std::string, double>> plot;
@@ -124,7 +124,7 @@ int main() {
     PacketSimOptions none_opt = opt;
     none_opt.policy = CachePolicy::kNoCaching;
     const PacketSimReport none =
-        RunPacketSimulation(tree, demand, none_opt, target.load);
+        PacketSim(tree, demand, none_opt, target.load).Run();
     AsciiTable traffic({"edge depth", "no-caching KB", "webwave KB",
                         "reduction"});
     for (int depth = 1; depth <= tree.height(); ++depth) {

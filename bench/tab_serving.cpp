@@ -52,6 +52,7 @@
 #include "core/webwave_batch.h"
 #include "serve/closed_loop.h"
 #include "serve/placement_policy.h"
+#include "serve/epoch_driver.h"
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
@@ -194,8 +195,7 @@ int main() {
   // whole loop: the snapshot re-syncs from the engine's dirty lanes
   // (RefreshFromBatch), the plane re-syncs from the snapshot
   // (ServingPlane::Refresh) — nothing is rebuilt from scratch per epoch.
-  QuotaSnapshot loop_snap = QuotaSnapshot::FromBatch(sim, 1e-12);
-  sim.ClearDirtyLanes();
+  EpochDriver driver(sim);  // default 12 diffusion steps per epoch
   ServingOptions loop_sopt;
   loop_sopt.threads = threads;
   loop_sopt.block_size =
@@ -210,7 +210,8 @@ int main() {
         500);
     loop_sopt.offered_rate = probe.total_rate();
   }
-  ServingPlane plane(loop_tree, loop_snap, loop_sopt);
+  ServingPlane plane(loop_tree, driver.snapshot(), loop_sopt);
+  driver.AttachPlane(&plane);
   for (int epoch = 0; epoch < loop_epochs; ++epoch) {
     const auto t_epoch = Clock::now();
     RequestGenerator wgen(
@@ -229,14 +230,9 @@ int main() {
     plane.Serve(Span<Request>(window_buf.data(), half));
     fold.Count(Span<Request>(window_buf.data(), half));
     const std::vector<DemandEvent> events = fold.Drain(half_seconds);
-    sim.ApplyDemandEvents(events);
-    for (int s = 0; s < 12; ++s) sim.Step();
-
-    const std::vector<int> loop_dirty = sim.DirtyLanes();
-    loop_snap.RefreshFromBatch(sim);
-    sim.ClearDirtyLanes();
-    plane.Refresh(loop_snap, Span<const std::int32_t>(
-                                 loop_dirty.data(), loop_dirty.size()));
+    // One call per control epoch: demand into the engine, diffusion,
+    // snapshot re-sync, attached-plane refresh hinted by the dirty lanes.
+    driver.ApplyEpoch(events, {});
     plane.ResetMetrics();
     plane.Serve(Span<Request>(window_buf.data() + half, loop_window - half));
     ServingPlane home(loop_tree,

@@ -14,6 +14,7 @@
 #include "fault/fault_projector.h"
 #include "fault/fault_schedule.h"
 #include "serve/closed_loop.h"
+#include "serve/epoch_driver.h"
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
@@ -49,10 +50,11 @@ int main() {
   fopt.seed = 3;
   FaultSchedule faults(tree, fopt);
 
-  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, 1e-12);
-  sim.ClearDirtyLanes();
   FaultProjector projector(tree);
-  projector.Project(snap);
+  EpochDriver::Options dopt;
+  dopt.steps_per_epoch = 40;
+  EpochDriver driver(sim, dopt);
+  driver.AttachFaults(&projector);
 
   AsciiTable table({"epoch", "down", "events", "rehomed", "hit %",
                     "failovers", "dropped", "max load"});
@@ -70,31 +72,21 @@ int main() {
     // First half from the stale copies (and last epoch's down set); the
     // fold counts every arrival, outage or not — that's how the engine
     // keeps learning while nodes are dark.
-    ServingPlane stale(tree, projector.clamped(), opt);
-    stale.SetDownNodes(Span<const NodeId>(projector.down().data(),
-                                          projector.down().size()));
+    ServingPlane stale(tree, driver.serving(), opt);
+    driver.InstallDown(stale);
     stale.Serve(Span<Request>(buf.data(), half));
     fold.Count(Span<Request>(buf.data(), half));
-    sim.ApplyDemandEvents(fold.Drain(half / gen.total_rate()));
-    for (int s = 0; s < 40; ++s) sim.Step();
 
-    // Advance the fault schedule one epoch and re-home around the
-    // transitions with the event-proportional refresh.
-    const std::vector<int> dirty = sim.DirtyLanes();
-    snap.RefreshFromBatch(sim);
-    sim.ClearDirtyLanes();
+    // Advance the fault schedule one epoch and drive the whole control
+    // step — demand into the engine, diffusion, snapshot re-sync,
+    // re-homing around the transitions (conservation asserted inside).
+    std::vector<DemandEvent> churn = fold.Drain(half / gen.total_rate());
     const std::vector<FaultEvent> events = faults.NextEvents();
-    projector.Refresh(snap,
-                      Span<const FaultEvent>(events.data(), events.size()),
-                      Span<const int>(dirty.data(), dirty.size()));
-    if (!projector.ConservesTotalRate(snap)) {
-      std::printf("re-homing lost quota rate — bug!\n");
-      return 1;
-    }
+    driver.ApplyEpoch(Span<DemandEvent>(churn.data(), churn.size()),
+                      Span<const FaultEvent>(events.data(), events.size()));
 
-    ServingPlane fresh(tree, projector.clamped(), opt);
-    fresh.SetDownNodes(Span<const NodeId>(projector.down().data(),
-                                          projector.down().size()));
+    ServingPlane fresh(tree, driver.serving(), opt);
+    driver.InstallDown(fresh);
     fresh.Serve(Span<Request>(buf.data() + half, window - half));
     const ServingMetrics& m = fresh.metrics();
     table.AddRow(

@@ -64,7 +64,7 @@ int main() {
     opt.warmup = 10 * kMicrosPerSecond;
     opt.seed = 3;
     const PacketSimReport report =
-        RunPacketSimulation(tree, demand, opt, tlb.load);
+        PacketSim(tree, demand, opt, tlb.load).Run();
     std::printf(
         "%-12s  mean hit depth %.2f hops, mean response %.1f ms, load CoV "
         "%.3f\n",

@@ -12,6 +12,7 @@
 
 #include "core/webwave_batch.h"
 #include "serve/closed_loop.h"
+#include "serve/epoch_driver.h"
 #include "serve/placement_policy.h"
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
@@ -47,9 +48,10 @@ int main() {
   CapacityProjector projector(
       tree, CacheStore::WorkingSetStore(
                 tree, DocumentSizes::LogNormal(docs, 64 * 1024, 1.0, 7), 0.3));
-  QuotaSnapshot snap = QuotaSnapshot::FromBatch(sim, 1e-12);
-  sim.ClearDirtyLanes();
-  projector.Project(snap);
+  EpochDriver::Options dopt;
+  dopt.steps_per_epoch = 60;
+  EpochDriver driver(sim, dopt);
+  driver.AttachCapacity(&projector);
 
   AsciiTable table({"epoch", "evicted", "spill %", "webwave max", "home max",
                     "improvement", "hit %"});
@@ -66,19 +68,16 @@ int main() {
     opt.offered_rate = gen.total_rate();
 
     // First half from the stale clamped copies; fold what arrived.
-    ServingPlane stale(tree, projector.clamped(), opt);
+    ServingPlane stale(tree, driver.serving(), opt);
     stale.Serve(Span<Request>(buf.data(), half));
     fold.Count(Span<Request>(buf.data(), half));
-    sim.ApplyDemandEvents(fold.Drain(half / gen.total_rate()));
-    for (int s = 0; s < 60; ++s) sim.Step();
 
-    // Re-sync the snapshot from the dirty lanes, re-clamp to the store,
-    // and serve the second half from the refreshed resident copies.
-    const std::vector<int> dirty = sim.DirtyLanes();
-    snap.RefreshFromBatch(sim);
-    projector.Refresh(snap, Span<const int>(dirty.data(), dirty.size()));
-    sim.ClearDirtyLanes();
-    ServingPlane fresh(tree, projector.clamped(), opt);
+    // One call per control epoch: demand into the engine, diffusion,
+    // snapshot re-sync, capacity re-clamp.  Then serve the second half
+    // from the refreshed resident copies.
+    std::vector<DemandEvent> churn = fold.Drain(half / gen.total_rate());
+    driver.ApplyEpoch(Span<DemandEvent>(churn.data(), churn.size()), {});
+    ServingPlane fresh(tree, driver.serving(), opt);
     fresh.Serve(Span<Request>(buf.data() + half, window - half));
     ServingPlane home(tree, HomeOnlyPolicy().Place(tree, gen.ExpectedLanes()),
                       opt);
@@ -89,7 +88,7 @@ int main() {
     table.AddRow({std::to_string(epoch),
                   AsciiTable::Int(projector.evicted_cells()),
                   AsciiTable::Num(100 * projector.spilled_rate() /
-                                      snap.total_rate(), 1),
+                                      driver.snapshot().total_rate(), 1),
                   AsciiTable::Int(static_cast<long long>(ww)),
                   AsciiTable::Int(static_cast<long long>(ho)),
                   AsciiTable::Num(static_cast<double>(ho) /

@@ -60,12 +60,26 @@ class FaultProjector : public SpillProjector {
   // Full projection of `base` against the current down set.
   void Project(const QuotaSnapshot& base);
 
-  // Event-proportional re-projection (requires a prior Project): applies
-  // the crash/recover transitions to the down set, then re-projects
-  // `dirty_lanes` (the demand-side lanes whose base cells moved this
-  // epoch; empty when the base is unchanged) plus every document in a
-  // transitioned node's base row.  Returns true when the clamped CSR
-  // shape held and values were rewritten in place.
+  // Applies crash/recover transitions to the down set without
+  // projecting anything; the transitioned nodes accumulate and the next
+  // Refresh re-projects their rows.  Splitting the event intake from
+  // the re-projection gives this class the same epoch surface as
+  // CapacityProjector — one Project(base) / Refresh(base, dirty_lanes)
+  // shape per projector, whatever its survivor predicate (see
+  // store/README.md).
+  void ApplyEvents(Span<const FaultEvent> events);
+
+  // Event-proportional re-projection (requires a prior Project):
+  // re-projects `dirty_lanes` (the demand-side lanes whose base cells
+  // moved this epoch; empty when the base is unchanged) plus every
+  // document in the base row of a node ApplyEvents transitioned since
+  // the last projection.  Returns true when the clamped CSR shape held
+  // and values were rewritten in place.  Signature-compatible with
+  // CapacityProjector::Refresh.
+  bool Refresh(const QuotaSnapshot& base, Span<const int> dirty_lanes);
+
+  // Convenience composition of ApplyEvents + Refresh (the historical
+  // one-call form).
   bool Refresh(const QuotaSnapshot& base, Span<const FaultEvent> events,
                Span<const int> dirty_lanes);
 
@@ -81,8 +95,11 @@ class FaultProjector : public SpillProjector {
                 std::int32_t d) const override;
 
  private:
-  std::vector<NodeId> down_;            // ascending
+  std::vector<NodeId> down_;             // ascending
   std::vector<std::uint8_t> down_mask_;  // per node, 1 = crashed
+  // Nodes ApplyEvents transitioned since the last Project/Refresh; their
+  // base rows join the next Refresh's affected set.
+  std::vector<NodeId> pending_transitions_;
 };
 
 }  // namespace webwave

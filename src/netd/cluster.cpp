@@ -1,0 +1,189 @@
+#include "netd/cluster.h"
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "netd/daemon.h"
+#include "netd/loadgen.h"
+#include "util/check.h"
+#include "util/worker_pool.h"
+#include "wire/quota_wire.h"
+
+namespace webwave {
+
+CarvedTree CarveSubtree(const RoutingTree& big, NodeId r) {
+  CarvedTree out;
+  out.big_ids = big.subtree(r);  // preorder, out.big_ids[0] == r
+  std::vector<NodeId> to_new(static_cast<std::size_t>(big.size()), kNoNode);
+  for (std::size_t i = 0; i < out.big_ids.size(); ++i)
+    to_new[static_cast<std::size_t>(out.big_ids[i])] =
+        static_cast<NodeId>(i);
+  out.parents.resize(out.big_ids.size(), kNoNode);
+  for (std::size_t i = 1; i < out.big_ids.size(); ++i)
+    out.parents[i] = to_new[static_cast<std::size_t>(
+        big.parent(out.big_ids[i]))];
+  return out;
+}
+
+std::vector<int> PartitionOwners(const RoutingTree& tree, int servers) {
+  WEBWAVE_REQUIRE(servers >= 1, "need at least one server");
+  std::vector<int> owner(static_cast<std::size_t>(tree.size()), 0);
+  const auto& pre = tree.preorder();
+  for (int s = 0; s < servers; ++s) {
+    std::size_t begin = 0, end = 0;
+    WorkerPool::Partition(pre.size(), servers, s, &begin, &end);
+    for (std::size_t i = begin; i < end; ++i)
+      owner[static_cast<std::size_t>(pre[i])] = s;
+  }
+  return owner;
+}
+
+ServingMetrics ReplayOracle(const NetdClusterConfig& config) {
+  QuotaSnapshot snapshot;
+  WEBWAVE_REQUIRE(QuotaWireTable::Deserialize(config.quota_blob.data(),
+                                              config.quota_blob.size(),
+                                              &snapshot),
+                  "oracle handed a corrupt quota blob");
+  const RoutingTree tree = RoutingTree::FromParents(config.parents);
+  ServingOptions opt = config.serving;
+  opt.threads = 1;
+  ServingPlane plane(tree, std::move(snapshot), opt);
+  if (!config.down.empty())
+    plane.SetDownNodes(
+        Span<const NodeId>(config.down.data(), config.down.size()));
+  std::vector<Request> batch(config.total_requests);
+  for (std::uint64_t i = 0; i < config.total_requests; ++i)
+    batch[i] = NetdRequestAt(config.stream_seed, i, tree.size(), config.docs);
+  plane.Serve(Span<Request>(batch.data(), batch.size()));
+  return plane.metrics();
+}
+
+WireCounters CountersFromMetrics(const ServingMetrics& m) {
+  WireCounters c;
+  c.requests = m.requests;
+  c.cache_served = m.cache_served;
+  c.home_served = m.home_served;
+  c.hop_sum = m.hop_sum;
+  c.failed_attempts = m.failed_attempts;
+  c.failovers = m.failovers;
+  c.dropped_requests = m.dropped_requests;
+  c.backoff_slots = m.backoff_slots;
+  return c;
+}
+
+bool ServingCountersEqual(const WireCounters& a, const WireCounters& b) {
+  return a.requests == b.requests && a.cache_served == b.cache_served &&
+         a.home_served == b.home_served && a.hop_sum == b.hop_sum &&
+         a.failed_attempts == b.failed_attempts &&
+         a.failovers == b.failovers &&
+         a.dropped_requests == b.dropped_requests &&
+         a.backoff_slots == b.backoff_slots;
+}
+
+namespace {
+
+// A listening socket on an ephemeral loopback port.
+int ListenLoopback(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  WEBWAVE_REQUIRE(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+      "bind(127.0.0.1:0) failed");
+  WEBWAVE_REQUIRE(::listen(fd, 128) == 0, "listen() failed");
+  socklen_t len = sizeof addr;
+  WEBWAVE_REQUIRE(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      "getsockname() failed");
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+NetdRunResult RunNetdCluster(const NetdClusterConfig& config) {
+  WEBWAVE_REQUIRE(config.server_count >= 1, "need at least one server");
+  WEBWAVE_REQUIRE(config.owner.size() == config.parents.size(),
+                  "owner map must cover every node");
+  WEBWAVE_REQUIRE(config.serving.block_size == 1,
+                  "netd requires the order-free block_size == 1 regime");
+  for (const int s : config.owner)
+    WEBWAVE_REQUIRE(s >= 0 && s < config.server_count,
+                    "owner out of range");
+
+  // A daemon writing to a peer that already shut down must see EPIPE,
+  // not die.  Set before forking so every process inherits it.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Every listen socket exists before the first fork: children inherit
+  // their own, the kernel queues connections until the owner polls, so
+  // there is no startup ordering to get wrong.
+  std::vector<int> listen_fds(static_cast<std::size_t>(config.server_count));
+  std::vector<std::uint16_t> ports(
+      static_cast<std::size_t>(config.server_count));
+  for (int s = 0; s < config.server_count; ++s)
+    listen_fds[static_cast<std::size_t>(s)] =
+        ListenLoopback(&ports[static_cast<std::size_t>(s)]);
+
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(config.server_count));
+  for (int s = 0; s < config.server_count; ++s) {
+    const pid_t pid = ::fork();
+    WEBWAVE_REQUIRE(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      for (int t = 0; t < config.server_count; ++t)
+        if (t != s) ::close(listen_fds[static_cast<std::size_t>(t)]);
+      CacheServerDaemon daemon(config, s,
+                               listen_fds[static_cast<std::size_t>(s)],
+                               ports);
+      // _exit, not exit: skip the parent's inherited atexit chain (gtest,
+      // stdio flushing) — the daemon's state is its counters, already
+      // reported over the wire.
+      ::_exit(daemon.Run());
+    }
+    pids.push_back(pid);
+  }
+  for (const int fd : listen_fds) ::close(fd);
+
+  NetdRunResult result;
+  LoadgenClient loadgen(config, ports);
+  bool ok = loadgen.Run(&result);
+
+  for (const pid_t pid : pids) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    ok = ok && r == pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  for (const WireCounters& c : result.per_server) {
+    result.fleet.requests += c.requests;
+    result.fleet.cache_served += c.cache_served;
+    result.fleet.home_served += c.home_served;
+    result.fleet.hop_sum += c.hop_sum;
+    result.fleet.failed_attempts += c.failed_attempts;
+    result.fleet.failovers += c.failovers;
+    result.fleet.dropped_requests += c.dropped_requests;
+    result.fleet.backoff_slots += c.backoff_slots;
+    result.fleet.net_forwards += c.net_forwards;
+    result.fleet.gossip_sent += c.gossip_sent;
+  }
+  result.ok = ok;
+  return result;
+}
+
+}  // namespace webwave

@@ -1,0 +1,113 @@
+// The netd cluster harness: carve a serving subtree out of a big tree,
+// partition it into per-process shards, fork one CacheServerDaemon per
+// shard over loopback sockets, drive the fleet with the deterministic
+// loadgen, and validate every integer serving counter against the
+// in-process ServingPlane oracle replaying the identical request stream.
+//
+// Why the counters can match *exactly* across async processes: the fleet
+// runs block_size = 1, the order-free admission regime, where every
+// token grant, thinning draw and backoff slot is a pure function of
+// (req_id, cell).  Arrival order across sockets then cannot change any
+// decision, so the sum of the daemons' counters equals one oracle plane's
+// metrics bit for bit — hits, forwards, failovers, drops, backoff slots,
+// per-request hops, everything.
+//
+// Process hygiene: the parent creates every listen socket *before*
+// forking (children inherit their own, the kernel queues connections
+// until the child polls — no port races, no startup handshakes), and no
+// thread exists anywhere at fork time (daemon planes run threads = 1;
+// the oracle replays only after the fleet is done).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_gen.h"
+#include "serve/serving_plane.h"
+#include "tree/routing_tree.h"
+#include "util/rng.h"
+#include "wire/message.h"
+
+namespace webwave {
+
+struct NetdClusterConfig {
+  // The carved tree, as a parent array (RoutingTree::FromParents form).
+  std::vector<NodeId> parents;
+  // node -> owning server index, in [0, server_count).
+  std::vector<int> owner;
+  int server_count = 0;
+  // The admission state every process is handed: QuotaWireTable bytes.
+  // Each daemon AND the oracle deserialize this same blob, so they build
+  // identical planes by construction.
+  std::vector<std::uint8_t> quota_blob;
+  // Globally known crashed nodes (never the root).
+  std::vector<NodeId> down;
+  // Plane options; block_size must be 1 (enforced by the daemon).
+  ServingOptions serving;
+  // The (seed, i) request stream: loadgen and oracle both generate it
+  // with NetdRequestAt over parents.size() nodes and `docs` documents.
+  int docs = 0;
+  std::uint64_t stream_seed = 1;
+  std::uint64_t total_requests = 0;
+  // Loadgen pacing: the timer wheel refills this many injection tokens
+  // per wheel tick; at most `window` requests are in flight.
+  int tokens_per_tick = 2048;
+  int window = 4096;
+  // Daemon gossip cadence on the timer wheel (0 disables).
+  int gossip_period_ms = 20;
+};
+
+// Request i of stream `seed` — a pure counter function, evaluated
+// identically by the loadgen (to send) and the oracle (to replay).
+inline Request NetdRequestAt(std::uint64_t seed, std::uint64_t i, int nodes,
+                             int docs) {
+  std::uint64_t s1 = seed + i * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t s2 = s1 + 0x6a09e667f3bcc909ULL;
+  Request r;
+  r.node = static_cast<NodeId>(SplitMix64(s1) %
+                               static_cast<std::uint64_t>(nodes));
+  r.doc = static_cast<std::int32_t>(SplitMix64(s2) %
+                                    static_cast<std::uint64_t>(docs));
+  return r;
+}
+
+// The subtree of `big` rooted at `r`, re-indexed to its own compact tree
+// (new ids are preorder positions, so the carved root is node 0).
+struct CarvedTree {
+  std::vector<NodeId> parents;  // carved tree, FromParents form
+  std::vector<NodeId> big_ids;  // carved id -> original id in `big`
+};
+CarvedTree CarveSubtree(const RoutingTree& big, NodeId r);
+
+// node -> server: contiguous preorder blocks via WorkerPool::Partition,
+// so shards are deterministic, balanced within one node, and mostly
+// connected (preorder keeps subtrees together).
+std::vector<int> PartitionOwners(const RoutingTree& tree, int servers);
+
+// Replays the config's stream on one all-owning plane built from the
+// same quota blob — the oracle the fleet is compared against.
+ServingMetrics ReplayOracle(const NetdClusterConfig& config);
+
+// The scalar counters of a ServingMetrics, in WireCounters form (the
+// transport-level fields net_forwards/gossip_sent stay 0 — the oracle
+// has no sockets).
+WireCounters CountersFromMetrics(const ServingMetrics& m);
+
+// True iff the serving counters agree (transport-level fields ignored).
+bool ServingCountersEqual(const WireCounters& a, const WireCounters& b);
+
+struct NetdRunResult {
+  bool ok = false;  // fleet launched, drained and exited cleanly
+  std::vector<WireCounters> per_server;
+  WireCounters fleet;  // per_server summed
+  // Client-side tallies from the replies themselves.
+  std::uint64_t client_served = 0;
+  std::uint64_t client_dropped = 0;
+  std::uint64_t client_hop_sum = 0;  // over served replies
+};
+
+// Forks config.server_count daemons, runs the loadgen against them,
+// collects every daemon's counters, shuts the fleet down and reaps it.
+NetdRunResult RunNetdCluster(const NetdClusterConfig& config);
+
+}  // namespace webwave

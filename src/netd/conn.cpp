@@ -1,0 +1,77 @@
+#include "netd/conn.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace webwave {
+
+FrameConn::~FrameConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  WEBWAVE_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                  "fcntl(O_NONBLOCK) failed");
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return fd;
+}
+
+bool FrameConn::Flush() {
+  while (!out_.empty()) {
+    const ssize_t n = ::write(fd_, out_.data(), out_.size());
+    if (n > 0) {
+      out_.erase(out_.begin(), out_.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    closed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool FrameConn::OnReadable(
+    const std::function<void(const WireMessage&)>& on_frame) {
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      in_.insert(in_.end(), buf, buf + n);
+      if (static_cast<std::size_t>(n) == sizeof buf) continue;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // drained
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      closed_ = true;  // EOF or reset; deliver what already arrived
+    }
+    break;
+  }
+  // Cut complete frames.  The consumed prefix is trimmed lazily so a
+  // burst of small frames costs one memmove, not one per frame.
+  for (;;) {
+    WireMessage msg;
+    std::size_t consumed = 0;
+    const auto st = MessageCodec::Decode(
+        in_.data() + in_start_, in_.size() - in_start_, &msg, &consumed);
+    if (st == MessageCodec::DecodeStatus::kNeedMore) break;
+    WEBWAVE_REQUIRE(st == MessageCodec::DecodeStatus::kOk,
+                    "byte-garbage on a netd connection");
+    in_start_ += consumed;
+    on_frame(msg);
+  }
+  if (in_start_ > 0) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_start_));
+    in_start_ = 0;
+  }
+  return !closed_;
+}
+
+}  // namespace webwave

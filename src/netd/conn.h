@@ -1,0 +1,63 @@
+// FrameConn — a non-blocking stream socket speaking wire/codec.h frames.
+//
+// Reads accumulate into a buffer and are cut into frames by
+// MessageCodec::Decode (kNeedMore keeps bytes for the next readable
+// event; kError is a protocol violation and poisons the connection).
+// Writes append encoded frames to an output buffer and flush as much as
+// the socket accepts; the owner toggles the event loop's write interest
+// off `want_write()` after each send/flush.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace webwave {
+
+class FrameConn {
+ public:
+  explicit FrameConn(int fd) : fd_(fd) {}
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+  ~FrameConn();
+
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+
+  // Encodes and queues one message, then flushes opportunistically.
+  template <typename Message>
+  void Send(const Message& m) {
+    MessageCodec::Encode(m, &out_);
+    Flush();
+  }
+  void SendControl(MsgType type) {
+    MessageCodec::EncodeControl(type, &out_);
+    Flush();
+  }
+
+  // Writes as much queued output as the socket accepts.  Returns false
+  // when the connection died (peer reset).
+  bool Flush();
+  bool want_write() const { return !out_.empty(); }
+
+  // Drains the socket and invokes on_frame for every complete frame.
+  // Returns false on EOF or error (the connection is done); throws on
+  // byte-garbage (a protocol violation is a bug in this fleet, not an
+  // operational event).
+  bool OnReadable(const std::function<void(const WireMessage&)>& on_frame);
+
+ private:
+  int fd_;
+  bool closed_ = false;
+  std::vector<std::uint8_t> in_;
+  std::size_t in_start_ = 0;  // consumed prefix of in_
+  std::vector<std::uint8_t> out_;
+};
+
+// Makes fd non-blocking (and close-on-exec); returns fd.
+int MakeNonBlocking(int fd);
+
+}  // namespace webwave

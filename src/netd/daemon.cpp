@@ -1,0 +1,239 @@
+#include "netd/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+#include "wire/quota_wire.h"
+
+namespace webwave {
+
+namespace {
+
+QuotaSnapshot SnapshotFromBlob(const std::vector<std::uint8_t>& blob) {
+  QuotaSnapshot s;
+  WEBWAVE_REQUIRE(QuotaWireTable::Deserialize(blob.data(), blob.size(), &s),
+                  "netd daemon handed a corrupt quota blob");
+  return s;
+}
+
+}  // namespace
+
+CacheServerDaemon::CacheServerDaemon(const NetdClusterConfig& config,
+                                     int server_index, int listen_fd,
+                                     std::vector<std::uint16_t> ports)
+    : config_(config),
+      index_(server_index),
+      listen_fd_(listen_fd),
+      ports_(std::move(ports)),
+      tree_(RoutingTree::FromParents(config.parents)),
+      peer_fd_(config.server_count, -1) {
+  WEBWAVE_REQUIRE(config.serving.block_size == 1,
+                  "netd requires block_size == 1 (the order-free admission "
+                  "regime) so async fleets stay bit-comparable to the oracle");
+  ServingOptions opt = config.serving;
+  opt.threads = 1;  // a forked daemon must never spawn threads
+  plane_ = std::make_unique<ServingPlane>(tree_, SnapshotFromBlob(config.quota_blob),
+                                          opt);
+  for (NodeId v = 0; v < tree_.size(); ++v)
+    if (config.owner[static_cast<std::size_t>(v)] == index_) shard_.push_back(v);
+  plane_->SetSegmentNodes(Span<const NodeId>(shard_.data(), shard_.size()));
+  if (!config.down.empty())
+    plane_->SetDownNodes(Span<const NodeId>(config.down.data(), config.down.size()));
+}
+
+CacheServerDaemon::~CacheServerDaemon() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+int CacheServerDaemon::Run() {
+  MakeNonBlocking(listen_fd_);
+  loop_.WatchRead(listen_fd_, [this] { OnAcceptable(); });
+  if (config_.gossip_period_ms > 0 && config_.server_count > 1)
+    ScheduleGossip();
+  return loop_.Run();
+}
+
+void CacheServerDaemon::OnAcceptable() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; poll will retry
+    }
+    AdoptConn(fd);
+  }
+}
+
+void CacheServerDaemon::AdoptConn(int fd) {
+  MakeNonBlocking(fd);
+  conns_[fd] = std::make_unique<FrameConn>(fd);
+  loop_.WatchRead(fd, [this, fd] {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    const bool alive = it->second->OnReadable(
+        [this, fd](const WireMessage& m) { OnFrame(fd, m); });
+    if (!alive) DropConn(fd);
+  });
+}
+
+void CacheServerDaemon::DropConn(int fd) {
+  loop_.Unwatch(fd);
+  for (int& pf : peer_fd_)
+    if (pf == fd) pf = -1;
+  conns_.erase(fd);  // closes the fd
+}
+
+void CacheServerDaemon::UpdateWriteInterest(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  FrameConn* c = it->second.get();
+  if (c->closed()) {
+    DropConn(fd);
+    return;
+  }
+  loop_.SetWriteInterest(fd, c->want_write(), [this, fd] {
+    const auto it2 = conns_.find(fd);
+    if (it2 == conns_.end()) return;
+    it2->second->Flush();
+    UpdateWriteInterest(fd);
+  });
+}
+
+void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kGetRequest:
+      HandleRequest(from_fd, msg.get);
+      break;
+    case MsgType::kGetReply: {
+      // A reply from upstream: retrace it to whoever handed us the
+      // request.
+      const auto it = pending_.find(msg.reply.req_id);
+      if (it == pending_.end()) break;  // origin conn died meanwhile
+      const int dest = it->second;
+      pending_.erase(it);
+      const auto cit = conns_.find(dest);
+      if (cit != conns_.end()) {
+        cit->second->Send(msg.reply);
+        UpdateWriteInterest(dest);
+      }
+      break;
+    }
+    case MsgType::kLoadGossip:
+      gossip_heard_[msg.gossip.node] = msg.gossip.load;
+      break;
+    case MsgType::kStatsRequest: {
+      const auto it = conns_.find(from_fd);
+      if (it != conns_.end()) {
+        it->second->Send(Counters());
+        UpdateWriteInterest(from_fd);
+      }
+      break;
+    }
+    case MsgType::kShutdown:
+      loop_.Stop(0);
+      break;
+    case MsgType::kHello:
+    case MsgType::kStatsReply:
+      break;  // peer introductions; nothing to do
+  }
+}
+
+void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
+  GetRequest fwd;
+  GetReply reply;
+  switch (plane_->ServeWireSegment(req, &fwd, &reply)) {
+    case ServingPlane::WireServe::kServed:
+    case ServingPlane::WireServe::kDropped: {
+      const auto it = conns_.find(from_fd);
+      if (it != conns_.end()) {
+        it->second->Send(reply);
+        UpdateWriteInterest(from_fd);
+      }
+      break;
+    }
+    case ServingPlane::WireServe::kForwarded: {
+      const int target =
+          config_.owner[static_cast<std::size_t>(fwd.origin_node)];
+      FrameConn* peer = ConnTo(target);
+      pending_[req.req_id] = from_fd;
+      peer->Send(fwd);
+      ++net_forwards_;
+      UpdateWriteInterest(peer->fd());
+      break;
+    }
+  }
+}
+
+FrameConn* CacheServerDaemon::ConnTo(int s) {
+  WEBWAVE_REQUIRE(s != index_, "a shard never forwards to itself");
+  if (peer_fd_[static_cast<std::size_t>(s)] >= 0)
+    return conns_[peer_fd_[static_cast<std::size_t>(s)]].get();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ports_[static_cast<std::size_t>(s)]);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // Blocking connect on purpose: the peer's listen socket already exists
+  // (created by the parent before any fork), so the kernel completes the
+  // handshake immediately regardless of whether the peer polled yet.
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  WEBWAVE_REQUIRE(rc == 0, "connect() to a peer daemon failed");
+  AdoptConn(fd);
+  peer_fd_[static_cast<std::size_t>(s)] = fd;
+  Hello hello;
+  hello.kind = PeerKind::kServer;
+  hello.sender = static_cast<std::uint32_t>(index_);
+  conns_[fd]->Send(hello);
+  UpdateWriteInterest(fd);
+  return conns_[fd].get();
+}
+
+void CacheServerDaemon::ScheduleGossip() {
+  loop_.AddTimer(config_.gossip_period_ms, [this] {
+    GossipTick();
+    ScheduleGossip();
+  });
+}
+
+void CacheServerDaemon::GossipTick() {
+  if (shard_.empty()) return;
+  LoadGossip g;
+  g.node = shard_.front();
+  g.epoch = gossip_epoch_++;
+  g.load = static_cast<double>(plane_->metrics().requests);
+  const int target = (index_ + 1) % config_.server_count;
+  FrameConn* peer = ConnTo(target);
+  peer->Send(g);
+  ++gossip_sent_;
+  UpdateWriteInterest(peer->fd());
+}
+
+WireCounters CacheServerDaemon::Counters() const {
+  const ServingMetrics& m = plane_->metrics();
+  WireCounters c;
+  c.requests = m.requests;
+  c.cache_served = m.cache_served;
+  c.home_served = m.home_served;
+  c.hop_sum = m.hop_sum;
+  c.failed_attempts = m.failed_attempts;
+  c.failovers = m.failovers;
+  c.dropped_requests = m.dropped_requests;
+  c.backoff_slots = m.backoff_slots;
+  c.net_forwards = net_forwards_;
+  c.gossip_sent = gossip_sent_;
+  return c;
+}
+
+}  // namespace webwave

@@ -1,0 +1,75 @@
+// CacheServerDaemon — one forked netd process serving its shard of the
+// carved tree over loopback sockets.
+//
+// The daemon deserializes the cluster's shared QuotaWireTable blob into
+// its own single-threaded ServingPlane, installs its shard as the
+// plane's segment set, and answers GetRequests with ServeWireSegment:
+// requests that terminate in the shard are replied to on the arriving
+// connection; walks that leave the shard are forwarded to the owning
+// peer's socket, with a pending map retracing the reply hop by hop back
+// to the client.  A timer-wheel cadence emits LoadGossip to the next
+// server on the ring — the transport-plane heartbeat; gossip counters
+// are reported but (unlike the serving counters) not oracle-compared.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netd/cluster.h"
+#include "netd/conn.h"
+#include "netd/event_loop.h"
+
+namespace webwave {
+
+class CacheServerDaemon {
+ public:
+  // Takes ownership of listen_fd.  `ports` are every server's loopback
+  // ports (index = server), for lazy peer connects.
+  CacheServerDaemon(const NetdClusterConfig& config, int server_index,
+                    int listen_fd, std::vector<std::uint16_t> ports);
+  ~CacheServerDaemon();
+
+  // Serves until a kShutdown frame arrives.  Returns the exit code.
+  int Run();
+
+ private:
+  void OnAcceptable();
+  void AdoptConn(int fd);
+  void DropConn(int fd);
+  void UpdateWriteInterest(int fd);
+  void OnFrame(int from_fd, const WireMessage& msg);
+  void HandleRequest(int from_fd, const GetRequest& req);
+  // The connection to peer server `s`, connecting (and saying Hello) on
+  // first use.
+  FrameConn* ConnTo(int s);
+  void ScheduleGossip();
+  void GossipTick();
+  WireCounters Counters() const;
+
+  const NetdClusterConfig& config_;
+  const int index_;
+  int listen_fd_;
+  std::vector<std::uint16_t> ports_;
+
+  RoutingTree tree_;
+  std::unique_ptr<ServingPlane> plane_;
+  std::vector<NodeId> shard_;  // nodes this daemon owns
+
+  EventLoop loop_;
+  std::unordered_map<int, std::unique_ptr<FrameConn>> conns_;
+  std::vector<int> peer_fd_;  // server -> outgoing conn fd, -1 if none
+  // req_id -> fd the request arrived on; how a reply retraces the
+  // forward chain.  Walks climb the tree, preorder positions only
+  // decrease, so a request visits each shard at most once and the map
+  // holds at most one entry per in-flight request.
+  std::unordered_map<std::uint64_t, int> pending_;
+
+  std::unordered_map<NodeId, double> gossip_heard_;
+  std::uint32_t gossip_epoch_ = 0;
+  std::uint64_t net_forwards_ = 0;
+  std::uint64_t gossip_sent_ = 0;
+};
+
+}  // namespace webwave

@@ -1,0 +1,133 @@
+#include "netd/event_loop.h"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webwave {
+
+EventLoop::EventLoop() : wheel_(kWheelSlots), wheel_time_ms_(NowMs()) {}
+
+std::int64_t EventLoop::NowMs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void EventLoop::WatchRead(int fd, IoCallback on_readable) {
+  watches_[fd].on_readable = std::move(on_readable);
+}
+
+void EventLoop::SetWriteInterest(int fd, bool on, IoCallback on_writable) {
+  Watch& w = watches_[fd];
+  w.want_write = on;
+  if (on_writable) w.on_writable = std::move(on_writable);
+}
+
+void EventLoop::Unwatch(int fd) { watches_.erase(fd); }
+
+std::uint64_t EventLoop::AddTimer(int delay_ms, TimerCallback cb) {
+  WEBWAVE_REQUIRE(delay_ms >= 0, "timer delay must be non-negative");
+  const std::uint64_t ticks =
+      (static_cast<std::uint64_t>(delay_ms) + kTickMs - 1) / kTickMs;
+  Timer t;
+  t.id = next_timer_id_++;
+  t.rounds = static_cast<std::uint32_t>(ticks / kWheelSlots);
+  t.cb = std::move(cb);
+  // Hash into the slot `ticks` ahead of the cursor; a delay shorter than
+  // one tick fires on the next wheel advance.
+  const std::size_t slot =
+      (wheel_pos_ + std::max<std::uint64_t>(ticks, 1)) % kWheelSlots;
+  wheel_[slot].push_back(std::move(t));
+  ++active_timers_;
+  return next_timer_id_ - 1;
+}
+
+void EventLoop::CancelTimer(std::uint64_t id) {
+  for (auto& slot : wheel_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --active_timers_;
+        return;
+      }
+    }
+  }
+}
+
+void EventLoop::AdvanceWheel() {
+  const std::int64_t now = NowMs();
+  while (wheel_time_ms_ + kTickMs <= now) {
+    wheel_time_ms_ += kTickMs;
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    auto& slot = wheel_[wheel_pos_];
+    // Timers still owed whole revolutions stay; due ones fire.  Fire
+    // outside the slot mutation (a callback may AddTimer into any slot,
+    // including this one).
+    std::vector<Timer> due;
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->rounds == 0) {
+        due.push_back(std::move(*it));
+        it = slot.erase(it);
+      } else {
+        --it->rounds;
+        ++it;
+      }
+    }
+    active_timers_ -= due.size();
+    for (Timer& t : due) t.cb();
+    if (!running_) return;
+  }
+}
+
+int EventLoop::Run() {
+  running_ = true;
+  std::vector<pollfd> fds;
+  std::vector<int> order;
+  while (running_) {
+    fds.clear();
+    order.clear();
+    for (const auto& [fd, w] : watches_) {
+      pollfd p;
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (w.want_write ? POLLOUT : 0));
+      p.revents = 0;
+      fds.push_back(p);
+      order.push_back(fd);
+    }
+    const int timeout = active_timers_ > 0 || !watches_.empty() ? kTickMs : 10;
+    const int n = ::poll(fds.data(), fds.size(), timeout);
+    AdvanceWheel();
+    if (!running_) break;
+    if (n <= 0) continue;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      // The callback may Unwatch any fd (including its own); re-check
+      // registration before each dispatch.
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        const auto it = watches_.find(order[i]);
+        if (it != watches_.end() && it->second.on_readable)
+          it->second.on_readable();
+      }
+      if (!running_) break;
+      if (fds[i].revents & POLLOUT) {
+        const auto it = watches_.find(order[i]);
+        if (it != watches_.end() && it->second.want_write &&
+            it->second.on_writable)
+          it->second.on_writable();
+      }
+      if (!running_) break;
+    }
+  }
+  return stop_code_;
+}
+
+void EventLoop::Stop(int code) {
+  running_ = false;
+  stop_code_ = code;
+}
+
+}  // namespace webwave

@@ -1,0 +1,82 @@
+// EventLoop — the portable poll(2) dispatcher under every netd process.
+//
+// One thread, non-blocking sockets, two primitives:
+//
+//   * fd readiness: WatchRead registers a callback fired whenever the fd
+//     is readable (or hung up); SetWriteInterest toggles POLLOUT for fds
+//     with queued output, so an idle connection costs nothing.
+//   * a hashed timer wheel: kWheelSlots slots of kTickMs each, one-shot
+//     timers hashed into (now + delay) % slots with a rounds counter for
+//     delays past one revolution.  O(1) insert/cancel, O(due) per tick —
+//     the classic Varghese–Lauck structure.  The daemons run their gossip
+//     cadence on it; the loadgen refreshes its injection token bucket
+//     from it.
+//
+// The loop is deliberately poll-based, not epoll: the netd fleet is a
+// handful of sockets per process, portability beats scalability, and the
+// dispatch semantics are identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace webwave {
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void()>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+
+  // Registers `on_readable` for fd (replacing any previous registration).
+  // The callback must drain the fd; it is invoked again on the next poll
+  // round while data remains.
+  void WatchRead(int fd, IoCallback on_readable);
+  // Fires `on_writable` whenever fd accepts more output; cleared by
+  // SetWriteInterest(fd, false) once the send buffer drains.
+  void SetWriteInterest(int fd, bool on, IoCallback on_writable = nullptr);
+  // Drops all interest in fd (does not close it).
+  void Unwatch(int fd);
+
+  // One-shot timer after delay_ms; returns an id usable with CancelTimer.
+  std::uint64_t AddTimer(int delay_ms, TimerCallback cb);
+  void CancelTimer(std::uint64_t id);
+
+  // Dispatches until Stop() is called.  Returns the Stop code.
+  int Run();
+  void Stop(int code = 0);
+
+  // Monotonic milliseconds (the wheel's clock), for tests and pacing.
+  static std::int64_t NowMs();
+
+ private:
+  static constexpr int kTickMs = 4;
+  static constexpr std::size_t kWheelSlots = 256;
+
+  struct Watch {
+    IoCallback on_readable;
+    IoCallback on_writable;
+    bool want_write = false;
+  };
+  struct Timer {
+    std::uint64_t id = 0;
+    std::uint32_t rounds = 0;  // whole wheel revolutions still to wait
+    TimerCallback cb;
+  };
+
+  void AdvanceWheel();
+
+  std::unordered_map<int, Watch> watches_;
+  std::vector<std::vector<Timer>> wheel_;
+  std::size_t wheel_pos_ = 0;
+  std::int64_t wheel_time_ms_ = 0;  // wheel's notion of now
+  std::uint64_t next_timer_id_ = 1;
+  std::size_t active_timers_ = 0;
+  bool running_ = false;
+  int stop_code_ = 0;
+};
+
+}  // namespace webwave

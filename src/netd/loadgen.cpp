@@ -1,0 +1,156 @@
+#include "netd/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace webwave {
+
+namespace {
+// Hard ceiling on one fleet run; a hung daemon fails the run instead of
+// wedging the harness (and CI) forever.
+constexpr int kRunTimeoutMs = 120000;
+}  // namespace
+
+LoadgenClient::LoadgenClient(const NetdClusterConfig& config,
+                             std::vector<std::uint16_t> ports)
+    : config_(config),
+      ports_(std::move(ports)),
+      nodes_(static_cast<int>(config.parents.size())) {
+  WEBWAVE_REQUIRE(config_.docs > 0 && config_.total_requests > 0,
+                  "loadgen needs a catalog and a stream length");
+}
+
+void LoadgenClient::ConnectAll() {
+  conns_.resize(static_cast<std::size_t>(config_.server_count));
+  for (int s = 0; s < config_.server_count; ++s) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ports_[static_cast<std::size_t>(s)]);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    } while (rc < 0 && errno == EINTR);
+    WEBWAVE_REQUIRE(rc == 0, "connect() to a daemon failed");
+    MakeNonBlocking(fd);
+    conns_[static_cast<std::size_t>(s)] = std::make_unique<FrameConn>(fd);
+    loop_.WatchRead(fd, [this, s] {
+      FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
+      const bool alive =
+          c->OnReadable([this, s](const WireMessage& m) { OnFrame(s, m); });
+      if (!alive && (completed_ < config_.total_requests ||
+                     (stats_phase_ && stats_received_ < config_.server_count))) {
+        failed_ = true;  // a daemon died under us
+        loop_.Stop(1);
+      }
+    });
+    Hello hello;
+    hello.kind = PeerKind::kLoadgen;
+    hello.sender = 0;
+    conns_[static_cast<std::size_t>(s)]->Send(hello);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::ScheduleRefill() {
+  loop_.AddTimer(0, [this] {
+    tokens_ = config_.tokens_per_tick;
+    TrySend();
+    if (next_ < config_.total_requests) ScheduleRefill();
+  });
+}
+
+void LoadgenClient::TrySend() {
+  while (next_ < config_.total_requests && tokens_ > 0 &&
+         in_flight_ < static_cast<std::uint64_t>(config_.window)) {
+    const Request r =
+        NetdRequestAt(config_.stream_seed, next_, nodes_, config_.docs);
+    GetRequest g;
+    g.req_id = next_;
+    g.doc = r.doc;
+    g.origin_node = r.node;
+    g.ttl_hops = 0;
+    g.failed = 0;
+    const int s = config_.owner[static_cast<std::size_t>(r.node)];
+    conns_[static_cast<std::size_t>(s)]->Send(g);
+    UpdateWriteInterest(s);
+    ++next_;
+    ++in_flight_;
+    --tokens_;
+  }
+}
+
+void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kGetReply: {
+      ++completed_;
+      --in_flight_;
+      if (msg.reply.result == GetResult::kServed) {
+        ++result_->client_served;
+        result_->client_hop_sum += msg.reply.hops;
+      } else {
+        ++result_->client_dropped;
+      }
+      TrySend();
+      if (completed_ == config_.total_requests && !stats_phase_) {
+        stats_phase_ = true;
+        for (int s = 0; s < config_.server_count; ++s) {
+          conns_[static_cast<std::size_t>(s)]->SendControl(
+              MsgType::kStatsRequest);
+          UpdateWriteInterest(s);
+        }
+      }
+      break;
+    }
+    case MsgType::kStatsReply: {
+      result_->per_server[static_cast<std::size_t>(server)] =
+          msg.stats;
+      if (++stats_received_ == config_.server_count) {
+        for (int s = 0; s < config_.server_count; ++s) {
+          conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kShutdown);
+          conns_[static_cast<std::size_t>(s)]->Flush();
+        }
+        loop_.Stop(0);
+      }
+      break;
+    }
+    default:
+      break;  // daemons never push anything else at a client
+  }
+}
+
+void LoadgenClient::UpdateWriteInterest(int server) {
+  FrameConn* c = conns_[static_cast<std::size_t>(server)].get();
+  const int fd = c->fd();
+  loop_.SetWriteInterest(fd, c->want_write(), [this, server] {
+    FrameConn* c2 = conns_[static_cast<std::size_t>(server)].get();
+    c2->Flush();
+    UpdateWriteInterest(server);
+  });
+}
+
+bool LoadgenClient::Run(NetdRunResult* result) {
+  result_ = result;
+  result_->per_server.assign(static_cast<std::size_t>(config_.server_count),
+                             WireCounters{});
+  ConnectAll();
+  ScheduleRefill();
+  loop_.AddTimer(kRunTimeoutMs, [this] {
+    failed_ = true;
+    loop_.Stop(2);
+  });
+  const int code = loop_.Run();
+  return code == 0 && !failed_;
+}
+
+}  // namespace webwave

@@ -1,0 +1,62 @@
+// LoadgenClient — the deterministic request driver for a netd fleet.
+//
+// Request i is the pure function NetdRequestAt(seed, i, ...), numbered
+// req_id = i, and sent to the daemon owning its origin node.  Pacing is
+// a token bucket refilled from the event loop's timer wheel
+// (tokens_per_tick per tick) under a fixed in-flight window, so the
+// socket buffers stay bounded no matter how large the stream is.  When
+// every reply is in, the client collects each daemon's WireCounters via
+// kStatsRequest and shuts the fleet down with kShutdown frames.
+//
+// Determinism note: pacing shapes *when* requests enter the fleet, never
+// *what* they are or how they are decided — admission runs block_size=1,
+// so the counters the fleet reports are invariant to all of this timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netd/cluster.h"
+#include "netd/conn.h"
+#include "netd/event_loop.h"
+
+namespace webwave {
+
+class LoadgenClient {
+ public:
+  LoadgenClient(const NetdClusterConfig& config,
+                std::vector<std::uint16_t> ports);
+
+  // Drives the whole stream, fills result's per-server counters and
+  // client tallies.  Returns false if the run timed out or a connection
+  // died before completion.
+  bool Run(NetdRunResult* result);
+
+ private:
+  void ConnectAll();
+  void ScheduleRefill();
+  void TrySend();
+  void OnFrame(int server, const WireMessage& msg);
+  void UpdateWriteInterest(int server);
+
+  const NetdClusterConfig& config_;
+  std::vector<std::uint16_t> ports_;
+  int nodes_ = 0;
+
+  EventLoop loop_;
+  std::vector<std::unique_ptr<FrameConn>> conns_;  // index = server
+
+  std::uint64_t next_ = 0;       // next req_id to send
+  std::uint64_t completed_ = 0;  // replies received
+  std::uint64_t in_flight_ = 0;
+  int tokens_ = 0;
+  bool stats_phase_ = false;
+  int stats_received_ = 0;
+  bool failed_ = false;
+
+  NetdRunResult* result_ = nullptr;
+};
+
+}  // namespace webwave

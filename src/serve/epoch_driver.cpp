@@ -1,0 +1,122 @@
+#include "serve/epoch_driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webwave {
+
+EpochDriver::EpochDriver(BatchWebWaveSimulator& sim)
+    : EpochDriver(sim, Options()) {}
+
+EpochDriver::EpochDriver(BatchWebWaveSimulator& sim, Options options)
+    : sim_(sim),
+      options_(options),
+      snap_(QuotaSnapshot::FromBatch(sim, options.min_rate)) {
+  WEBWAVE_REQUIRE(options_.steps_per_epoch >= 0,
+                  "steps_per_epoch must be non-negative");
+  sim_.ClearDirtyLanes();
+}
+
+void EpochDriver::AttachCapacity(CapacityProjector* projector) {
+  WEBWAVE_REQUIRE(projector != nullptr && capacity_ == nullptr,
+                  "exactly one capacity layer may be attached");
+  capacity_ = projector;
+  capacity_->Project(snap_);
+  WEBWAVE_REQUIRE(capacity_->ConservesTotalRate(snap_),
+                  "capacity clamping lost quota rate");
+  // The fault layer, if already attached, was projected against the
+  // unclamped base; re-home it onto the clamped one.
+  if (faults_ != nullptr) {
+    faults_->Project(capacity_->clamped());
+    WEBWAVE_REQUIRE(faults_->ConservesTotalRate(capacity_->clamped()),
+                    "re-homing lost quota rate");
+  }
+}
+
+void EpochDriver::AttachFaults(FaultProjector* projector) {
+  WEBWAVE_REQUIRE(projector != nullptr && faults_ == nullptr,
+                  "exactly one fault layer may be attached");
+  faults_ = projector;
+  const QuotaSnapshot& base = capacity_ != nullptr ? capacity_->clamped()
+                                                   : snap_;
+  faults_->Project(base);
+  WEBWAVE_REQUIRE(faults_->ConservesTotalRate(base),
+                  "re-homing lost quota rate");
+}
+
+void EpochDriver::AttachPlane(ServingPlane* plane) {
+  WEBWAVE_REQUIRE(plane != nullptr && plane_ == nullptr,
+                  "exactly one plane may be attached");
+  plane_ = plane;
+}
+
+const QuotaSnapshot& EpochDriver::serving() const {
+  if (faults_ != nullptr) return faults_->clamped();
+  if (capacity_ != nullptr) return capacity_->clamped();
+  return snap_;
+}
+
+Span<const NodeId> EpochDriver::down() const {
+  if (faults_ == nullptr) return Span<const NodeId>();
+  return Span<const NodeId>(faults_->down().data(), faults_->down().size());
+}
+
+void EpochDriver::InstallDown(ServingPlane& plane) const {
+  plane.SetDownNodes(down());
+}
+
+EpochDriver::Report EpochDriver::ApplyEpoch(
+    Span<DemandEvent> churn_events, Span<const FaultEvent> fault_events) {
+  Report report;
+  if (churn_events.size() > 0) sim_.ApplyDemandEvents(churn_events);
+  for (int s = 0; s < options_.steps_per_epoch; ++s) sim_.Step();
+
+  report.dirty = sim_.DirtyLanes();
+  report.snapshot_in_place = snap_.RefreshFromBatch(sim_);
+  sim_.ClearDirtyLanes();
+
+  // The affected-document set grows through the layers: demand-side
+  // dirty lanes, then whatever cells the capacity re-clamp rebuilt.
+  std::vector<std::int32_t> affected(report.dirty.begin(),
+                                     report.dirty.end());
+  report.projections_in_place = true;
+  if (capacity_ != nullptr) {
+    report.projections_in_place &= capacity_->Refresh(
+        snap_, Span<const int>(report.dirty.data(), report.dirty.size()));
+    WEBWAVE_REQUIRE(capacity_->ConservesTotalRate(snap_),
+                    "capacity clamping lost quota rate");
+    const Span<const std::int32_t> cap_docs = capacity_->last_affected_docs();
+    affected.insert(affected.end(), cap_docs.begin(), cap_docs.end());
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+  }
+  if (faults_ != nullptr) {
+    faults_->ApplyEvents(fault_events);
+    const QuotaSnapshot& base = capacity_ != nullptr ? capacity_->clamped()
+                                                     : snap_;
+    report.projections_in_place &= faults_->Refresh(
+        base, Span<const int>(affected.data(), affected.size()));
+    WEBWAVE_REQUIRE(faults_->ConservesTotalRate(base),
+                    "re-homing lost quota rate");
+  } else {
+    WEBWAVE_REQUIRE(fault_events.size() == 0,
+                    "fault events need an attached FaultProjector");
+  }
+
+  if (plane_ != nullptr) {
+    // The plane serves serving(); hint its refresh with the epoch's
+    // affected columns when no projector rewrote the whole table shape.
+    if (capacity_ == nullptr && faults_ == nullptr) {
+      plane_->Refresh(snap_, Span<const std::int32_t>(affected.data(),
+                                                      affected.size()));
+    } else {
+      plane_->Refresh(serving());
+      InstallDown(*plane_);
+    }
+  }
+  return report;
+}
+
+}  // namespace webwave

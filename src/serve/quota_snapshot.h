@@ -145,6 +145,10 @@ class QuotaSnapshot {
   // clamped QuotaSnapshot and rewrite its cell values in place on the
   // incremental path (store/spill_projector).
   friend class SpillProjector;
+  // The wire serializer reconstructs a snapshot byte-exactly — including
+  // total_, which an Add-by-Add rebuild would re-sum in a different
+  // association order (wire/quota_wire).
+  friend class QuotaWireTable;
 
   void BuildColumnIndex() const;
 

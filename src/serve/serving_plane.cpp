@@ -249,9 +249,66 @@ void ServingPlane::ResetMetrics() {
   std::fill(metrics_.hops.begin(), metrics_.hops.end(), 0);
 }
 
+// --- the admission core ------------------------------------------------
+// Shared verbatim by ProcessBlock (the batch hot loop) and
+// ServeWireSegment (the netd entry point): both transports must make
+// identical decisions, so the decision code exists exactly once.
+
+// First copy of d at v; rows are doc-ascending, so long rows (leaves
+// often hold most of the catalog) take a binary search, short ones a
+// scan.
+std::int64_t ServingPlane::FindCell(NodeId v, std::int32_t d) const {
+  const std::int32_t* cell_docs = snapshot_.cell_docs();
+  const std::int64_t begin = snapshot_.row_begin(v);
+  const std::int64_t end = snapshot_.row_end(v);
+  if (end - begin > 12) {
+    const std::int32_t* it =
+        std::lower_bound(cell_docs + begin, cell_docs + end, d);
+    if (it != cell_docs + end && *it == d) return it - cell_docs;
+    return -1;
+  }
+  for (std::int64_t c = begin; c < end && cell_docs[c] <= d; ++c)
+    if (cell_docs[c] == d) return c;
+  return -1;
+}
+
+// Token bucket: block k's grant is floor(r·(k+1)+u) − floor(r·k+u), a
+// pure function of (cell, block index) — thread-invariant; the per-cell
+// hash dither phase u keeps the quantization unbiased.
+std::int32_t ServingPlane::TokenGrant(std::int32_t tok, std::int64_t cell,
+                                      std::uint64_t block_id) const {
+  const double r = tokens_per_block_[static_cast<std::size_t>(tok)];
+  const double k = static_cast<double>(block_id - 1);
+  const double u = CounterUnitDouble(static_cast<std::uint64_t>(cell));
+  return static_cast<std::int32_t>(std::floor(r * (k + 1) + u) -
+                                   std::floor(r * k + u));
+}
+
+// Poisson thinning: serve with the copy's flow share.  The draw is a
+// pure function of (request index, cell), so it is identical under any
+// threading, batching or process partition; copies that own their whole
+// passing flow (fraction 1 — every self-serving leaf) skip the draw.
+bool ServingPlane::ThinningAdmit(std::uint64_t req_id,
+                                 std::int64_t cell) const {
+  const double p = serve_prob_[static_cast<std::size_t>(cell)];
+  if (p >= 1.0) return true;
+  const double u = CounterUnitDouble(
+      req_id + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(cell) + 1));
+  return u < p;
+}
+
+// Dither-phased exponential failover backoff — floor(u·2^min(a,16))
+// slots, u a pure hash of (request, attempt), so sums are invariant to
+// threads and to which process performed the attempt.
+std::uint64_t ServingPlane::BackoffSlots(std::uint64_t req_id,
+                                         std::uint32_t failed) {
+  const double u = CounterUnitDouble(req_id + 0xd1342543de82ef95ULL * failed);
+  return static_cast<std::uint64_t>(
+      std::floor(std::ldexp(u, static_cast<int>(std::min(failed, 16u)))));
+}
+
 void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
                                 const Request* reqs, std::size_t count) {
-  const std::int32_t* cell_docs = snapshot_.cell_docs();
   const NodeId* parents = parents_.data();
   const std::uint8_t* down = down_.empty() ? nullptr : down_.data();
   const std::uint32_t max_attempts =
@@ -270,73 +327,35 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
     for (;;) {
       if (down != nullptr && down[v] != 0) {
         // Crashed node: the request cannot query it.  Burn an attempt,
-        // account a dither-phased exponential backoff — floor(u·2^a)
-        // slots, u a pure function of (request, attempt), so the sum is
-        // thread-invariant — and retry at the parent.  The root is never
-        // down, so a surviving request always terminates.
+        // account the backoff, and retry at the parent.  The root is
+        // never down, so a surviving request always terminates.
         ++failed;
         if (failed > max_attempts) {
           dropped = true;
           break;
         }
-        const double u =
-            CounterUnitDouble(req_id + 0xd1342543de82ef95ULL * failed);
-        ws.local.backoff_slots += static_cast<std::uint64_t>(std::floor(
-            std::ldexp(u, static_cast<int>(std::min(failed, 16u)))));
+        ws.local.backoff_slots += BackoffSlots(req_id, failed);
         v = parents[v];
         ++hops;
         continue;
       }
-      // First copy on the upward path that admits the request; rows are
-      // doc-ascending, so long rows (leaves often hold most of the
-      // catalog) take a binary search, short ones a scan.
-      const std::int64_t begin = snapshot_.row_begin(v);
-      const std::int64_t end = snapshot_.row_end(v);
-      std::int64_t cell = -1;
-      if (end - begin > 12) {
-        const std::int32_t* it =
-            std::lower_bound(cell_docs + begin, cell_docs + end, d);
-        if (it != cell_docs + end && *it == d) cell = it - cell_docs;
-      } else {
-        for (std::int64_t c = begin; c < end && cell_docs[c] <= d; ++c)
-          if (cell_docs[c] == d) {
-            cell = c;
-            break;
-          }
-      }
+      const std::int64_t cell = FindCell(v, d);
       if (cell >= 0) {
         const std::int32_t tok = token_index_[static_cast<std::size_t>(cell)];
         if (tok >= 0) {
-          // Token bucket: this block's grant is floor(r·(k+1)+u) −
-          // floor(r·k+u), a pure function of (cell, block index) —
-          // thread-invariant; the per-cell dither phase u keeps the
-          // quantization unbiased.
+          // Per-worker grant scratch keyed by block id: each block's
+          // budget is cut once and consumed within the block.
           if (ws.stamp[static_cast<std::size_t>(tok)] != block_id) {
-            const double r = tokens_per_block_[static_cast<std::size_t>(tok)];
-            const double k = static_cast<double>(block_id - 1);
-            const double u =
-                CounterUnitDouble(static_cast<std::uint64_t>(cell));
             ws.stamp[static_cast<std::size_t>(tok)] = block_id;
             ws.avail[static_cast<std::size_t>(tok)] =
-                static_cast<std::int32_t>(std::floor(r * (k + 1) + u) -
-                                          std::floor(r * k + u));
+                TokenGrant(tok, cell, block_id);
           }
           if (ws.avail[static_cast<std::size_t>(tok)] > 0) {
             --ws.avail[static_cast<std::size_t>(tok)];
             break;
           }
-        } else {
-          // Poisson thinning: serve with the copy's flow share.  The
-          // draw is a pure function of (request index, cell), so it is
-          // identical under any threading or batching; copies that own
-          // their whole passing flow (fraction 1 — every self-serving
-          // leaf) skip the draw.
-          const double p = serve_prob_[static_cast<std::size_t>(cell)];
-          if (p >= 1.0) break;
-          const double u = CounterUnitDouble(
-              req_id + 0x9e3779b97f4a7c15ULL *
-                           (static_cast<std::uint64_t>(cell) + 1));
-          if (u < p) break;
+        } else if (ThinningAdmit(req_id, cell)) {
+          break;
         }
       }
       if (v == root_) break;  // the home serves whatever reaches it
@@ -413,6 +432,105 @@ void ServingPlane::Serve(Span<Request> batch) {
               0);
     std::fill(ws.local.hops.begin(), ws.local.hops.end(), 0);
   }
+}
+
+void ServingPlane::SetSegmentNodes(Span<const NodeId> owned) {
+  if (owned.empty()) {
+    owned_.clear();
+    return;
+  }
+  owned_.assign(static_cast<std::size_t>(snapshot_.node_count()), 0);
+  for (const NodeId v : owned) {
+    WEBWAVE_REQUIRE(v >= 0 && v < snapshot_.node_count(),
+                    "segment node out of range");
+    owned_[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
+                                                       GetRequest* forward,
+                                                       GetReply* reply) {
+  WEBWAVE_REQUIRE(options_.block_size == 1,
+                  "wire serving requires block_size 1 (order-free admission)");
+  WEBWAVE_REQUIRE(in.origin_node >= 0 && in.origin_node < snapshot_.node_count(),
+                  "wire request outside the tree");
+  WEBWAVE_REQUIRE(in.doc >= 0 && in.doc < snapshot_.doc_count(),
+                  "wire request for an unknown document");
+  const NodeId* parents = parents_.data();
+  const std::uint8_t* down = down_.empty() ? nullptr : down_.data();
+  const std::uint8_t* owned = owned_.empty() ? nullptr : owned_.data();
+  const std::uint32_t max_attempts =
+      static_cast<std::uint32_t>(options_.max_failover_attempts);
+  const std::uint64_t req_id = in.req_id;
+  const std::int32_t d = in.doc;
+  NodeId v = in.origin_node;
+  std::uint64_t hops = in.ttl_hops;
+  std::uint32_t failed = in.failed;
+  bool dropped = false;
+  for (;;) {
+    if (owned != nullptr && owned[static_cast<std::size_t>(v)] == 0) {
+      // The walk left this process's shard: hand the resumable request to
+      // the caller.  Nothing terminal is accounted — the owning process
+      // will finish the walk with identical decisions.
+      *forward = in;
+      forward->origin_node = v;
+      forward->ttl_hops = static_cast<std::uint16_t>(hops);
+      forward->failed = static_cast<std::uint16_t>(failed);
+      return WireServe::kForwarded;
+    }
+    if (down != nullptr && down[static_cast<std::size_t>(v)] != 0) {
+      ++failed;
+      ++metrics_.failed_attempts;  // accounted where incurred
+      if (failed > max_attempts) {
+        dropped = true;
+        break;
+      }
+      metrics_.backoff_slots += BackoffSlots(req_id, failed);
+      v = parents[v];
+      ++hops;
+      continue;
+    }
+    const std::int64_t cell = FindCell(v, d);
+    if (cell >= 0) {
+      const std::int32_t tok = token_index_[static_cast<std::size_t>(cell)];
+      if (tok >= 0) {
+        // block_size == 1: every request is its own block (block ids are
+        // req_id + 1 — Serve's numbering starts at 1), so the grant is
+        // stateless and order-free.
+        if (TokenGrant(tok, cell, req_id + 1) > 0) break;
+      } else if (ThinningAdmit(req_id, cell)) {
+        break;
+      }
+    }
+    if (v == root_) break;  // the home serves whatever reaches it
+    v = parents[v];
+    ++hops;
+  }
+  ++metrics_.requests;
+  reply->req_id = req_id;
+  reply->doc = d;
+  reply->hops = static_cast<std::uint16_t>(hops);
+  reply->version = 0;
+  if (dropped) {
+    ++metrics_.dropped_requests;
+    reply->serving_node = kNoNode;
+    reply->result = GetResult::kDropped;
+    reply->load = 0;
+    return WireServe::kDropped;
+  }
+  if (failed > 0) ++metrics_.failovers;
+  ++metrics_.served_per_node[static_cast<std::size_t>(v)];
+  ++metrics_.hops[static_cast<std::size_t>(hops)];
+  metrics_.hop_sum += hops;
+  if (v == root_)
+    ++metrics_.home_served;
+  else
+    ++metrics_.cache_served;
+  reply->serving_node = v;
+  reply->result = GetResult::kServed;
+  reply->load = static_cast<double>(
+      metrics_.served_per_node[static_cast<std::size_t>(v)]);
+  return WireServe::kServed;
 }
 
 }  // namespace webwave

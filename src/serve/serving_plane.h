@@ -61,6 +61,7 @@
 #include "tree/routing_tree.h"
 #include "util/span.h"
 #include "util/worker_pool.h"
+#include "wire/message.h"
 
 namespace webwave {
 
@@ -135,6 +136,41 @@ class ServingPlane {
   // sizes) and budgets never leak between blocks.
   void Serve(Span<Request> batch);
 
+  // --- wire entry point (src/netd/) ---------------------------------------
+  // Restricts ServeWireSegment's walk to `owned` nodes: the walk returns
+  // kForwarded when it reaches a node outside the set instead of
+  // processing it there.  Empty = every node owned (never forwards) —
+  // that is the oracle configuration; a daemon installs its shard.
+  void SetSegmentNodes(Span<const NodeId> owned);
+
+  enum class WireServe { kServed, kForwarded, kDropped };
+
+  // Serves one wire GetRequest through exactly the admission core
+  // ProcessBlock runs — same row search, same token grants, same
+  // thinning draws, same failover backoff — but resumable across
+  // processes: the walk starts at in.origin_node with in.ttl_hops edges
+  // already climbed and in.failed attempts already burned.
+  //
+  //   kServed    → *reply filled (result kServed), terminal counters
+  //                accounted here (requests, served_per_node, hops,
+  //                failovers, cache/home_served).
+  //   kDropped   → *reply filled (result kDropped), request counted as
+  //                dropped here.
+  //   kForwarded → *forward holds the message to put on the next
+  //                process's socket (origin_node = the first node this
+  //                plane does not own); nothing terminal is accounted.
+  //
+  // failed_attempts and backoff_slots account where incurred, terminal
+  // counters where the walk ends, so counters *summed across a fleet of
+  // segment planes* equal one all-owning oracle plane's metrics exactly.
+  //
+  // Requires block_size == 1 — the order-free admission regime, where
+  // every token grant and thinning draw is a pure function of (req_id,
+  // cell).  That is what makes N async processes bit-comparable to a
+  // single oracle replaying the same stream in any order.
+  WireServe ServeWireSegment(const GetRequest& in, GetRequest* forward,
+                             GetReply* reply);
+
   // Installs a new snapshot without tearing the plane down — the
   // data-plane analogue of QuotaSnapshot::RefreshFromBatch.  When the
   // CSR shape is unchanged, only the admission rows whose cells changed
@@ -171,6 +207,21 @@ class ServingPlane {
 
   void ProcessBlock(WorkerState& ws, std::uint64_t block_id,
                     const Request* reqs, std::size_t count);
+  // The admission core, shared verbatim by ProcessBlock and
+  // ServeWireSegment (all inline in the .cpp):
+  //   FindCell      — CSR row search for (v, d); -1 when v holds no copy.
+  //   TokenGrant    — block k's whole-token grant for a token cell,
+  //                   floor(r·(k+1)+u) − floor(r·k+u).
+  //   ThinningAdmit — the (req_id, cell) thinning draw against
+  //                   serve_prob_.
+  //   BackoffSlots  — the dither-phased failover backoff for attempt
+  //                   `failed` of request req_id.
+  std::int64_t FindCell(NodeId v, std::int32_t d) const;
+  std::int32_t TokenGrant(std::int32_t tok, std::int64_t cell,
+                          std::uint64_t block_id) const;
+  bool ThinningAdmit(std::uint64_t req_id, std::int64_t cell) const;
+  static std::uint64_t BackoffSlots(std::uint64_t req_id,
+                                    std::uint32_t failed);
   // Recomputes serve_prob_ / token_index_ / tokens_per_block_ (and the
   // per-worker token scratch) from snapshot_ — the constructor's table
   // build, shared with Refresh's full-rebuild path.
@@ -197,6 +248,8 @@ class ServingPlane {
   // Per node, 1 = crashed; empty means every node is live (the hot loop
   // skips the mask probe entirely in that case).
   std::vector<std::uint8_t> down_;
+  // Per node, 1 = this plane's wire segment owns it; empty = all owned.
+  std::vector<std::uint8_t> owned_;
   std::uint64_t next_block_id_ = 1;  // 0 is the never-used stamp value
   ServingMetrics metrics_;
   std::vector<WorkerState> workers_;

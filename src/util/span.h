@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <type_traits>
 #include <vector>
 
 namespace webwave {
@@ -19,7 +20,11 @@ class Span {
  public:
   constexpr Span() = default;
   constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
-  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  // Vectors always hold the cv-unqualified element type; stripping the
+  // qualifier here lets Span<const T> view a std::vector<T> directly and
+  // keeps std::vector<const T> (ill-formed) from ever being instantiated.
+  Span(const std::vector<typename std::remove_cv<T>::type>& v)
+      : data_(v.data()), size_(v.size()) {}
   // Braced literals ({{0, 3, 1.5}, ...}); the list lives until the end of
   // the full expression, long enough for any call taking a Span argument —
   // the only supported use.  GCC warns that the array's lifetime is not

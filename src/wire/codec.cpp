@@ -1,0 +1,202 @@
+#include "wire/codec.h"
+
+namespace webwave {
+
+namespace {
+
+// Reserves a frame in *out and writes its header; returns the payload
+// offset.
+std::size_t BeginFrame(MsgType type, std::size_t payload,
+                       std::vector<std::uint8_t>* out) {
+  const std::size_t base = out->size();
+  out->resize(base + MessageCodec::kHeaderSize + payload);
+  std::uint8_t* p = out->data() + base;
+  PutU16(p, MessageCodec::kMagic);
+  p[2] = MessageCodec::kVersion;
+  p[3] = static_cast<std::uint8_t>(type);
+  PutU32(p + 4, static_cast<std::uint32_t>(payload));
+  return base + MessageCodec::kHeaderSize;
+}
+
+// The payload width a type requires, or SIZE_MAX for unknown types.
+std::size_t PayloadSizeOf(MsgType type) {
+  switch (type) {
+    case MsgType::kGetRequest:
+      return MessageCodec::kGetRequestSize;
+    case MsgType::kGetReply:
+      return MessageCodec::kGetReplySize;
+    case MsgType::kLoadGossip:
+      return MessageCodec::kLoadGossipSize;
+    case MsgType::kHello:
+      return MessageCodec::kHelloSize;
+    case MsgType::kStatsReply:
+      return MessageCodec::kCountersSize;
+    case MsgType::kStatsRequest:
+    case MsgType::kShutdown:
+      return 0;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::size_t MessageCodec::Encode(const GetRequest& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t at =
+      BeginFrame(MsgType::kGetRequest, kGetRequestSize, out);
+  std::uint8_t* p = out->data() + at;
+  PutU64(p, m.req_id);
+  PutU32(p + 8, static_cast<std::uint32_t>(m.doc));
+  PutU32(p + 12, static_cast<std::uint32_t>(m.origin_node));
+  PutU16(p + 16, m.ttl_hops);
+  PutU16(p + 18, m.failed);
+  return kHeaderSize + kGetRequestSize;
+}
+
+std::size_t MessageCodec::Encode(const GetReply& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t at = BeginFrame(MsgType::kGetReply, kGetReplySize, out);
+  std::uint8_t* p = out->data() + at;
+  PutU64(p, m.req_id);
+  PutU32(p + 8, static_cast<std::uint32_t>(m.doc));
+  PutU32(p + 12, static_cast<std::uint32_t>(m.serving_node));
+  PutF64(p + 16, m.load);
+  PutU32(p + 24, m.version);
+  PutU16(p + 28, m.hops);
+  p[30] = static_cast<std::uint8_t>(m.result);
+  p[31] = 0;  // reserved
+  return kHeaderSize + kGetReplySize;
+}
+
+std::size_t MessageCodec::Encode(const LoadGossip& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t at =
+      BeginFrame(MsgType::kLoadGossip, kLoadGossipSize, out);
+  std::uint8_t* p = out->data() + at;
+  PutU32(p, static_cast<std::uint32_t>(m.node));
+  PutU32(p + 4, m.epoch);
+  PutF64(p + 8, m.load);
+  return kHeaderSize + kLoadGossipSize;
+}
+
+std::size_t MessageCodec::Encode(const Hello& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t at = BeginFrame(MsgType::kHello, kHelloSize, out);
+  std::uint8_t* p = out->data() + at;
+  p[0] = static_cast<std::uint8_t>(m.kind);
+  p[1] = p[2] = p[3] = 0;  // reserved
+  PutU32(p + 4, m.sender);
+  return kHeaderSize + kHelloSize;
+}
+
+std::size_t MessageCodec::Encode(const WireCounters& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t at = BeginFrame(MsgType::kStatsReply, kCountersSize, out);
+  std::uint8_t* p = out->data() + at;
+  const std::uint64_t fields[10] = {
+      m.requests,     m.cache_served,     m.home_served,   m.hop_sum,
+      m.failed_attempts, m.failovers,     m.dropped_requests,
+      m.backoff_slots,   m.net_forwards,  m.gossip_sent};
+  for (int i = 0; i < 10; ++i) PutU64(p + 8 * i, fields[i]);
+  return kHeaderSize + kCountersSize;
+}
+
+std::size_t MessageCodec::EncodeControl(MsgType type,
+                                        std::vector<std::uint8_t>* out) {
+  BeginFrame(type, 0, out);
+  return kHeaderSize;
+}
+
+MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
+                                                std::size_t len,
+                                                WireMessage* out,
+                                                std::size_t* consumed) {
+  *consumed = 0;
+  // Header bytes are validated as they become available, so garbage is
+  // reported as soon as it is distinguishable from a short read.
+  if (len >= 1 && data[0] != static_cast<std::uint8_t>(kMagic & 0xff))
+    return DecodeStatus::kError;
+  if (len >= 2 && data[1] != static_cast<std::uint8_t>(kMagic >> 8))
+    return DecodeStatus::kError;
+  if (len >= 3 && data[2] != kVersion) return DecodeStatus::kError;
+  const std::size_t want_payload =
+      len >= 4 ? PayloadSizeOf(static_cast<MsgType>(data[3]))
+               : static_cast<std::size_t>(-1);
+  if (len >= 4 && want_payload == static_cast<std::size_t>(-1))
+    return DecodeStatus::kError;
+  if (len < kHeaderSize) return DecodeStatus::kNeedMore;
+  const std::uint32_t stated = GetU32(data + 4);
+  if (stated != want_payload) return DecodeStatus::kError;
+  if (len < kHeaderSize + stated) return DecodeStatus::kNeedMore;
+
+  const std::uint8_t* p = data + kHeaderSize;
+  out->type = static_cast<MsgType>(data[3]);
+  switch (out->type) {
+    case MsgType::kGetRequest:
+      out->get.req_id = GetU64(p);
+      out->get.doc = static_cast<std::int32_t>(GetU32(p + 8));
+      out->get.origin_node = static_cast<NodeId>(GetU32(p + 12));
+      out->get.ttl_hops = GetU16(p + 16);
+      out->get.failed = GetU16(p + 18);
+      break;
+    case MsgType::kGetReply:
+      out->reply.req_id = GetU64(p);
+      out->reply.doc = static_cast<std::int32_t>(GetU32(p + 8));
+      out->reply.serving_node = static_cast<NodeId>(GetU32(p + 12));
+      out->reply.load = GetF64(p + 16);
+      out->reply.version = GetU32(p + 24);
+      out->reply.hops = GetU16(p + 28);
+      if (p[30] > static_cast<std::uint8_t>(GetResult::kDropped))
+        return DecodeStatus::kError;
+      out->reply.result = static_cast<GetResult>(p[30]);
+      break;
+    case MsgType::kLoadGossip:
+      out->gossip.node = static_cast<NodeId>(GetU32(p));
+      out->gossip.epoch = GetU32(p + 4);
+      out->gossip.load = GetF64(p + 8);
+      break;
+    case MsgType::kHello:
+      if (p[0] > static_cast<std::uint8_t>(PeerKind::kLoadgen))
+        return DecodeStatus::kError;
+      out->hello.kind = static_cast<PeerKind>(p[0]);
+      out->hello.sender = GetU32(p + 4);
+      break;
+    case MsgType::kStatsReply: {
+      std::uint64_t* fields[10] = {
+          &out->stats.requests,        &out->stats.cache_served,
+          &out->stats.home_served,     &out->stats.hop_sum,
+          &out->stats.failed_attempts, &out->stats.failovers,
+          &out->stats.dropped_requests, &out->stats.backoff_slots,
+          &out->stats.net_forwards,    &out->stats.gossip_sent};
+      for (int i = 0; i < 10; ++i) *fields[i] = GetU64(p + 8 * i);
+      break;
+    }
+    case MsgType::kStatsRequest:
+    case MsgType::kShutdown:
+      break;
+  }
+  *consumed = kHeaderSize + stated;
+  return DecodeStatus::kOk;
+}
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kGetRequest:
+      return "get-request";
+    case MsgType::kGetReply:
+      return "get-reply";
+    case MsgType::kLoadGossip:
+      return "load-gossip";
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kStatsRequest:
+      return "stats-request";
+    case MsgType::kStatsReply:
+      return "stats-reply";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+}  // namespace webwave

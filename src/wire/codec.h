@@ -1,0 +1,119 @@
+// MessageCodec — the fixed-width, explicitly little-endian framing of
+// the wire/message.h vocabulary.
+//
+// Every frame is an 8-byte header followed by a payload whose length the
+// header states:
+//
+//   offset  size  field
+//   0       2     magic 0x5741 ("WA", little-endian)
+//   2       1     protocol version (kVersion; bumped on any layout change)
+//   3       1     MsgType
+//   4       4     payload length in bytes (u32)
+//
+// Data-plane payloads are fixed width per type (20 B GetRequest, 32 B
+// GetReply, 16 B LoadGossip); a length that disagrees with the type is
+// garbage, not a negotiation.  All multi-byte fields are little-endian
+// byte by byte — the codec's output is identical on any host, and a
+// big-endian peer would interoperate unmodified.  Doubles travel as
+// their IEEE-754 bit pattern in a u64, so round-trips are bit-exact
+// (NaN payloads included), which is what lets the socket deployment be
+// validated counter-for-counter against the in-process oracle.
+//
+// Encode appends one frame to a byte vector and returns its size; Decode
+// consumes the first complete frame of a buffer.  Both are pure
+// functions — no state, no allocation beyond the caller's vector — so
+// the packet simulator can encode/decode every simulated message without
+// perturbing its RNG draw sequence (asserted by wire_test's packet-sim
+// cross-check).
+//
+// Decode distinguishes "incomplete" from "wrong": a prefix of a valid
+// frame is kNeedMore (stream transports read more bytes), while a bad
+// magic, unknown version or type, or a type/length mismatch is kError
+// (the connection is byte-garbage and must be dropped).  wire_test
+// asserts every strict prefix of every encoded frame is kNeedMore and
+// every header corruption is kError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "wire/message.h"
+
+namespace webwave {
+
+// Little-endian primitives (byte-by-byte: host-endianness-independent).
+inline void PutU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void PutU32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void PutU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void PutF64(std::uint8_t* p, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(p, bits);
+}
+inline std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline double GetF64(const std::uint8_t* p) {
+  const std::uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+class MessageCodec {
+ public:
+  static constexpr std::uint16_t kMagic = 0x5741;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kHeaderSize = 8;
+
+  // Fixed payload widths of the data-plane messages.
+  static constexpr std::size_t kGetRequestSize = 20;
+  static constexpr std::size_t kGetReplySize = 32;
+  static constexpr std::size_t kLoadGossipSize = 16;
+  static constexpr std::size_t kHelloSize = 8;
+  static constexpr std::size_t kCountersSize = 80;
+
+  // Appends one frame (header + payload) to *out; returns bytes appended.
+  static std::size_t Encode(const GetRequest& m, std::vector<std::uint8_t>* out);
+  static std::size_t Encode(const GetReply& m, std::vector<std::uint8_t>* out);
+  static std::size_t Encode(const LoadGossip& m, std::vector<std::uint8_t>* out);
+  static std::size_t Encode(const Hello& m, std::vector<std::uint8_t>* out);
+  static std::size_t Encode(const WireCounters& m,
+                            std::vector<std::uint8_t>* out);
+  // The empty-payload control frames.
+  static std::size_t EncodeControl(MsgType type,
+                                   std::vector<std::uint8_t>* out);
+
+  enum class DecodeStatus {
+    kOk,        // *out holds the frame, *consumed its total size
+    kNeedMore,  // a valid prefix of a frame; read more bytes
+    kError,     // garbage: bad magic/version/type or type-length mismatch
+  };
+
+  // Decodes the first complete frame of [data, data+len).
+  static DecodeStatus Decode(const std::uint8_t* data, std::size_t len,
+                             WireMessage* out, std::size_t* consumed);
+};
+
+const char* MsgTypeName(MsgType type);
+
+}  // namespace webwave

@@ -1,0 +1,161 @@
+// The WebWave data-plane message vocabulary — one protocol, two
+// transports.
+//
+// The paper's cache servers are network daemons exchanging request,
+// reply and load-gossip messages over a real internet tree (§3, §6).
+// This header is the single definition of those messages, shared by
+// every transport in the repo:
+//
+//   * proto/packet_sim carries them through the discrete-event
+//     simulator (latencies and losses simulated, payloads real),
+//   * netd/ carries them over non-blocking loopback/UDP-style stream
+//     sockets between real processes,
+//   * serve/ServingPlane consumes and produces them directly as the
+//     in-process oracle (ServeWireSegment).
+//
+// A simulated deployment and a socket deployment therefore exercise
+// identical protocol code; diverging them now requires editing the same
+// struct, which is the point.
+//
+// Replies carry the serving node's current load and its quota-table
+// version — the DistCache-style piggyback that lets clients and
+// downstream caches learn load without a discovery protocol, exactly
+// the "no query traffic" stance the paper takes against ICP.
+//
+// The encoding (fixed-width, explicitly little-endian) lives in
+// wire/codec.h; this header is pure vocabulary with no I/O.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/routing_tree.h"
+
+namespace webwave {
+
+enum class MsgType : std::uint8_t {
+  // Data plane ----------------------------------------------------------
+  kGetRequest = 1,
+  kGetReply = 2,
+  kLoadGossip = 3,
+  // Control plane (netd process management) ------------------------------
+  kHello = 16,
+  kStatsRequest = 17,
+  kStatsReply = 18,
+  kShutdown = 19,
+};
+
+enum class GetResult : std::uint8_t {
+  kServed = 0,   // serving_node answered with the document
+  kDropped = 1,  // retry budget exhausted mid-outage; never served
+};
+
+// A request for `doc`, (re)starting its up-tree walk at `origin_node`:
+// the client's origin on first transmission, the resume node when a
+// server forwards the miss toward the home.  `ttl_hops` counts the edges
+// climbed so far (it doubles as the loop guard: a walk longer than the
+// tree height is a protocol error); `failed` counts failover attempts
+// burned at crashed nodes, so the retry budget survives process hops.
+struct GetRequest {
+  std::uint64_t req_id = 0;  // stream-global request index (seed, i)
+  std::int32_t doc = 0;
+  NodeId origin_node = kNoNode;
+  std::uint16_t ttl_hops = 0;
+  std::uint16_t failed = 0;
+
+  bool operator==(const GetRequest& o) const {
+    return req_id == o.req_id && doc == o.doc &&
+           origin_node == o.origin_node && ttl_hops == o.ttl_hops &&
+           failed == o.failed;
+  }
+};
+
+// The answer travelling back down the request's path.  `load` is the
+// serving node's current measured load and `version` its quota-table
+// epoch — piggybacked state every reply carries for free.
+struct GetReply {
+  std::uint64_t req_id = 0;
+  std::int32_t doc = 0;
+  NodeId serving_node = kNoNode;
+  GetResult result = GetResult::kServed;
+  std::uint16_t hops = 0;  // edges the request climbed before service
+  double load = 0;
+  std::uint32_t version = 0;
+
+  bool operator==(const GetReply& o) const {
+    return req_id == o.req_id && doc == o.doc &&
+           serving_node == o.serving_node && result == o.result &&
+           hops == o.hops && load == o.load && version == o.version;
+  }
+};
+
+// One neighbor-load sample of the gossip plane: `node`'s load as of
+// gossip round `epoch`.  The diffusion control plane acts on these
+// estimates, never on queried state.
+struct LoadGossip {
+  NodeId node = kNoNode;
+  std::uint32_t epoch = 0;
+  double load = 0;
+
+  bool operator==(const LoadGossip& o) const {
+    return node == o.node && epoch == o.epoch && load == o.load;
+  }
+};
+
+// netd control plane ------------------------------------------------------
+
+enum class PeerKind : std::uint8_t {
+  kServer = 0,
+  kLoadgen = 1,
+};
+
+// First frame on every new connection: who is calling.
+struct Hello {
+  PeerKind kind = PeerKind::kServer;
+  std::uint32_t sender = 0;  // server index or loadgen id
+
+  bool operator==(const Hello& o) const {
+    return kind == o.kind && sender == o.sender;
+  }
+};
+
+// A server's integer serving counters, the wire twin of ServingMetrics'
+// scalar fields (netd sums these across processes and diffs the sums
+// against the in-process oracle).  net_forwards / gossip_sent are
+// transport-level extras the oracle has no analogue for: socket
+// messages depend on how the tree is carved into processes, counters
+// must not.
+struct WireCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_served = 0;
+  std::uint64_t home_served = 0;
+  std::uint64_t hop_sum = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t dropped_requests = 0;
+  std::uint64_t backoff_slots = 0;
+  std::uint64_t net_forwards = 0;  // GetRequests forwarded over a socket
+  std::uint64_t gossip_sent = 0;   // LoadGossip frames emitted
+
+  bool operator==(const WireCounters& o) const {
+    return requests == o.requests && cache_served == o.cache_served &&
+           home_served == o.home_served && hop_sum == o.hop_sum &&
+           failed_attempts == o.failed_attempts && failovers == o.failovers &&
+           dropped_requests == o.dropped_requests &&
+           backoff_slots == o.backoff_slots &&
+           net_forwards == o.net_forwards && gossip_sent == o.gossip_sent;
+  }
+};
+
+// A decoded frame: `type` selects which member is meaningful.  (A tagged
+// struct rather than std::variant: every payload is a few dozen bytes
+// and the dispatch sites switch on the type anyway.)
+struct WireMessage {
+  MsgType type = MsgType::kGetRequest;
+  GetRequest get;
+  GetReply reply;
+  LoadGossip gossip;
+  Hello hello;
+  WireCounters stats;  // kStatsReply
+};
+
+}  // namespace webwave

@@ -1,0 +1,129 @@
+#include "wire/quota_wire.h"
+
+#include <cstdio>
+
+#include "wire/codec.h"
+
+namespace webwave {
+
+namespace {
+
+constexpr std::size_t kFixedHeader = 32;
+
+std::size_t BodySize(std::int64_t nodes, std::int64_t cells) {
+  return kFixedHeader + static_cast<std::size_t>(nodes + 1) * 8 +
+         static_cast<std::size_t>(cells) * (4 + 8 + 8);
+}
+
+}  // namespace
+
+std::size_t QuotaWireTable::Serialize(const QuotaSnapshot& snapshot,
+                                      std::vector<std::uint8_t>* out) {
+  const int nodes = snapshot.node_count();
+  const std::int64_t cells = snapshot.cell_count();
+  const std::size_t total = BodySize(nodes, cells);
+  const std::size_t base = out->size();
+  out->resize(base + total);
+  std::uint8_t* p = out->data() + base;
+  PutU32(p, kMagic);
+  PutU32(p + 4, kVersion);
+  PutU32(p + 8, static_cast<std::uint32_t>(nodes));
+  PutU32(p + 12, static_cast<std::uint32_t>(snapshot.doc_count()));
+  PutU64(p + 16, static_cast<std::uint64_t>(cells));
+  PutF64(p + 24, snapshot.total_rate());
+  p += kFixedHeader;
+  for (int v = 0; v <= nodes; ++v, p += 8)
+    PutU64(p, static_cast<std::uint64_t>(
+                  v == 0 ? 0 : snapshot.row_end(static_cast<NodeId>(v - 1))));
+  const std::int32_t* doc = snapshot.cell_docs();
+  const double* rate = snapshot.cell_rates();
+  const double* frac = snapshot.cell_fractions();
+  for (std::int64_t c = 0; c < cells; ++c, p += 4)
+    PutU32(p, static_cast<std::uint32_t>(doc[c]));
+  for (std::int64_t c = 0; c < cells; ++c, p += 8) PutF64(p, rate[c]);
+  for (std::int64_t c = 0; c < cells; ++c, p += 8) PutF64(p, frac[c]);
+  return total;
+}
+
+bool QuotaWireTable::Deserialize(const std::uint8_t* data, std::size_t len,
+                                 QuotaSnapshot* out) {
+  if (len < kFixedHeader) return false;
+  if (GetU32(data) != kMagic || GetU32(data + 4) != kVersion) return false;
+  const std::int32_t nodes = static_cast<std::int32_t>(GetU32(data + 8));
+  const std::int32_t docs = static_cast<std::int32_t>(GetU32(data + 12));
+  const std::int64_t cells = static_cast<std::int64_t>(GetU64(data + 16));
+  if (nodes < 0 || docs < 0 || cells < 0) return false;
+  if (len != BodySize(nodes, cells)) return false;
+  const double total = GetF64(data + 24);
+
+  const std::uint8_t* p = data + kFixedHeader;
+  std::vector<std::int64_t> row_off(static_cast<std::size_t>(nodes) + 1);
+  for (std::int32_t v = 0; v <= nodes; ++v, p += 8)
+    row_off[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(GetU64(p));
+  if (row_off[0] != 0 || row_off[static_cast<std::size_t>(nodes)] != cells)
+    return false;
+  for (std::int32_t v = 0; v < nodes; ++v)
+    if (row_off[static_cast<std::size_t>(v)] >
+        row_off[static_cast<std::size_t>(v) + 1])
+      return false;
+
+  std::vector<std::int32_t> doc(static_cast<std::size_t>(cells));
+  for (std::int64_t c = 0; c < cells; ++c, p += 4) {
+    doc[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(GetU32(p));
+    if (doc[static_cast<std::size_t>(c)] < 0 ||
+        doc[static_cast<std::size_t>(c)] >= docs)
+      return false;
+  }
+  // Within a row, documents must be strictly ascending (the CellOf binary
+  // search depends on it).
+  for (std::int32_t v = 0; v < nodes; ++v)
+    for (std::int64_t c = row_off[static_cast<std::size_t>(v)] + 1;
+         c < row_off[static_cast<std::size_t>(v) + 1]; ++c)
+      if (doc[static_cast<std::size_t>(c)] <=
+          doc[static_cast<std::size_t>(c) - 1])
+        return false;
+
+  std::vector<double> rate(static_cast<std::size_t>(cells));
+  for (std::int64_t c = 0; c < cells; ++c, p += 8)
+    rate[static_cast<std::size_t>(c)] = GetF64(p);
+  std::vector<double> frac(static_cast<std::size_t>(cells));
+  for (std::int64_t c = 0; c < cells; ++c, p += 8)
+    frac[static_cast<std::size_t>(c)] = GetF64(p);
+
+  QuotaSnapshot s;
+  s.nodes_ = nodes;
+  s.docs_ = docs;
+  s.total_ = total;
+  s.row_off_ = std::move(row_off);
+  s.doc_ = std::move(doc);
+  s.rate_ = std::move(rate);
+  s.frac_ = std::move(frac);
+  *out = std::move(s);
+  return true;
+}
+
+bool QuotaWireTable::WriteFile(const QuotaSnapshot& snapshot,
+                               const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  Serialize(snapshot, &bytes);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool QuotaWireTable::ReadFile(const std::string& path, QuotaSnapshot* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  std::fclose(f);
+  return Deserialize(bytes.data(), bytes.size(), out);
+}
+
+}  // namespace webwave

@@ -522,8 +522,8 @@ TEST(PacketSimFaults, FullRunBurstIsIdenticalToTheStaticLossKnob) {
   burst.gossip_loss = 0.0;
   burst.gossip_bursts = {{0, stat.duration + kMicrosPerSecond, 0.3, 0}};
 
-  const PacketSimReport a = RunPacketSimulation(tree, demand, stat);
-  const PacketSimReport b = RunPacketSimulation(tree, demand, burst);
+  const PacketSimReport a = PacketSim(tree, demand, stat).Run();
+  const PacketSimReport b = PacketSim(tree, demand, burst).Run();
   EXPECT_EQ(a.total_requests, b.total_requests);
   EXPECT_EQ(a.served_requests, b.served_requests);
   EXPECT_EQ(a.control_messages, b.control_messages);
@@ -536,7 +536,7 @@ TEST(PacketSimFaults, FullRunBurstIsIdenticalToTheStaticLossKnob) {
   PacketSimOptions heavy = stat;
   heavy.gossip_bursts = {{5 * kMicrosPerSecond, 10 * kMicrosPerSecond, 0.9,
                           20 * kMicrosPerMilli}};
-  const PacketSimReport c = RunPacketSimulation(tree, demand, heavy);
+  const PacketSimReport c = PacketSim(tree, demand, heavy).Run();
   EXPECT_NE(a.measured_loads, c.measured_loads);
 }
 

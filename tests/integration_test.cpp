@@ -74,9 +74,9 @@ TEST(Integration, TopologyToTlbToProtocolsPipeline) {
   pko.warmup = 10 * kMicrosPerSecond;
   pko.seed = 31;
   pko.policy = CachePolicy::kWebWave;
-  const PacketSimReport wave = RunPacketSimulation(tree, demand, pko);
+  const PacketSimReport wave = PacketSim(tree, demand, pko).Run();
   pko.policy = CachePolicy::kNoCaching;
-  const PacketSimReport none = RunPacketSimulation(tree, demand, pko);
+  const PacketSimReport none = PacketSim(tree, demand, pko).Run();
   EXPECT_LT(CoefficientOfVariation(wave.measured_loads),
             CoefficientOfVariation(none.measured_loads));
   EXPECT_LT(wave.mean_hit_depth, none.mean_hit_depth);

@@ -1,0 +1,310 @@
+// The netd fleet's determinism contract, bottom-up:
+//
+//   * CarveSubtree / PartitionOwners — carve a compact tree out of a big
+//     one and shard it so walks up the tree never revisit a shard.
+//   * EventLoop — the timer wheel fires in delay order (including delays
+//     past one wheel revolution) and CancelTimer really cancels.
+//   * FrameConn — frames survive a real socketpair byte stream, however
+//     the kernel slices it.
+//   * Segment fleet == oracle — the load-bearing theorem: K segment
+//     planes fed the stream by explicit message routing accumulate
+//     *identical* ServingMetrics (every counter, every vector) to one
+//     all-owning plane replaying the same stream, live, faulted, and
+//     dropping.
+//   * RunNetdCluster — the same identity across real forked processes
+//     and loopback sockets.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <vector>
+
+#include "doc/catalog.h"
+#include "doc/placement.h"
+#include "netd/cluster.h"
+#include "netd/conn.h"
+#include "netd/daemon.h"
+#include "netd/event_loop.h"
+#include "netd/loadgen.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+#include "wire/quota_wire.h"
+
+namespace webwave {
+namespace {
+
+// The carved-cluster fixture every fleet test shares: a random tree,
+// Zipf-ish leaf demand, the placement-derived snapshot serialized to the
+// blob all processes deserialize.
+struct Cluster {
+  std::vector<NodeId> parents;
+  RoutingTree tree;  // rebuilt from parents, as every process does
+  NetdClusterConfig config;
+};
+
+Cluster MakeCluster(int nodes, int docs, int servers,
+                    std::uint64_t requests) {
+  Rng rng(42);
+  const RoutingTree built = MakeRandomTree(nodes, rng);
+  DemandMatrix demand(nodes, docs);
+  Rng drng(7);
+  for (NodeId v = 0; v < built.size(); ++v)
+    if (built.is_leaf(v))
+      for (DocId d = 0; d < docs; ++d)
+        demand.set(v, d, drng.NextDouble(0.1, 4.0));
+  const PlacementResult placement = DerivePlacement(built, demand);
+  const QuotaSnapshot snapshot =
+      QuotaSnapshot::FromPlacement(built, placement, demand, 1e-9);
+
+  Cluster c{built.parents(), RoutingTree::FromParents(built.parents()), {}};
+  c.config.parents = c.parents;
+  c.config.owner = PartitionOwners(c.tree, servers);
+  c.config.server_count = servers;
+  QuotaWireTable::Serialize(snapshot, &c.config.quota_blob);
+  c.config.serving.block_size = 1;
+  c.config.serving.threads = 1;
+  c.config.docs = docs;
+  c.config.stream_seed = 0xbadcafe;
+  c.config.total_requests = requests;
+  return c;
+}
+
+// Element-wise sum of fleet metrics, for comparison against the oracle.
+ServingMetrics SumMetrics(const std::vector<ServingMetrics>& parts) {
+  ServingMetrics total = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const ServingMetrics& m = parts[i];
+    total.requests += m.requests;
+    total.cache_served += m.cache_served;
+    total.home_served += m.home_served;
+    total.hop_sum += m.hop_sum;
+    total.failed_attempts += m.failed_attempts;
+    total.failovers += m.failovers;
+    total.dropped_requests += m.dropped_requests;
+    total.backoff_slots += m.backoff_slots;
+    for (std::size_t v = 0; v < total.served_per_node.size(); ++v)
+      total.served_per_node[v] += m.served_per_node[v];
+    if (m.hops.size() > total.hops.size())
+      total.hops.resize(m.hops.size(), 0);
+    for (std::size_t h = 0; h < m.hops.size(); ++h)
+      total.hops[h] += m.hops[h];
+  }
+  return total;
+}
+
+// Runs the stream through K in-process segment planes, routing forwards
+// by ownership exactly as the socket fleet does — but synchronously, so
+// failures localize.  Returns the per-plane metrics.
+std::vector<ServingMetrics> RunSegmentFleet(const Cluster& c) {
+  QuotaSnapshot snapshot;
+  EXPECT_TRUE(QuotaWireTable::Deserialize(
+      c.config.quota_blob.data(), c.config.quota_blob.size(), &snapshot));
+  std::vector<std::unique_ptr<ServingPlane>> planes;
+  std::vector<std::vector<NodeId>> shards(
+      static_cast<std::size_t>(c.config.server_count));
+  for (NodeId v = 0; v < c.tree.size(); ++v)
+    shards[static_cast<std::size_t>(c.config.owner[static_cast<std::size_t>(
+        v)])].push_back(v);
+  for (int s = 0; s < c.config.server_count; ++s) {
+    planes.push_back(std::make_unique<ServingPlane>(c.tree, snapshot,
+                                                    c.config.serving));
+    planes.back()->SetSegmentNodes(Span<const NodeId>(
+        shards[static_cast<std::size_t>(s)].data(),
+        shards[static_cast<std::size_t>(s)].size()));
+    if (!c.config.down.empty())
+      planes.back()->SetDownNodes(Span<const NodeId>(c.config.down.data(),
+                                                     c.config.down.size()));
+  }
+  for (std::uint64_t i = 0; i < c.config.total_requests; ++i) {
+    const Request r = NetdRequestAt(c.config.stream_seed, i, c.tree.size(),
+                                    c.config.docs);
+    GetRequest msg;
+    msg.req_id = i;
+    msg.doc = r.doc;
+    msg.origin_node = r.node;
+    int hop_guard = 0;
+    for (;;) {
+      const int s = c.config.owner[static_cast<std::size_t>(msg.origin_node)];
+      GetRequest fwd;
+      GetReply reply;
+      const auto outcome = planes[static_cast<std::size_t>(s)]
+                               ->ServeWireSegment(msg, &fwd, &reply);
+      if (outcome != ServingPlane::WireServe::kForwarded) break;
+      // Ownership is monotone along the walk: forwards always move to a
+      // lower server index, so the chain terminates.
+      EXPECT_LT(c.config.owner[static_cast<std::size_t>(fwd.origin_node)], s);
+      msg = fwd;
+      ++hop_guard;
+      EXPECT_LT(hop_guard, c.config.server_count) << "forward cycle";
+      if (hop_guard >= c.config.server_count) break;
+    }
+  }
+  std::vector<ServingMetrics> out;
+  for (auto& p : planes) out.push_back(p->metrics());
+  return out;
+}
+
+TEST(NetdCluster, CarveSubtreeReindexesPreorder) {
+  Rng rng(5);
+  const RoutingTree big = MakeRandomTree(500, rng);
+  // Pick an internal node with a decently sized subtree.
+  NodeId pivot = big.root();
+  for (const NodeId v : big.preorder())
+    if (!big.is_root(v) && big.subtree_size(v) >= 50) {
+      pivot = v;
+      break;
+    }
+  ASSERT_FALSE(big.is_root(pivot));
+  const CarvedTree carved = CarveSubtree(big, pivot);
+  ASSERT_EQ(carved.parents.size(), carved.big_ids.size());
+  EXPECT_EQ(static_cast<int>(carved.parents.size()), big.subtree_size(pivot));
+  EXPECT_EQ(carved.big_ids[0], pivot);
+  EXPECT_EQ(carved.parents[0], kNoNode);
+  const RoutingTree small = RoutingTree::FromParents(carved.parents);
+  EXPECT_EQ(small.root(), 0);
+  // Edges survive the re-indexing: each carved edge is a big-tree edge.
+  for (NodeId v = 1; v < small.size(); ++v)
+    EXPECT_EQ(big.parent(carved.big_ids[static_cast<std::size_t>(v)]),
+              carved.big_ids[static_cast<std::size_t>(small.parent(v))]);
+}
+
+TEST(NetdCluster, PartitionOwnersIsMonotoneUpTheTree) {
+  Rng rng(9);
+  const RoutingTree tree = MakeRandomTree(300, rng);
+  const std::vector<int> owner = PartitionOwners(tree, 5);
+  // Walking toward the root never increases the owning server index —
+  // the property that lets reply retracing assume no shard revisits.
+  for (NodeId v = 0; v < tree.size(); ++v)
+    if (!tree.is_root(v))
+      EXPECT_LE(owner[static_cast<std::size_t>(tree.parent(v))],
+                owner[static_cast<std::size_t>(v)]);
+  // Every server owns something on a tree this size.
+  std::vector<int> count(5, 0);
+  for (const int s : owner) ++count[static_cast<std::size_t>(s)];
+  for (const int n : count) EXPECT_GT(n, 0);
+}
+
+TEST(NetdEventLoop, TimersFireInDelayOrderAcrossRevolutions) {
+  EventLoop loop;
+  std::vector<int> fired;
+  // 4 ms ticks, 256 slots => 1024 ms per revolution; 1100 exercises the
+  // rounds counter.
+  loop.AddTimer(60, [&] { fired.push_back(2); });
+  loop.AddTimer(20, [&] { fired.push_back(1); });
+  loop.AddTimer(1100, [&] {
+    fired.push_back(3);
+    loop.Stop(7);
+  });
+  const std::uint64_t cancelled = loop.AddTimer(40, [&] { fired.push_back(99); });
+  loop.CancelTimer(cancelled);
+  EXPECT_EQ(loop.Run(), 7);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(NetdFrameConn, FramesSurviveASocketpairStream) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[0]);
+  MakeNonBlocking(fds[1]);
+  FrameConn a(fds[0]);
+  FrameConn b(fds[1]);
+
+  GetRequest req;
+  req.req_id = 77;
+  req.doc = 3;
+  req.origin_node = 12;
+  req.ttl_hops = 2;
+  LoadGossip gossip;
+  gossip.node = 4;
+  gossip.epoch = 9;
+  gossip.load = 1.5;
+  a.Send(req);
+  a.Send(gossip);
+  a.SendControl(MsgType::kStatsRequest);
+
+  std::vector<WireMessage> got;
+  while (got.size() < 3)
+    ASSERT_TRUE(b.OnReadable([&](const WireMessage& m) { got.push_back(m); }));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].type, MsgType::kGetRequest);
+  EXPECT_EQ(got[0].get, req);
+  EXPECT_EQ(got[1].type, MsgType::kLoadGossip);
+  EXPECT_EQ(got[1].gossip, gossip);
+  EXPECT_EQ(got[2].type, MsgType::kStatsRequest);
+}
+
+TEST(NetdSegments, FleetOfSegmentPlanesMatchesOracleExactly) {
+  const Cluster c = MakeCluster(260, 10, 4, 30000);
+  const ServingMetrics oracle = ReplayOracle(c.config);
+  const ServingMetrics fleet = SumMetrics(RunSegmentFleet(c));
+  EXPECT_EQ(fleet, oracle);
+  EXPECT_EQ(fleet.requests, c.config.total_requests);
+  EXPECT_GT(fleet.cache_served, 0u);
+  EXPECT_GT(fleet.home_served, 0u);
+}
+
+TEST(NetdSegments, FaultedFleetMatchesOracleIncludingFailovers) {
+  Cluster c = MakeCluster(260, 10, 4, 30000);
+  // Crash a popular subtree root (the first non-root internal node):
+  // walks through it must fail over past it, in fleet and oracle alike.
+  for (const NodeId v : c.tree.preorder())
+    if (!c.tree.is_root(v) && !c.tree.is_leaf(v)) {
+      c.config.down.push_back(v);
+      break;
+    }
+  ASSERT_FALSE(c.config.down.empty());
+  const ServingMetrics oracle = ReplayOracle(c.config);
+  const ServingMetrics fleet = SumMetrics(RunSegmentFleet(c));
+  EXPECT_EQ(fleet, oracle);
+  EXPECT_GT(fleet.failovers, 0u);
+  EXPECT_GT(fleet.failed_attempts, 0u);
+}
+
+TEST(NetdSegments, DropsMatchOracleWhenRetryBudgetExhausts) {
+  Cluster c = MakeCluster(260, 10, 4, 30000);
+  // Crash a chain of ancestors deeper than the retry budget.
+  NodeId deep = 0;
+  for (const NodeId v : c.tree.preorder())
+    if (c.tree.depth(v) > c.tree.depth(deep)) deep = v;
+  ASSERT_GE(c.tree.depth(deep), 3);
+  for (NodeId v = deep; !c.tree.is_root(v); v = c.tree.parent(v))
+    c.config.down.push_back(v);
+  c.config.serving.max_failover_attempts =
+      static_cast<int>(c.config.down.size()) - 1;
+  const ServingMetrics oracle = ReplayOracle(c.config);
+  const ServingMetrics fleet = SumMetrics(RunSegmentFleet(c));
+  EXPECT_EQ(fleet, oracle);
+  EXPECT_GT(fleet.dropped_requests, 0u);
+}
+
+TEST(NetdCluster, ForkedFleetOverLoopbackMatchesOracle) {
+  const Cluster c = MakeCluster(200, 8, 4, 20000);
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+  const ServingMetrics oracle = ReplayOracle(c.config);
+  EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
+  EXPECT_EQ(run.client_served + run.client_dropped, c.config.total_requests);
+  EXPECT_EQ(run.client_served, oracle.requests - oracle.dropped_requests);
+  EXPECT_EQ(run.client_hop_sum, oracle.hop_sum);
+  EXPECT_GT(run.fleet.net_forwards, 0u);
+  ASSERT_EQ(run.per_server.size(), 4u);
+}
+
+TEST(NetdCluster, ForkedFaultedFleetMatchesOracle) {
+  Cluster c = MakeCluster(200, 8, 4, 20000);
+  for (const NodeId v : c.tree.preorder())
+    if (!c.tree.is_root(v) && !c.tree.is_leaf(v)) {
+      c.config.down.push_back(v);
+      break;
+    }
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+  const ServingMetrics oracle = ReplayOracle(c.config);
+  EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
+  EXPECT_GT(run.fleet.failovers, 0u);
+}
+
+}  // namespace
+}  // namespace webwave

@@ -118,7 +118,7 @@ TEST_P(PacketSimPolicies, ServesAllRequestsAndReportsSaneMetrics) {
   opt.duration = 20 * kMicrosPerSecond;
   opt.warmup = 4 * kMicrosPerSecond;
   opt.seed = 5;
-  const PacketSimReport report = RunPacketSimulation(t, demand, opt);
+  const PacketSimReport report = PacketSim(t, demand, opt).Run();
   EXPECT_GT(report.total_requests, 1000u);
   // Requests in flight at the end may be unserved; allow a small gap.
   EXPECT_GE(report.served_requests + 50, report.total_requests);
@@ -145,7 +145,7 @@ TEST(PacketSimShapes, NoCachingPutsAllLoadAtHome) {
   opt.policy = CachePolicy::kNoCaching;
   opt.duration = 10 * kMicrosPerSecond;
   opt.warmup = 2 * kMicrosPerSecond;
-  const PacketSimReport report = RunPacketSimulation(t, demand, opt);
+  const PacketSimReport report = PacketSim(t, demand, opt).Run();
   const double total = TotalRate(report.measured_loads);
   EXPECT_GT(report.measured_loads[t.root()], 0.95 * total);
   EXPECT_NEAR(report.mean_hit_depth, t.height(), 0.3)
@@ -163,9 +163,9 @@ TEST(PacketSimShapes, WebWaveBalancesBetterThanNoCaching) {
   opt.seed = 11;
 
   opt.policy = CachePolicy::kNoCaching;
-  const auto none = RunPacketSimulation(t, demand, opt);
+  const auto none = PacketSim(t, demand, opt).Run();
   opt.policy = CachePolicy::kWebWave;
-  const auto wave = RunPacketSimulation(t, demand, opt);
+  const auto wave = PacketSim(t, demand, opt).Run();
 
   EXPECT_LT(CoefficientOfVariation(wave.measured_loads),
             CoefficientOfVariation(none.measured_loads))
@@ -188,9 +188,9 @@ TEST(PacketSimShapes, IcpPaysDiscoveryMessages) {
   opt.gossip_period = 500 * kMicrosPerMilli;
 
   opt.policy = CachePolicy::kIcpLike;
-  const auto icp = RunPacketSimulation(t, demand, opt);
+  const auto icp = PacketSim(t, demand, opt).Run();
   opt.policy = CachePolicy::kWebWave;
-  const auto wave = RunPacketSimulation(t, demand, opt);
+  const auto wave = PacketSim(t, demand, opt).Run();
 
   EXPECT_GT(icp.control_messages_per_request, 0.3)
       << "ICP queries neighbors on misses";
@@ -210,7 +210,7 @@ TEST(PacketSimShapes, WebWaveApproachesTlbDistance) {
   opt.warmup = 5 * kMicrosPerSecond;
   opt.seed = 3;
   const PacketSimReport report =
-      RunPacketSimulation(t, demand, opt, target.load);
+      PacketSim(t, demand, opt, target.load).Run();
   ASSERT_GT(report.distance_trajectory.size(), 20u);
   // The cold-start state (home serves everything) is far from TLB; the
   // EWMA-load trajectory must come down substantially as copies spread.
@@ -234,9 +234,9 @@ TEST(PacketSimShapes, NetworkTrafficAccountedAndLowerWithCaching) {
   opt.seed = 9;
 
   opt.policy = CachePolicy::kNoCaching;
-  const auto none = RunPacketSimulation(t, demand, opt);
+  const auto none = PacketSim(t, demand, opt).Run();
   opt.policy = CachePolicy::kWebWave;
-  const auto wave = RunPacketSimulation(t, demand, opt);
+  const auto wave = PacketSim(t, demand, opt).Run();
 
   EXPECT_GT(none.network_kb, 0);
   EXPECT_GT(none.link_traversals, 0u);
@@ -252,7 +252,7 @@ TEST(PacketSimShapes, PerEdgeTrafficSumsToTotalAndConcentratesAtRootWithoutCachi
   opt.policy = CachePolicy::kNoCaching;
   opt.duration = 15 * kMicrosPerSecond;
   opt.warmup = 3 * kMicrosPerSecond;
-  const auto report = RunPacketSimulation(t, demand, opt);
+  const auto report = PacketSim(t, demand, opt).Run();
   ASSERT_EQ(report.edge_traffic_kb.size(),
             static_cast<std::size_t>(t.size()));
   double edge_sum = 0;
@@ -280,11 +280,11 @@ TEST(PacketSimFailures, GossipLossSlowsButDoesNotBreakBalancing) {
   opt.warmup = 20 * kMicrosPerSecond;
   opt.seed = 13;
   opt.gossip_loss = 0.5;  // half of all load gossip vanishes
-  const auto lossy = RunPacketSimulation(t, demand, opt);
+  const auto lossy = PacketSim(t, demand, opt).Run();
 
   opt.policy = CachePolicy::kNoCaching;
   opt.gossip_loss = 0;
-  const auto none = RunPacketSimulation(t, demand, opt);
+  const auto none = PacketSim(t, demand, opt).Run();
 
   EXPECT_LT(CoefficientOfVariation(lossy.measured_loads),
             CoefficientOfVariation(none.measured_loads))
@@ -301,12 +301,12 @@ TEST(PacketSimShapes, CopyCountsRespectPolicySemantics) {
   opt.lru_capacity = 2;
 
   opt.policy = CachePolicy::kNoCaching;
-  const auto none = RunPacketSimulation(t, demand, opt);
+  const auto none = PacketSim(t, demand, opt).Run();
   for (const int c : none.copies_per_doc)
     EXPECT_EQ(c, 1) << "no caching: only the home copy exists";
 
   opt.policy = CachePolicy::kWebWave;
-  const auto wave = RunPacketSimulation(t, demand, opt);
+  const auto wave = PacketSim(t, demand, opt).Run();
   int replicated = 0;
   for (const int c : wave.copies_per_doc) {
     EXPECT_GE(c, 1);
@@ -315,7 +315,7 @@ TEST(PacketSimShapes, CopyCountsRespectPolicySemantics) {
   EXPECT_GT(replicated, 0) << "WebWave must have replicated something";
 
   opt.policy = CachePolicy::kEnRouteLru;
-  const auto lru = RunPacketSimulation(t, demand, opt);
+  const auto lru = PacketSim(t, demand, opt).Run();
   int total_lru_copies = 0;
   for (const int c : lru.copies_per_doc) total_lru_copies += c - 1;
   EXPECT_LE(total_lru_copies, (t.size() - 1) * opt.lru_capacity)
@@ -329,7 +329,7 @@ TEST(PacketSimOptionsTest, Validation) {
   PacketSimOptions opt;
   opt.duration = 5;
   opt.warmup = 10;
-  EXPECT_THROW(RunPacketSimulation(t, demand, opt), std::invalid_argument);
+  EXPECT_THROW(PacketSim(t, demand, opt).Run(), std::invalid_argument);
 }
 
 }  // namespace

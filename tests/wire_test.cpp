@@ -1,0 +1,371 @@
+// Property tests for the wire layer: round-trip identity over
+// counter-seeded random messages, every strict prefix rejected as
+// kNeedMore (never kOk, never a bogus decode), header corruption
+// rejected as kError, and byte-exact QuotaWireTable round-trips.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "doc/catalog.h"
+#include "doc/placement.h"
+#include "serve/quota_snapshot.h"
+#include "tree/builders.h"
+#include "util/rng.h"
+#include "wire/codec.h"
+#include "wire/quota_wire.h"
+
+namespace webwave {
+namespace {
+
+using DecodeStatus = MessageCodec::DecodeStatus;
+
+// Counter-seeded field draws: message i's fields are pure functions of
+// (seed, i), matching the repo-wide determinism discipline.
+std::uint64_t Draw(std::uint64_t seed, std::uint64_t i, std::uint64_t lane) {
+  std::uint64_t state = seed + i * 0x9e3779b97f4a7c15ULL + lane;
+  return SplitMix64(state);
+}
+
+double DrawLoad(std::uint64_t seed, std::uint64_t i, std::uint64_t lane) {
+  return CounterUnitDouble(Draw(seed, i, lane)) * 1e6;
+}
+
+GetRequest RandomGetRequest(std::uint64_t seed, std::uint64_t i) {
+  GetRequest m;
+  m.req_id = Draw(seed, i, 1);
+  m.doc = static_cast<std::int32_t>(Draw(seed, i, 2) & 0x7fffffff);
+  m.origin_node = static_cast<NodeId>(Draw(seed, i, 3) & 0x7fffffff);
+  m.ttl_hops = static_cast<std::uint16_t>(Draw(seed, i, 4));
+  m.failed = static_cast<std::uint16_t>(Draw(seed, i, 5));
+  return m;
+}
+
+GetReply RandomGetReply(std::uint64_t seed, std::uint64_t i) {
+  GetReply m;
+  m.req_id = Draw(seed, i, 1);
+  m.doc = static_cast<std::int32_t>(Draw(seed, i, 2) & 0x7fffffff);
+  m.serving_node = static_cast<NodeId>(Draw(seed, i, 3) & 0x7fffffff);
+  m.result = (Draw(seed, i, 4) & 1) ? GetResult::kDropped : GetResult::kServed;
+  m.hops = static_cast<std::uint16_t>(Draw(seed, i, 5));
+  m.load = DrawLoad(seed, i, 6);
+  m.version = static_cast<std::uint32_t>(Draw(seed, i, 7));
+  return m;
+}
+
+LoadGossip RandomLoadGossip(std::uint64_t seed, std::uint64_t i) {
+  LoadGossip m;
+  m.node = static_cast<NodeId>(Draw(seed, i, 1) & 0x7fffffff);
+  m.epoch = static_cast<std::uint32_t>(Draw(seed, i, 2));
+  m.load = DrawLoad(seed, i, 3);
+  return m;
+}
+
+WireCounters RandomCounters(std::uint64_t seed, std::uint64_t i) {
+  WireCounters c;
+  c.requests = Draw(seed, i, 1);
+  c.cache_served = Draw(seed, i, 2);
+  c.home_served = Draw(seed, i, 3);
+  c.hop_sum = Draw(seed, i, 4);
+  c.failed_attempts = Draw(seed, i, 5);
+  c.failovers = Draw(seed, i, 6);
+  c.dropped_requests = Draw(seed, i, 7);
+  c.backoff_slots = Draw(seed, i, 8);
+  c.net_forwards = Draw(seed, i, 9);
+  c.gossip_sent = Draw(seed, i, 10);
+  return c;
+}
+
+TEST(WireCodec, GetRequestRoundTripsOverRandomMessages) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const GetRequest m = RandomGetRequest(11, i);
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(m, &buf);
+    ASSERT_EQ(n, buf.size());
+    ASSERT_EQ(n, MessageCodec::kHeaderSize + MessageCodec::kGetRequestSize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, n);
+    EXPECT_EQ(out.type, MsgType::kGetRequest);
+    EXPECT_EQ(out.get, m);
+  }
+}
+
+TEST(WireCodec, GetReplyRoundTripsOverRandomMessages) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const GetReply m = RandomGetReply(12, i);
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(m, &buf);
+    ASSERT_EQ(n, MessageCodec::kHeaderSize + MessageCodec::kGetReplySize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, MsgType::kGetReply);
+    EXPECT_EQ(out.reply, m);
+  }
+}
+
+TEST(WireCodec, LoadGossipRoundTripsOverRandomMessages) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const LoadGossip m = RandomLoadGossip(13, i);
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(m, &buf);
+    ASSERT_EQ(n, MessageCodec::kHeaderSize + MessageCodec::kLoadGossipSize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, MsgType::kLoadGossip);
+    EXPECT_EQ(out.gossip, m);
+  }
+}
+
+TEST(WireCodec, HelloAndCountersAndControlRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  Hello h;
+  h.kind = PeerKind::kLoadgen;
+  h.sender = 42;
+  MessageCodec::Encode(h, &buf);
+  const WireCounters c = RandomCounters(14, 7);
+  MessageCodec::Encode(c, &buf);
+  MessageCodec::EncodeControl(MsgType::kStatsRequest, &buf);
+  MessageCodec::EncodeControl(MsgType::kShutdown, &buf);
+
+  // Stream decode of the concatenated frames.
+  std::size_t at = 0;
+  WireMessage out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(
+      MessageCodec::Decode(buf.data() + at, buf.size() - at, &out, &consumed),
+      DecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kHello);
+  EXPECT_EQ(out.hello, h);
+  at += consumed;
+  ASSERT_EQ(
+      MessageCodec::Decode(buf.data() + at, buf.size() - at, &out, &consumed),
+      DecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kStatsReply);
+  EXPECT_EQ(out.stats, c);
+  at += consumed;
+  ASSERT_EQ(
+      MessageCodec::Decode(buf.data() + at, buf.size() - at, &out, &consumed),
+      DecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kStatsRequest);
+  at += consumed;
+  ASSERT_EQ(
+      MessageCodec::Decode(buf.data() + at, buf.size() - at, &out, &consumed),
+      DecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kShutdown);
+  at += consumed;
+  EXPECT_EQ(at, buf.size());
+}
+
+TEST(WireCodec, DoubleFieldsRoundTripBitExactly) {
+  const double specials[] = {0.0, -0.0, 1.0 / 3.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max()};
+  for (double v : specials) {
+    LoadGossip m;
+    m.node = 1;
+    m.epoch = 2;
+    m.load = v;
+    std::vector<std::uint8_t> buf;
+    MessageCodec::Encode(m, &buf);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    std::uint64_t want, got;
+    std::memcpy(&want, &v, sizeof want);
+    std::memcpy(&got, &out.gossip.load, sizeof got);
+    EXPECT_EQ(got, want);  // bit pattern, so NaN payloads survive too
+  }
+}
+
+// Every strict prefix of every frame type must be kNeedMore or kError —
+// never kOk, and in particular never a short frame accepted as complete.
+TEST(WireCodec, EveryOneByteTruncationIsRejected) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    frames.emplace_back();
+    MessageCodec::Encode(RandomGetRequest(21, i), &frames.back());
+    frames.emplace_back();
+    MessageCodec::Encode(RandomGetReply(22, i), &frames.back());
+    frames.emplace_back();
+    MessageCodec::Encode(RandomLoadGossip(23, i), &frames.back());
+  }
+  frames.emplace_back();
+  MessageCodec::Encode(RandomCounters(24, 0), &frames.back());
+  frames.emplace_back();
+  MessageCodec::EncodeControl(MsgType::kShutdown, &frames.back());
+
+  for (const auto& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      WireMessage out;
+      std::size_t consumed = 1;
+      const DecodeStatus st =
+          MessageCodec::Decode(frame.data(), cut, &out, &consumed);
+      EXPECT_EQ(st, DecodeStatus::kNeedMore)
+          << "prefix of " << frame.size() << " cut at " << cut;
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+TEST(WireCodec, HeaderCorruptionIsError) {
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(RandomGetRequest(31, 0), &frame);
+
+  // Every single-byte corruption of the 8-byte header is kError (bad
+  // magic/version/type) or a type/length mismatch.
+  for (std::size_t at = 0; at < MessageCodec::kHeaderSize; ++at) {
+    auto bad = frame;
+    bad[at] ^= 0xff;
+    WireMessage out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "header byte " << at;
+  }
+
+  // Bad leading bytes are reported as garbage immediately, even before a
+  // full header has arrived — a stream transport must not wait for more
+  // bytes of a frame that can never become valid.
+  const std::uint8_t garbage[2] = {0x00, 0x99};
+  WireMessage out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(MessageCodec::Decode(garbage, 1, &out, &consumed),
+            DecodeStatus::kError);
+
+  // A type whose payload size disagrees with the stated length.
+  auto mismatched = frame;
+  mismatched[3] = static_cast<std::uint8_t>(MsgType::kLoadGossip);
+  EXPECT_EQ(MessageCodec::Decode(mismatched.data(), mismatched.size(), &out,
+                                 &consumed),
+            DecodeStatus::kError);
+
+  // An out-of-range GetResult in an otherwise valid reply.
+  std::vector<std::uint8_t> reply;
+  MessageCodec::Encode(RandomGetReply(31, 1), &reply);
+  reply[MessageCodec::kHeaderSize + 30] = 9;
+  EXPECT_EQ(MessageCodec::Decode(reply.data(), reply.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(WireCodec, EncodingIsExplicitlyLittleEndian) {
+  GetRequest m;
+  m.req_id = 0x0102030405060708ULL;
+  m.doc = 0x0a0b0c0d;
+  m.origin_node = 5;
+  m.ttl_hops = 0x1122;
+  m.failed = 0;
+  std::vector<std::uint8_t> buf;
+  MessageCodec::Encode(m, &buf);
+  // Header: magic 0x5741 is "A" then "W" in little-endian byte order.
+  EXPECT_EQ(buf[0], 0x41);
+  EXPECT_EQ(buf[1], 0x57);
+  EXPECT_EQ(buf[2], MessageCodec::kVersion);
+  EXPECT_EQ(buf[3], static_cast<std::uint8_t>(MsgType::kGetRequest));
+  // req_id low byte first.
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 0], 0x08);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 7], 0x01);
+  // doc at offset 8, LE.
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 8], 0x0d);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 11], 0x0a);
+  // ttl_hops at offset 16, LE.
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 16], 0x22);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 17], 0x11);
+}
+
+QuotaSnapshot MakeSnapshot() {
+  Rng rng(42);
+  const RoutingTree tree = MakeRandomTree(200, rng);
+  DemandMatrix demand(200, 8);
+  Rng drng(7);
+  for (NodeId v = 0; v < 200; ++v)
+    if (tree.children(v).empty())
+      for (std::int32_t d = 0; d < 8; ++d)
+        demand.set(v, d, drng.NextDouble(0.1, 4.0));
+  const PlacementResult placement = DerivePlacement(tree, demand);
+  return QuotaSnapshot::FromPlacement(tree, placement, demand, 1e-9);
+}
+
+TEST(QuotaWire, RoundTripIsByteExact) {
+  const QuotaSnapshot s = MakeSnapshot();
+  ASSERT_GT(s.cell_count(), 0);
+
+  std::vector<std::uint8_t> bytes;
+  const std::size_t n = QuotaWireTable::Serialize(s, &bytes);
+  ASSERT_EQ(n, bytes.size());
+
+  QuotaSnapshot back;
+  ASSERT_TRUE(QuotaWireTable::Deserialize(bytes.data(), bytes.size(), &back));
+
+  ASSERT_EQ(back.node_count(), s.node_count());
+  ASSERT_EQ(back.doc_count(), s.doc_count());
+  ASSERT_EQ(back.cell_count(), s.cell_count());
+  // total_rate survives with the exact bit pattern, not a re-sum.
+  std::uint64_t want, got;
+  double wd = s.total_rate(), gd = back.total_rate();
+  std::memcpy(&want, &wd, sizeof want);
+  std::memcpy(&got, &gd, sizeof got);
+  EXPECT_EQ(got, want);
+  for (NodeId v = 0; v < s.node_count(); ++v) {
+    ASSERT_EQ(back.row_begin(v), s.row_begin(v));
+    ASSERT_EQ(back.row_end(v), s.row_end(v));
+  }
+  for (std::int64_t c = 0; c < s.cell_count(); ++c) {
+    ASSERT_EQ(back.cell_docs()[c], s.cell_docs()[c]);
+    ASSERT_EQ(back.cell_rates()[c], s.cell_rates()[c]);
+    ASSERT_EQ(back.cell_fractions()[c], s.cell_fractions()[c]);
+  }
+
+  // Serializing the reconstruction reproduces the exact byte string.
+  std::vector<std::uint8_t> again;
+  QuotaWireTable::Serialize(back, &again);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(QuotaWire, CorruptTablesAreRejected) {
+  const QuotaSnapshot s = MakeSnapshot();
+  std::vector<std::uint8_t> bytes;
+  QuotaWireTable::Serialize(s, &bytes);
+
+  QuotaSnapshot out;
+  // Truncations at a sample of cut points (every prefix would be O(n²)).
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += 1 + bytes.size() / 64)
+    EXPECT_FALSE(QuotaWireTable::Deserialize(bytes.data(), cut, &out));
+  // Bad magic / version.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(QuotaWireTable::Deserialize(bad.data(), bad.size(), &out));
+  bad = bytes;
+  bad[4] ^= 0xff;
+  EXPECT_FALSE(QuotaWireTable::Deserialize(bad.data(), bad.size(), &out));
+  // Non-monotone row offsets.
+  bad = bytes;
+  bad[32] = 0xff;  // row_off[0] becomes nonzero
+  EXPECT_FALSE(QuotaWireTable::Deserialize(bad.data(), bad.size(), &out));
+}
+
+TEST(QuotaWire, FileRoundTrip) {
+  const QuotaSnapshot s = MakeSnapshot();
+  const std::string path = ::testing::TempDir() + "/quota_wire_test.bin";
+  ASSERT_TRUE(QuotaWireTable::WriteFile(s, path));
+  QuotaSnapshot back;
+  ASSERT_TRUE(QuotaWireTable::ReadFile(path, &back));
+  EXPECT_EQ(back.cell_count(), s.cell_count());
+  EXPECT_EQ(back.total_rate(), s.total_rate());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webwave

@@ -36,6 +36,8 @@ RULES = {
     "tab_faults": (("record", "placement", "pattern", "crash_fraction",
                     "epoch"),
                    ("req_per_sec",)),
+    "tab_netd": (("record", "scenario", "servers", "requests", "sim_nodes"),
+                 ("req_per_sec", "oracle_req_per_sec")),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
