@@ -5,7 +5,10 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+
+#include "util/bench_json.h"
 
 namespace webwave {
 namespace bench {
@@ -32,6 +35,15 @@ inline long long EnvLong(const char* name, long long fallback) {
 inline bool EnvFlag(const char* name) {
   const char* env = std::getenv(name);
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// The one way a bench emits its JSON artifact: write, then report the
+// outcome on stdout in the exact phrasing CI's baseline checker and the
+// humans reading bench logs both expect.
+inline bool WriteArtifact(const BenchJson& json, const char* path) {
+  const bool ok = json.WriteFile(path);
+  std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", path);
+  return ok;
 }
 
 // Worker-thread knob shared by every tab_* bench: the bench-specific

@@ -297,9 +297,7 @@ void RunBlockedStepSweep() {
       json.Add("modeled_bytes_per_lane_step", 104.0 + 16.0 / B);
     }
   }
-  const char* out = "BENCH_step_blocked.json";
-  std::printf("%s %s\n", json.WriteFile(out) ? "wrote" : "FAILED to write",
-              out);
+  bench::WriteArtifact(json, "BENCH_step_blocked.json");
 }
 
 void BM_DiffusionApplyDense(benchmark::State& state) {

@@ -126,9 +126,7 @@ int main() {
   }
   std::printf("%s\n", table.Render().c_str());
 
-  const char* out = "BENCH_batch_catalog.json";
-  std::printf("%s %s\n",
-              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
+  bench::WriteArtifact(json, "BENCH_batch_catalog.json");
   std::printf(
       "\nReading: per-step cost scales linearly in lanes = nodes x docs; the\n"
       "shared edge arrays amortize topology across the catalog, so 64 hot\n"

@@ -318,9 +318,7 @@ int main() {
   }
   std::printf("%s\n", loop_table.Render().c_str());
 
-  const char* out = "BENCH_capacity.json";
-  std::printf("%s %s\n",
-              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
+  bench::WriteArtifact(json, "BENCH_capacity.json");
   std::printf(
       "\nReading: finite storage is where placements differentiate — with a\n"
       "full working set per node the capacity machinery is invisible (and\n"

@@ -336,9 +336,7 @@ int main() {
   }
   std::printf("%s\n", loop_table.Render().c_str());
 
-  const char* out = "BENCH_faults.json";
-  std::printf("%s %s\n",
-              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
+  bench::WriteArtifact(json, "BENCH_faults.json");
   std::printf(
       "\nReading: crashes move load, they do not destroy it — re-homing\n"
       "conserves the provisioned rate (asserted) while failover routing\n"

@@ -20,16 +20,28 @@
 // running packet simulation, and the run reports how many wire frames
 // the simulation itself round-tripped.
 //
-// Emits BENCH_netd.json.  Environment knobs:
-//   WEBWAVE_SMOKE          reduced shapes (the CI smoke configuration)
-//   WEBWAVE_NETD_NODES     big-tree nodes to carve from (default 1000000;
-//                          smoke 60000)
-//   WEBWAVE_NETD_CARVE     target carved-subtree size (default 4000;
-//                          smoke 1200)
-//   WEBWAVE_NETD_DOCS      documents (default 16; smoke 8)
-//   WEBWAVE_NETD_SERVERS   forked daemons (default 4)
-//   WEBWAVE_NETD_REQUESTS  requests per scenario (default 400000;
-//                          smoke 120000)
+// Part 3 (riding inside part 1's runs): the live fleet stats scraper.
+// While each scenario's stream is in flight, the loadgen polls every
+// daemon's kStatsRequest on a timer; the samples must be monotone per
+// daemon and the final sample's fleet sum must equal the oracle exactly.
+// The fleet also runs with request tracing on, and the scraped trace
+// records are asserted equal to the oracle's, record for record.
+//
+// Emits BENCH_netd.json, BENCH_netd_stats.json (one record per live
+// scrape) and netd_stats.prom (Prometheus text exposition of the final
+// fleet counters per scenario).  Environment knobs:
+//   WEBWAVE_SMOKE            reduced shapes (the CI smoke configuration)
+//   WEBWAVE_NETD_NODES       big-tree nodes to carve from (default
+//                            1000000; smoke 60000)
+//   WEBWAVE_NETD_CARVE       target carved-subtree size (default 4000;
+//                            smoke 1200)
+//   WEBWAVE_NETD_DOCS        documents (default 16; smoke 8)
+//   WEBWAVE_NETD_SERVERS     forked daemons (default 4)
+//   WEBWAVE_NETD_REQUESTS    requests per scenario (default 400000;
+//                            smoke 120000)
+//   WEBWAVE_NETD_SCRAPE_MS   live stats-scrape period (default 5; 0
+//                            disables mid-run scraping)
+//   WEBWAVE_NETD_TRACE_SHIFT trace sampling shift (default 10: ~1/1024)
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -40,6 +52,7 @@
 #include "doc/catalog.h"
 #include "doc/placement.h"
 #include "netd/cluster.h"
+#include "obs/exposition.h"
 #include "proto/packet_sim.h"
 #include "serve/quota_snapshot.h"
 #include "tree/builders.h"
@@ -63,6 +76,8 @@ int main() {
   const int servers = EnvInt("WEBWAVE_NETD_SERVERS", 4);
   const long long requests =
       bench::EnvLong("WEBWAVE_NETD_REQUESTS", smoke ? 120000LL : 400000LL);
+  const int scrape_ms = EnvInt("WEBWAVE_NETD_SCRAPE_MS", 5);
+  const int trace_shift = EnvInt("WEBWAVE_NETD_TRACE_SHIFT", 10);
 
   std::printf(
       "E17 — one wire protocol, two transports: %d-node tree, a carved\n"
@@ -123,6 +138,9 @@ int main() {
   QuotaWireTable::Serialize(snapshot, &config.quota_blob);
   config.serving.block_size = 1;
   config.serving.threads = 1;
+  config.serving.trace = true;
+  config.serving.trace_sample_shift = trace_shift;
+  config.stats_scrape_period_ms = scrape_ms;
   config.docs = docs;
   config.stream_seed = 0x77aeULL + static_cast<std::uint64_t>(big_nodes);
   config.total_requests = static_cast<std::uint64_t>(requests);
@@ -159,8 +177,10 @@ int main() {
   }
 
   AsciiTable table({"scenario", "served", "dropped", "failovers", "hop sum",
-                    "forwards", "gossip", "fleet kreq/s", "oracle Mreq/s",
-                    "match"});
+                    "forwards", "gossip", "scrapes", "traced",
+                    "fleet kreq/s", "oracle Mreq/s", "match"});
+  BenchJson stats_json("tab_netd_stats");
+  PrometheusWriter prom;
   bool all_match = true;
   for (const Scenario& sc : scenarios) {
     config.down = sc.down;
@@ -171,14 +191,94 @@ int main() {
     const double fleet_ms = MillisSince(t_fleet);
 
     const auto t_oracle = Clock::now();
-    const ServingMetrics oracle = ReplayOracle(config);
+    std::vector<TraceEvent> oracle_trace;
+    const ServingMetrics oracle = ReplayOracle(config, &oracle_trace);
     const double oracle_ms = MillisSince(t_oracle);
 
-    const bool match =
+    bool match =
         run.ok && ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)) &&
         run.client_served == oracle.requests - oracle.dropped_requests &&
         run.client_hop_sum == oracle.hop_sum;
+
+    // The scraped trace equals the oracle's, record for record.
+    if (run.trace != oracle_trace) {
+      std::printf("ASSERT FAILED [%s]: fleet trace (%zu records) != oracle "
+                  "trace (%zu records)\n",
+                  sc.label, run.trace.size(), oracle_trace.size());
+      match = false;
+    }
+
+    // Live scrapes: mid-run samples exist (the fleet outlives one scrape
+    // period), per-daemon counters are monotone sample to sample, and
+    // the final sample's fleet sum is exactly the oracle's totals — the
+    // scraper reads the same truth the oracle computes.
+    if (scrape_ms > 0 && run.samples.size() < 2) {
+      std::printf("ASSERT FAILED [%s]: no mid-run stats sample (%zu total)\n",
+                  sc.label, run.samples.size());
+      match = false;
+    }
+    for (std::size_t i = 1; i < run.samples.size(); ++i)
+      for (std::size_t s = 0; s < run.samples[i].per_server.size(); ++s)
+        if (!CountersMonotone(run.samples[i - 1].per_server[s],
+                              run.samples[i].per_server[s])) {
+          std::printf("ASSERT FAILED [%s]: non-monotone counters, sample "
+                      "%zu server %zu\n",
+                      sc.label, i, s);
+          match = false;
+        }
+    if (run.samples.empty() ||
+        !ServingCountersEqual(SumCounters(run.samples.back().per_server),
+                              CountersFromMetrics(oracle))) {
+      std::printf("ASSERT FAILED [%s]: final scraped sample != oracle\n",
+                  sc.label);
+      match = false;
+    }
     all_match = all_match && match;
+
+    // One stats record per live scrape: the fleet's counter sums as the
+    // scraper saw them mid-flight.
+    for (std::size_t i = 0; i < run.samples.size(); ++i) {
+      const WireCounters sum = SumCounters(run.samples[i].per_server);
+      stats_json.BeginRun();
+      stats_json.Add("scenario", std::string(sc.label));
+      stats_json.Add("sample", static_cast<long long>(i));
+      stats_json.Add("final",
+                     i + 1 == run.samples.size() ? 1 : 0);
+      stats_json.Add("at_completed",
+                     static_cast<long long>(run.samples[i].at_completed));
+      stats_json.Add("requests", static_cast<long long>(sum.requests));
+      stats_json.Add("cache_served",
+                     static_cast<long long>(sum.cache_served));
+      stats_json.Add("home_served", static_cast<long long>(sum.home_served));
+      stats_json.Add("hop_sum", static_cast<long long>(sum.hop_sum));
+      stats_json.Add("failovers", static_cast<long long>(sum.failovers));
+      stats_json.Add("dropped", static_cast<long long>(sum.dropped_requests));
+      stats_json.Add("net_forwards",
+                     static_cast<long long>(sum.net_forwards));
+      stats_json.Add("gossip_sent", static_cast<long long>(sum.gossip_sent));
+    }
+
+    // The exposition: final fleet counters, one label set per scenario.
+    {
+      const PrometheusWriter::Labels labels = {{"scenario", sc.label}};
+      prom.AddCounter("webwave.fleet.requests", labels, run.fleet.requests);
+      prom.AddCounter("webwave.fleet.cache_served", labels,
+                      run.fleet.cache_served);
+      prom.AddCounter("webwave.fleet.home_served", labels,
+                      run.fleet.home_served);
+      prom.AddCounter("webwave.fleet.hop_sum", labels, run.fleet.hop_sum);
+      prom.AddCounter("webwave.fleet.failovers", labels, run.fleet.failovers);
+      prom.AddCounter("webwave.fleet.dropped_requests", labels,
+                      run.fleet.dropped_requests);
+      prom.AddCounter("webwave.fleet.net_forwards", labels,
+                      run.fleet.net_forwards);
+      prom.AddCounter("webwave.fleet.gossip_sent", labels,
+                      run.fleet.gossip_sent);
+      prom.AddGauge("webwave.fleet.samples", labels,
+                    static_cast<double>(run.samples.size()));
+      prom.AddGauge("webwave.fleet.trace_records", labels,
+                    static_cast<double>(run.trace.size()));
+    }
 
     table.AddRow({sc.label,
                   AsciiTable::Int(static_cast<long long>(run.client_served)),
@@ -187,6 +287,8 @@ int main() {
                   AsciiTable::Int(static_cast<long long>(run.fleet.hop_sum)),
                   AsciiTable::Int(static_cast<long long>(run.fleet.net_forwards)),
                   AsciiTable::Int(static_cast<long long>(run.fleet.gossip_sent)),
+                  AsciiTable::Int(static_cast<long long>(run.samples.size())),
+                  AsciiTable::Int(static_cast<long long>(run.trace.size())),
                   AsciiTable::Num(static_cast<double>(requests) / fleet_ms, 1),
                   AsciiTable::Num(static_cast<double>(requests) / oracle_ms / 1e3,
                                   3),
@@ -208,6 +310,8 @@ int main() {
     json.Add("req_per_sec", static_cast<double>(requests) / fleet_ms * 1e3);
     json.Add("oracle_req_per_sec",
              static_cast<double>(requests) / oracle_ms * 1e3);
+    json.Add("stats_samples", static_cast<long long>(run.samples.size()));
+    json.Add("trace_records", static_cast<long long>(run.trace.size()));
     json.Add("match", match ? 1 : 0);
   }
   std::printf("%s\n", table.Render().c_str());
@@ -274,9 +378,12 @@ int main() {
     }
   }
 
-  const char* out = "BENCH_netd.json";
-  std::printf("%s %s\n", json.WriteFile(out) ? "wrote" : "FAILED to write",
-              out);
+  bench::WriteArtifact(json, "BENCH_netd.json");
+  bench::WriteArtifact(stats_json, "BENCH_netd_stats.json");
+  const char* prom_out = "netd_stats.prom";
+  std::printf("%s %s\n",
+              prom.WriteFile(prom_out) ? "wrote" : "FAILED to write",
+              prom_out);
   if (!all_match) {
     std::printf("\nASSERT FAILED: fleet and oracle disagree — the two\n"
                 "transports are not running the same protocol.\n");

@@ -134,9 +134,7 @@ int main() {
   batch.CheckInvariants(1e-5);
   std::printf("invariants hold across the full rotation (tol 1e-5)\n");
 
-  const char* out = "BENCH_churn_batch.json";
-  std::printf("%s %s\n",
-              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
+  bench::WriteArtifact(json, "BENCH_churn_batch.json");
   std::printf(
       "\nReading: an epoch's demand shift costs on the order of one or two\n"
       "diffusion steps (events touch only the leaves that changed, and only\n"

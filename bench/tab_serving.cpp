@@ -32,7 +32,16 @@
 // stream — the storage axis tab_capacity sweeps in full, here at 10⁶
 // nodes.  Spill conservation and the >= 1x-budget no-op are asserted.
 //
-// Emits BENCH_serving.json.  Environment knobs:
+// Part 5 measures the observer effect of request tracing: the part-1
+// WebWave-TLB placement served twice — tracing off, then tracing on at
+// the default 1/2^14 sampling — with the serving metrics asserted
+// bit-identical (tracing reads decisions, never makes them) and the
+// throughput delta reported; the first traced walks are dumped to
+// BENCH_trace_sample.jsonl.
+//
+// Emits BENCH_serving.json, BENCH_serving_timeline.jsonl (one record per
+// closed-loop epoch from the part-2 EpochDriver timeline) and
+// BENCH_trace_sample.jsonl.  Environment knobs:
 //   WEBWAVE_SMOKE             reduced shapes (the CI smoke configuration)
 //   WEBWAVE_SERVING_NODES     part-1 nodes (default 1000000; smoke 10000)
 //   WEBWAVE_SERVING_DOCS      part-1 documents (default 64; smoke 8)
@@ -50,6 +59,10 @@
 
 #include "bench_util.h"
 #include "core/webwave_batch.h"
+#include "obs/clock.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "serve/closed_loop.h"
 #include "serve/placement_policy.h"
 #include "serve/epoch_driver.h"
@@ -196,6 +209,15 @@ int main() {
   // (RefreshFromBatch), the plane re-syncs from the snapshot
   // (ServingPlane::Refresh) — nothing is rebuilt from scratch per epoch.
   EpochDriver driver(sim);  // default 12 diffusion steps per epoch
+  // The telemetry plane rides the loop: the driver publishes per-epoch
+  // gauges into a MetricRegistry and appends one JSON-lines record per
+  // epoch (phase timings through the steady clock) to the timeline.
+  MetricRegistry loop_registry;
+  Timeline loop_timeline("serving_timeline");
+  SteadyClock loop_clock;
+  driver.AttachRegistry(&loop_registry);
+  driver.AttachTimeline(&loop_timeline);
+  driver.SetClock(&loop_clock);
   ServingOptions loop_sopt;
   loop_sopt.threads = threads;
   loop_sopt.block_size =
@@ -211,6 +233,7 @@ int main() {
     loop_sopt.offered_rate = probe.total_rate();
   }
   ServingPlane plane(loop_tree, driver.snapshot(), loop_sopt);
+  plane.AttachRegistry(&loop_registry, "serve.");
   driver.AttachPlane(&plane);
   for (int epoch = 0; epoch < loop_epochs; ++epoch) {
     const auto t_epoch = Clock::now();
@@ -265,6 +288,18 @@ int main() {
     json.Add("loop_ms", loop_ms);
   }
   std::printf("%s\n", loop_table.Render().c_str());
+  {
+    const char* tl_out = "BENCH_serving_timeline.jsonl";
+    std::printf("%s %s (%zu epoch records)\n",
+                loop_timeline.WriteJsonLines(tl_out) ? "wrote"
+                                                     : "FAILED to write",
+                tl_out, loop_timeline.record_count());
+    std::printf("registry after the loop: epochs %llu, serve.requests %llu\n\n",
+                static_cast<unsigned long long>(
+                    loop_registry.counter(loop_registry.Counter("epoch.count"))),
+                static_cast<unsigned long long>(loop_registry.counter(
+                    loop_registry.Counter("serve.requests"))));
+  }
 
   // Part 3 — incremental vs full snapshot at 5 % lane churn --------------
   //
@@ -477,9 +512,78 @@ int main() {
     std::printf("%s\n", cap_table.Render().c_str());
   }
 
-  const char* out = "BENCH_serving.json";
-  std::printf("%s %s\n",
-              json.WriteFile(out) ? "wrote" : "FAILED to write", out);
+  // Part 5 — the observer effect of sampled tracing ---------------------
+  //
+  // Tracing reads admission decisions but never makes them, so a traced
+  // run must land on bit-identical serving metrics; the only acceptable
+  // cost is throughput, measured here at the default 1/2^14 sampling.
+  {
+    std::printf(
+        "trace overhead: WebWave-TLB at %d nodes, the part-1 stream served\n"
+        "untraced and then traced at the default 1/2^%d sampling.\n\n",
+        nodes, ServingOptions().trace_sample_shift);
+    const QuotaSnapshot base = WebWaveTlbPolicy().Place(tree, lanes);
+    ServingOptions topt;
+    topt.threads = threads;
+    topt.offered_rate = gen.total_rate();
+    topt.block_size = EnvInt("WEBWAVE_SERVING_BLOCK", std::max(65536, nodes));
+
+    ServingPlane untraced(tree, base, topt);
+    const auto t_plain = Clock::now();
+    untraced.Serve(stream);
+    const double plain_ms = MillisSince(t_plain);
+
+    topt.trace = true;  // default seed and sampling shift
+    ServingPlane traced(tree, base, topt);
+    const auto t_traced = Clock::now();
+    traced.Serve(stream);
+    const double traced_ms = MillisSince(t_traced);
+
+    if (!(traced.metrics() == untraced.metrics())) {
+      std::printf("FATAL: tracing changed the serving outcome\n");
+      return 1;
+    }
+    const double plain_rps = static_cast<double>(requests) / plain_ms * 1e3;
+    const double traced_rps = static_cast<double>(requests) / traced_ms * 1e3;
+    const double overhead_pct = 100.0 * (traced_ms - plain_ms) / plain_ms;
+    std::printf(
+        "untraced %.2f Mreq/s, traced %.2f Mreq/s (%+.2f%% time, %zu trace\n"
+        "records), metrics bit-identical.%s\n\n",
+        plain_rps / 1e6, traced_rps / 1e6, overhead_pct,
+        traced.trace().size(),
+        overhead_pct > 3.0 ? "\nWARNING: tracing overhead exceeds 3%" : "");
+    json.BeginRun();
+    json.Add("record", std::string("trace_overhead"));
+    json.Add("sample_shift", topt.trace_sample_shift);
+    json.Add("untraced_req_per_sec", plain_rps);
+    json.Add("traced_req_per_sec", traced_rps);
+    json.Add("overhead_pct", overhead_pct);
+    json.Add("trace_records",
+             static_cast<long long>(traced.trace().size()));
+
+    // The first traced walks, one JSON line per event — enough to read a
+    // request's whole story (arrival, hops, admission draws, disposition)
+    // straight out of the artifact.
+    Timeline sample("trace_sample");
+    const std::size_t dump =
+        std::min<std::size_t>(200, traced.trace().size());
+    for (std::size_t i = 0; i < dump; ++i) {
+      const TraceEvent& ev = traced.trace()[i];
+      sample.BeginRecord();
+      sample.Add("req_id", ev.req_id);
+      sample.Add("seq", static_cast<int>(ev.seq));
+      sample.Add("kind", std::string(TraceEventKindName(ev.kind)));
+      sample.Add("node", static_cast<long long>(ev.node));
+      sample.Add("aux", static_cast<int>(ev.aux));
+      sample.Add("detail", ev.detail);
+    }
+    const char* tr_out = "BENCH_trace_sample.jsonl";
+    std::printf("%s %s (%zu of %zu trace events)\n\n",
+                sample.WriteJsonLines(tr_out) ? "wrote" : "FAILED to write",
+                tr_out, dump, traced.trace().size());
+  }
+
+  bench::WriteArtifact(json, "BENCH_serving.json");
   std::printf(
       "\nReading: the data plane turns the control plane's rate quotas into\n"
       "request-level reality — WebWave's placement cuts the home server's\n"

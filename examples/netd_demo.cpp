@@ -8,6 +8,12 @@
 // function of (req_id, cell) and both transports run the same
 // ServingPlane core on the same quota bytes.  The demo then crashes a
 // subtree root and shows the equality holding through failover routing.
+//
+// The telemetry plane rides along: sampled request tracing is on (the
+// fleet's merged trace must equal the oracle's record for record), the
+// loadgen scrapes live kStatsRequest rounds mid-run, and the final
+// counters are dumped as a Prometheus-style exposition to
+// netd_demo_stats.prom.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,6 +21,8 @@
 #include "doc/catalog.h"
 #include "doc/placement.h"
 #include "netd/cluster.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "serve/quota_snapshot.h"
 #include "tree/builders.h"
 #include "util/ascii.h"
@@ -65,10 +73,14 @@ int main() {
   config.docs = docs;
   config.stream_seed = 0xfeedULL;
   config.total_requests = requests;
+  config.serving.trace = true;
+  config.serving.trace_sample_shift = 8;  // ~1/256 requests traced
+  config.stats_scrape_period_ms = 2;      // live mid-run stats rounds
   std::printf("quota blob: %zu bytes shared by all %d daemons and the oracle\n\n",
               config.quota_blob.size(), servers);
 
   bool all_exact = true;
+  PrometheusWriter prom;
   for (const bool faulted : {false, true}) {
     config.down.clear();
     if (faulted)
@@ -79,10 +91,12 @@ int main() {
         }
 
     const NetdRunResult run = RunNetdCluster(config);
-    const ServingMetrics oracle = ReplayOracle(config);
+    std::vector<TraceEvent> oracle_trace;
+    const ServingMetrics oracle = ReplayOracle(config, &oracle_trace);
     const WireCounters want = CountersFromMetrics(oracle);
     const bool exact = run.ok && ServingCountersEqual(run.fleet, want) &&
-                       run.client_hop_sum == oracle.hop_sum;
+                       run.client_hop_sum == oracle.hop_sum &&
+                       run.trace == oracle_trace;
     all_exact = all_exact && exact;
 
     std::printf("--- %s fleet (%zu down) ---\n",
@@ -105,9 +119,41 @@ int main() {
           run.per_server[static_cast<std::size_t>(s)].net_forwards);
     row("fleet sum", run.fleet, run.fleet.net_forwards);
     row("oracle", want, 0);
-    std::printf("%s%s\n\n", table.Render().c_str(),
+    std::printf("%s%s\n", table.Render().c_str(),
                 exact ? "counters EXACTLY equal" : "COUNTER MISMATCH");
+    std::printf(
+        "%zu live scrape round(s) mid-run, %zu trace records "
+        "(fleet == oracle record for record: %s)\n\n",
+        run.samples.empty() ? 0 : run.samples.size() - 1, run.trace.size(),
+        run.trace == oracle_trace ? "yes" : "NO");
+
+    const char* phase = faulted ? "faulted" : "live";
+    for (int s = 0; s < servers; ++s) {
+      const WireCounters& c = run.per_server[static_cast<std::size_t>(s)];
+      const PrometheusWriter::Labels labels = {
+          {"phase", phase}, {"server", std::to_string(s)}};
+      prom.AddCounter("webwave.netd.requests", labels, c.requests);
+      prom.AddCounter("webwave.netd.cache_served", labels, c.cache_served);
+      prom.AddCounter("webwave.netd.home_served", labels, c.home_served);
+      prom.AddCounter("webwave.netd.hop_sum", labels, c.hop_sum);
+      prom.AddCounter("webwave.netd.failovers", labels, c.failovers);
+      prom.AddCounter("webwave.netd.dropped_requests", labels,
+                      c.dropped_requests);
+      prom.AddCounter("webwave.netd.net_forwards", labels, c.net_forwards);
+      prom.AddCounter("webwave.netd.gossip_sent", labels, c.gossip_sent);
+    }
+    prom.AddGauge("webwave.netd.scrape_rounds", {{"phase", phase}},
+                  static_cast<double>(
+                      run.samples.empty() ? 0 : run.samples.size() - 1));
+    prom.AddGauge("webwave.netd.trace_records", {{"phase", phase}},
+                  static_cast<double>(run.trace.size()));
   }
+
+  const char* prom_out = "netd_demo_stats.prom";
+  std::printf("--- Prometheus exposition (%s) ---\n%s\n",
+              prom.WriteFile(prom_out) ? "written to netd_demo_stats.prom"
+                                       : "FAILED to write",
+              prom.Render().c_str());
 
   if (!all_exact) {
     std::printf("demo FAILED: fleet and oracle disagree\n");

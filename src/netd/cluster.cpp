@@ -44,7 +44,8 @@ std::vector<int> PartitionOwners(const RoutingTree& tree, int servers) {
   return owner;
 }
 
-ServingMetrics ReplayOracle(const NetdClusterConfig& config) {
+ServingMetrics ReplayOracle(const NetdClusterConfig& config,
+                            std::vector<TraceEvent>* trace) {
   QuotaSnapshot snapshot;
   WEBWAVE_REQUIRE(QuotaWireTable::Deserialize(config.quota_blob.data(),
                                               config.quota_blob.size(),
@@ -61,6 +62,7 @@ ServingMetrics ReplayOracle(const NetdClusterConfig& config) {
   for (std::uint64_t i = 0; i < config.total_requests; ++i)
     batch[i] = NetdRequestAt(config.stream_seed, i, tree.size(), config.docs);
   plane.Serve(Span<Request>(batch.data(), batch.size()));
+  if (trace != nullptr) *trace = plane.trace();
   return plane.metrics();
 }
 
@@ -84,6 +86,34 @@ bool ServingCountersEqual(const WireCounters& a, const WireCounters& b) {
          a.failovers == b.failovers &&
          a.dropped_requests == b.dropped_requests &&
          a.backoff_slots == b.backoff_slots;
+}
+
+WireCounters SumCounters(const std::vector<WireCounters>& all) {
+  WireCounters sum;
+  for (const WireCounters& c : all) {
+    sum.requests += c.requests;
+    sum.cache_served += c.cache_served;
+    sum.home_served += c.home_served;
+    sum.hop_sum += c.hop_sum;
+    sum.failed_attempts += c.failed_attempts;
+    sum.failovers += c.failovers;
+    sum.dropped_requests += c.dropped_requests;
+    sum.backoff_slots += c.backoff_slots;
+    sum.net_forwards += c.net_forwards;
+    sum.gossip_sent += c.gossip_sent;
+  }
+  return sum;
+}
+
+bool CountersMonotone(const WireCounters& a, const WireCounters& b) {
+  return a.requests <= b.requests && a.cache_served <= b.cache_served &&
+         a.home_served <= b.home_served && a.hop_sum <= b.hop_sum &&
+         a.failed_attempts <= b.failed_attempts &&
+         a.failovers <= b.failovers &&
+         a.dropped_requests <= b.dropped_requests &&
+         a.backoff_slots <= b.backoff_slots &&
+         a.net_forwards <= b.net_forwards &&
+         a.gossip_sent <= b.gossip_sent;
 }
 
 namespace {
@@ -170,18 +200,11 @@ NetdRunResult RunNetdCluster(const NetdClusterConfig& config) {
     ok = ok && r == pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
   }
 
-  for (const WireCounters& c : result.per_server) {
-    result.fleet.requests += c.requests;
-    result.fleet.cache_served += c.cache_served;
-    result.fleet.home_served += c.home_served;
-    result.fleet.hop_sum += c.hop_sum;
-    result.fleet.failed_attempts += c.failed_attempts;
-    result.fleet.failovers += c.failovers;
-    result.fleet.dropped_requests += c.dropped_requests;
-    result.fleet.backoff_slots += c.backoff_slots;
-    result.fleet.net_forwards += c.net_forwards;
-    result.fleet.gossip_sent += c.gossip_sent;
-  }
+  result.fleet = SumCounters(result.per_server);
+  // Per-daemon scrapes arrive in completion order within each shard;
+  // across shards the only deterministic total order is the canonical
+  // one — the same order ReplayOracle's single plane emits.
+  CanonicalizeTrace(&result.trace);
   result.ok = ok;
   return result;
 }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
 #include "tree/routing_tree.h"
@@ -55,6 +56,10 @@ struct NetdClusterConfig {
   int window = 4096;
   // Daemon gossip cadence on the timer wheel (0 disables).
   int gossip_period_ms = 20;
+  // Live fleet stats scraping: the loadgen polls every daemon's
+  // kStatsRequest on this cadence *while the stream is in flight* and
+  // records the replies as NetdStatsSamples (0 = final sample only).
+  int stats_scrape_period_ms = 0;
 };
 
 // Request i of stream `seed` — a pure counter function, evaluated
@@ -85,8 +90,12 @@ CarvedTree CarveSubtree(const RoutingTree& big, NodeId r);
 std::vector<int> PartitionOwners(const RoutingTree& tree, int servers);
 
 // Replays the config's stream on one all-owning plane built from the
-// same quota blob — the oracle the fleet is compared against.
-ServingMetrics ReplayOracle(const NetdClusterConfig& config);
+// same quota blob — the oracle the fleet is compared against.  When
+// `trace` is non-null and config.serving.trace is set, the oracle's
+// sampled TraceEvent stream is copied out (already canonical order) —
+// the record-for-record reference for the fleet's scraped traces.
+ServingMetrics ReplayOracle(const NetdClusterConfig& config,
+                            std::vector<TraceEvent>* trace = nullptr);
 
 // The scalar counters of a ServingMetrics, in WireCounters form (the
 // transport-level fields net_forwards/gossip_sent stay 0 — the oracle
@@ -96,6 +105,21 @@ WireCounters CountersFromMetrics(const ServingMetrics& m);
 // True iff the serving counters agree (transport-level fields ignored).
 bool ServingCountersEqual(const WireCounters& a, const WireCounters& b);
 
+// Element-wise sum of a counter set (every field, transport ones too).
+WireCounters SumCounters(const std::vector<WireCounters>& all);
+
+// True iff every field of `a` is <= the matching field of `b` — the
+// monotonicity law successive live scrapes of one daemon must obey.
+bool CountersMonotone(const WireCounters& a, const WireCounters& b);
+
+// One live scrape of the whole fleet: each daemon's kStatsReply
+// counters, stamped with how many requests the client had completed
+// when the scrape round was issued.
+struct NetdStatsSample {
+  std::uint64_t at_completed = 0;
+  std::vector<WireCounters> per_server;
+};
+
 struct NetdRunResult {
   bool ok = false;  // fleet launched, drained and exited cleanly
   std::vector<WireCounters> per_server;
@@ -104,6 +128,13 @@ struct NetdRunResult {
   std::uint64_t client_served = 0;
   std::uint64_t client_dropped = 0;
   std::uint64_t client_hop_sum = 0;  // over served replies
+  // Every stats scrape, mid-run ones first (stats_scrape_period_ms > 0),
+  // always ending with the final post-drain scrape — so samples.back()
+  // is the fleet's end-of-run counter set.
+  std::vector<NetdStatsSample> samples;
+  // The fleet's sampled trace records (config.serving.trace), merged
+  // across daemons and canonicalized to (req_id, seq) order.
+  std::vector<TraceEvent> trace;
 };
 
 // Forks config.server_count daemons, runs the loadgen against them,

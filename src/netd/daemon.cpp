@@ -45,6 +45,9 @@ CacheServerDaemon::CacheServerDaemon(const NetdClusterConfig& config,
   plane_->SetSegmentNodes(Span<const NodeId>(shard_.data(), shard_.size()));
   if (!config.down.empty())
     plane_->SetDownNodes(Span<const NodeId>(config.down.data(), config.down.size()));
+  plane_->AttachRegistry(&registry_, "serve.");
+  reg_net_forwards_ = registry_.Counter("netd.net_forwards");
+  reg_gossip_sent_ = registry_.Counter("netd.gossip_sent");
 }
 
 CacheServerDaemon::~CacheServerDaemon() {
@@ -136,11 +139,22 @@ void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
       }
       break;
     }
+    case MsgType::kTraceRequest: {
+      // The trace scrape: ship every TraceEvent this shard recorded.  The
+      // loadgen merges and canonicalizes the per-daemon streams.
+      const auto it = conns_.find(from_fd);
+      if (it != conns_.end()) {
+        it->second->Send(plane_->trace());
+        UpdateWriteInterest(from_fd);
+      }
+      break;
+    }
     case MsgType::kShutdown:
       loop_.Stop(0);
       break;
     case MsgType::kHello:
     case MsgType::kStatsReply:
+    case MsgType::kTraceReply:
       break;  // peer introductions; nothing to do
   }
 }
@@ -164,7 +178,7 @@ void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
       FrameConn* peer = ConnTo(target);
       pending_[req.req_id] = from_fd;
       peer->Send(fwd);
-      ++net_forwards_;
+      registry_.Add(reg_net_forwards_, 1);
       UpdateWriteInterest(peer->fd());
       break;
     }
@@ -216,7 +230,7 @@ void CacheServerDaemon::GossipTick() {
   const int target = (index_ + 1) % config_.server_count;
   FrameConn* peer = ConnTo(target);
   peer->Send(g);
-  ++gossip_sent_;
+  registry_.Add(reg_gossip_sent_, 1);
   UpdateWriteInterest(peer->fd());
 }
 
@@ -231,8 +245,8 @@ WireCounters CacheServerDaemon::Counters() const {
   c.failovers = m.failovers;
   c.dropped_requests = m.dropped_requests;
   c.backoff_slots = m.backoff_slots;
-  c.net_forwards = net_forwards_;
-  c.gossip_sent = gossip_sent_;
+  c.net_forwards = registry_.counter(reg_net_forwards_);
+  c.gossip_sent = registry_.counter(reg_gossip_sent_);
   return c;
 }
 

@@ -20,6 +20,7 @@
 #include "netd/cluster.h"
 #include "netd/conn.h"
 #include "netd/event_loop.h"
+#include "obs/metric_registry.h"
 
 namespace webwave {
 
@@ -68,8 +69,12 @@ class CacheServerDaemon {
 
   std::unordered_map<NodeId, double> gossip_heard_;
   std::uint32_t gossip_epoch_ = 0;
-  std::uint64_t net_forwards_ = 0;
-  std::uint64_t gossip_sent_ = 0;
+  // The daemon's metrics live in a MetricRegistry: the plane publishes
+  // its serving counters under "serve." (AttachRegistry) and the
+  // transport-level extras are registered here — Counters() reads the
+  // registry, so kStatsReply and the registry can never disagree.
+  MetricRegistry registry_;
+  MetricRegistry::Id reg_net_forwards_{}, reg_gossip_sent_{};
 };
 
 }  // namespace webwave

@@ -48,8 +48,7 @@ void LoadgenClient::ConnectAll() {
       FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
       const bool alive =
           c->OnReadable([this, s](const WireMessage& m) { OnFrame(s, m); });
-      if (!alive && (completed_ < config_.total_requests ||
-                     (stats_phase_ && stats_received_ < config_.server_count))) {
+      if (!alive && !shutdown_sent_) {
         failed_ = true;  // a daemon died under us
         loop_.Stop(1);
       }
@@ -81,6 +80,12 @@ void LoadgenClient::TrySend() {
     g.origin_node = r.node;
     g.ttl_hops = 0;
     g.failed = 0;
+    // The client applies the same counter-hash sampling law the oracle
+    // does, so the fleet traces exactly the requests the oracle traces.
+    if (config_.serving.trace &&
+        TraceSampled(config_.serving.trace_seed, next_,
+                     config_.serving.trace_sample_shift))
+      g.flags |= kGetFlagTrace;
     const int s = config_.owner[static_cast<std::size_t>(r.node)];
     conns_[static_cast<std::size_t>(s)]->Send(g);
     UpdateWriteInterest(s);
@@ -103,30 +108,101 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
       }
       TrySend();
       if (completed_ == config_.total_requests && !stats_phase_) {
-        stats_phase_ = true;
-        for (int s = 0; s < config_.server_count; ++s) {
-          conns_[static_cast<std::size_t>(s)]->SendControl(
-              MsgType::kStatsRequest);
-          UpdateWriteInterest(s);
-        }
+        // Stream drained.  If a live scrape round is still in flight its
+        // replies must not be confused with the final round's — defer.
+        if (scrape_outstanding_)
+          final_pending_ = true;
+        else
+          BeginFinalStats();
       }
       break;
     }
     case MsgType::kStatsReply: {
+      if (scrape_outstanding_) {
+        // A mid-run scrape reply (FIFO per connection; the final round
+        // is never issued while a scrape is outstanding).
+        scrape_sample_.per_server[static_cast<std::size_t>(server)] =
+            msg.stats;
+        if (++scrape_received_ == config_.server_count) {
+          scrape_outstanding_ = false;
+          result_->samples.push_back(scrape_sample_);
+          if (final_pending_) {
+            final_pending_ = false;
+            BeginFinalStats();
+          }
+        }
+        break;
+      }
       result_->per_server[static_cast<std::size_t>(server)] =
           msg.stats;
       if (++stats_received_ == config_.server_count) {
-        for (int s = 0; s < config_.server_count; ++s) {
-          conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kShutdown);
-          conns_[static_cast<std::size_t>(s)]->Flush();
-        }
-        loop_.Stop(0);
+        // The end-of-run sample: what a scraper polling at this instant
+        // would see, which by now is every daemon's final tally.
+        NetdStatsSample final_sample;
+        final_sample.at_completed = completed_;
+        final_sample.per_server = result_->per_server;
+        result_->samples.push_back(std::move(final_sample));
+        if (config_.serving.trace)
+          BeginTraceDump();
+        else
+          Shutdown();
       }
+      break;
+    }
+    case MsgType::kTraceReply: {
+      result_->trace.insert(result_->trace.end(), msg.trace.begin(),
+                            msg.trace.end());
+      if (++trace_received_ == config_.server_count) Shutdown();
       break;
     }
     default:
       break;  // daemons never push anything else at a client
   }
+}
+
+void LoadgenClient::ScheduleScrape() {
+  loop_.AddTimer(config_.stats_scrape_period_ms, [this] {
+    StartScrape();
+    if (!stats_phase_ && !shutdown_sent_) ScheduleScrape();
+  });
+}
+
+void LoadgenClient::StartScrape() {
+  if (scrape_outstanding_ || stats_phase_ || shutdown_sent_) return;
+  scrape_outstanding_ = true;
+  scrape_received_ = 0;
+  scrape_sample_.at_completed = completed_;
+  scrape_sample_.per_server.assign(
+      static_cast<std::size_t>(config_.server_count), WireCounters{});
+  for (int s = 0; s < config_.server_count; ++s) {
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::BeginFinalStats() {
+  stats_phase_ = true;
+  for (int s = 0; s < config_.server_count; ++s) {
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::BeginTraceDump() {
+  trace_phase_ = true;
+  for (int s = 0; s < config_.server_count; ++s) {
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kTraceRequest);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::Shutdown() {
+  shutdown_sent_ = true;
+  for (int s = 0; s < config_.server_count; ++s) {
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kShutdown);
+    conns_[static_cast<std::size_t>(s)]->Flush();
+  }
+  loop_.Stop(0);
 }
 
 void LoadgenClient::UpdateWriteInterest(int server) {
@@ -145,6 +221,7 @@ bool LoadgenClient::Run(NetdRunResult* result) {
                              WireCounters{});
   ConnectAll();
   ScheduleRefill();
+  if (config_.stats_scrape_period_ms > 0) ScheduleScrape();
   loop_.AddTimer(kRunTimeoutMs, [this] {
     failed_ = true;
     loop_.Stop(2);

@@ -6,7 +6,15 @@
 // (tokens_per_tick per tick) under a fixed in-flight window, so the
 // socket buffers stay bounded no matter how large the stream is.  When
 // every reply is in, the client collects each daemon's WireCounters via
-// kStatsRequest and shuts the fleet down with kShutdown frames.
+// kStatsRequest (and, when tracing, each daemon's TraceEvent stream via
+// kTraceRequest) and shuts the fleet down with kShutdown frames.
+//
+// Live scraping: with stats_scrape_period_ms > 0 the client also polls
+// the whole fleet's counters on a repeating timer *while requests are
+// in flight*, recording each round as a NetdStatsSample.  At most one
+// stats round is ever outstanding (the final round defers until a
+// mid-run scrape drains), so per-connection FIFO makes every reply's
+// attribution unambiguous.
 //
 // Determinism note: pacing shapes *when* requests enter the fleet, never
 // *what* they are or how they are decided — admission runs block_size=1,
@@ -40,6 +48,16 @@ class LoadgenClient {
   void TrySend();
   void OnFrame(int server, const WireMessage& msg);
   void UpdateWriteInterest(int server);
+  // Mid-run scraping: a repeating timer fires StartScrape, which issues
+  // one kStatsRequest round unless one is already in flight (or the run
+  // has moved to its final phases).
+  void ScheduleScrape();
+  void StartScrape();
+  // The end-of-run sequence: final stats round -> trace dump (if the
+  // plane traces) -> kShutdown to every daemon.
+  void BeginFinalStats();
+  void BeginTraceDump();
+  void Shutdown();
 
   const NetdClusterConfig& config_;
   std::vector<std::uint16_t> ports_;
@@ -52,8 +70,17 @@ class LoadgenClient {
   std::uint64_t completed_ = 0;  // replies received
   std::uint64_t in_flight_ = 0;
   int tokens_ = 0;
-  bool stats_phase_ = false;
+  bool stats_phase_ = false;  // the *final* stats round is in flight
   int stats_received_ = 0;
+  // One mid-run scrape round at a time; a completion that lands while a
+  // scrape is outstanding defers the final round until it drains.
+  bool scrape_outstanding_ = false;
+  int scrape_received_ = 0;
+  NetdStatsSample scrape_sample_;
+  bool final_pending_ = false;
+  bool trace_phase_ = false;
+  int trace_received_ = 0;
+  bool shutdown_sent_ = false;
   bool failed_ = false;
 
   NetdRunResult* result_ = nullptr;

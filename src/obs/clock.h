@@ -1,0 +1,43 @@
+// Monotonic-clock interface for the epoch phase profiler.
+//
+// Wall time is the one thing that may never leak into an identity
+// assertion — two bit-identical runs still take different nanoseconds.
+// Profiling therefore goes through this interface: production code passes
+// a SteadyClock, tests pass a FakeClock they advance by hand, and code
+// holding no clock at all (the default everywhere) records zeros and pays
+// nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace webwave {
+
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  virtual std::uint64_t NowNanos() = 0;
+};
+
+class SteadyClock final : public MonotonicClock {
+ public:
+  std::uint64_t NowNanos() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Hand-advanced clock for deterministic profiler tests.
+class FakeClock final : public MonotonicClock {
+ public:
+  std::uint64_t NowNanos() override { return now_ns_; }
+  void Advance(std::uint64_t delta_ns) { now_ns_ += delta_ns; }
+  void Set(std::uint64_t now_ns) { now_ns_ = now_ns; }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace webwave

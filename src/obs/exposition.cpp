@@ -1,0 +1,105 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace webwave {
+namespace {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderNumber(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::AddGauge(const std::string& name, const Labels& labels,
+                                double value) {
+  AddSample(name, "gauge", labels, RenderNumber(value));
+}
+
+void PrometheusWriter::AddRegistry(const MetricRegistry& registry,
+                                   const Labels& labels) {
+  for (MetricRegistry::Id id = 0;
+       id < static_cast<MetricRegistry::Id>(registry.size()); ++id) {
+    if (registry.kind(id) == MetricRegistry::Kind::kCounter) {
+      AddCounter(registry.name(id) + "_total", labels, registry.counter(id));
+    } else {
+      AddGauge(registry.name(id), labels,
+               static_cast<double>(registry.gauge(id)));
+    }
+  }
+}
+
+std::string PrometheusWriter::SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+void PrometheusWriter::AddSample(const std::string& name, const char* type,
+                                 const Labels& labels, std::string value) {
+  samples_.push_back(Sample{SanitizeName(name), type, labels,
+                            std::move(value)});
+}
+
+std::string PrometheusWriter::Render() const {
+  // Samples of one metric must be contiguous under a single # TYPE header;
+  // group by name in first-appearance order.
+  std::string out;
+  std::vector<bool> done(samples_.size(), false);
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (done[i]) continue;
+    out += "# TYPE " + samples_[i].name + " " + samples_[i].type + "\n";
+    for (std::size_t j = i; j < samples_.size(); ++j) {
+      if (done[j] || samples_[j].name != samples_[i].name) continue;
+      done[j] = true;
+      out += samples_[j].name;
+      if (!samples_[j].labels.empty()) {
+        out += '{';
+        for (std::size_t l = 0; l < samples_[j].labels.size(); ++l) {
+          if (l > 0) out += ',';
+          out += SanitizeName(samples_[j].labels[l].first) + "=\"" +
+                 EscapeLabelValue(samples_[j].labels[l].second) + "\"";
+        }
+        out += '}';
+      }
+      out += ' ';
+      out += samples_[j].value;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool PrometheusWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = Render();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace webwave

@@ -1,0 +1,54 @@
+// Prometheus-style text exposition.
+//
+// The fleet stats scraper needs an output format an operator (or a real
+// Prometheus) can read: `# TYPE` headers and `name{label="v"} value`
+// sample lines.  PrometheusWriter collects samples in insertion order,
+// groups them per metric name, sanitizes names to the Prometheus charset
+// and escapes label values; counters registered through a MetricRegistry
+// get the conventional `_total` suffix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metric_registry.h"
+
+namespace webwave {
+
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void AddCounter(const std::string& name, const Labels& labels,
+                  std::uint64_t value) {
+    AddSample(name, "counter", labels, std::to_string(value));
+  }
+  void AddGauge(const std::string& name, const Labels& labels, double value);
+
+  // Dumps every metric in the registry under the given labels.
+  void AddRegistry(const MetricRegistry& registry, const Labels& labels);
+
+  std::string Render() const;
+  bool WriteFile(const std::string& path) const;
+
+  // Maps an internal metric name ("serve.hop_sum") onto the Prometheus
+  // charset [a-zA-Z0-9_:] ("serve_hop_sum").
+  static std::string SanitizeName(const std::string& name);
+
+ private:
+  struct Sample {
+    std::string name;  // sanitized
+    std::string type;  // "counter" | "gauge"
+    Labels labels;
+    std::string value;
+  };
+
+  void AddSample(const std::string& name, const char* type,
+                 const Labels& labels, std::string value);
+
+  std::vector<Sample> samples_;
+};
+
+}  // namespace webwave

@@ -1,0 +1,32 @@
+#include "obs/metric_registry.h"
+
+#include "util/check.h"
+
+namespace webwave {
+
+MetricRegistry::Id MetricRegistry::Register(const std::string& name,
+                                            Kind kind) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    WEBWAVE_REQUIRE(kinds_[Index(it->second)] == kind,
+                    "metric re-registered under a different kind");
+    return it->second;
+  }
+  const Id id = static_cast<Id>(names_.size());
+  names_.push_back(name);
+  kinds_.push_back(kind);
+  values_.push_back(0);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void MetricRegistry::Fold(Shard* shard) {
+  WEBWAVE_REQUIRE(shard->deltas.size() <= values_.size(),
+                  "shard is larger than the registry it was made from");
+  for (std::size_t i = 0; i < shard->deltas.size(); ++i) {
+    values_[i] += shard->deltas[i];
+    shard->deltas[i] = 0;
+  }
+}
+
+}  // namespace webwave

@@ -1,0 +1,78 @@
+// Unified registry of named integer metrics.
+//
+// Every layer so far grew its own ad-hoc counter struct (ServingMetrics,
+// the projectors' spill totals, netd's WireCounters).  MetricRegistry is
+// the shared vocabulary on top: a flat table of named u64 counters
+// (monotone, Add) and i64 gauges (latest value, Set), registered once and
+// addressed by small integer ids so publishing from a hot path is an
+// array add, never a hash lookup.
+//
+// Determinism: worker threads never touch the registry directly.  A
+// worker accumulates into a Shard (a plain vector of deltas indexed by
+// metric id) and the owner folds shards back at a block boundary in
+// shard-index order — integer sums, so the folded totals are bit-identical
+// at any thread count, same as the ServingMetrics merge rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace webwave {
+
+class MetricRegistry {
+ public:
+  using Id = std::int32_t;
+  enum class Kind : std::uint8_t { kCounter, kGauge };
+
+  // Registers (or looks up) a metric by name.  Idempotent: the same name
+  // always yields the same id; re-registering under the other kind is a
+  // programming error.
+  Id Counter(const std::string& name) { return Register(name, Kind::kCounter); }
+  Id Gauge(const std::string& name) { return Register(name, Kind::kGauge); }
+
+  void Add(Id id, std::uint64_t delta) { values_[Index(id)] += delta; }
+  void Set(Id id, std::int64_t value) {
+    values_[Index(id)] = static_cast<std::uint64_t>(value);
+  }
+
+  std::uint64_t counter(Id id) const { return values_[Index(id)]; }
+  std::int64_t gauge(Id id) const {
+    return static_cast<std::int64_t>(values_[Index(id)]);
+  }
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(Id id) const { return names_[Index(id)]; }
+  Kind kind(Id id) const { return kinds_[Index(id)]; }
+
+  // Per-worker delta buffer.  Sized to the registry at creation; a worker
+  // Adds into it with ids registered before the parallel region started.
+  struct Shard {
+    std::vector<std::uint64_t> deltas;
+    void Add(Id id, std::uint64_t delta) {
+      deltas[static_cast<std::size_t>(id)] += delta;
+    }
+  };
+
+  Shard MakeShard() const { return Shard{std::vector<std::uint64_t>(size())}; }
+
+  // Folds one shard's deltas into the registry and zeroes the shard.
+  void Fold(Shard* shard);
+
+  // Folds every shard in index order — the canonical block-boundary merge.
+  void FoldAll(std::vector<Shard>* shards) {
+    for (Shard& s : *shards) Fold(&s);
+  }
+
+ private:
+  Id Register(const std::string& name, Kind kind);
+  static std::size_t Index(Id id) { return static_cast<std::size_t>(id); }
+
+  std::vector<std::string> names_;
+  std::vector<Kind> kinds_;
+  std::vector<std::uint64_t> values_;
+  std::unordered_map<std::string, Id> by_name_;
+};
+
+}  // namespace webwave

@@ -1,0 +1,59 @@
+// Per-epoch timeline emission: JSON-lines over the bench JSON writer.
+//
+// Run totals hide everything interesting about a closed loop; a timeline
+// keeps one flat record per epoch (dirty lanes, phase timings, projector
+// activity, registry snapshot) and writes them as JSON-lines so partial
+// files from a crashed run still parse line-by-line.  Rendering reuses
+// BenchJson — same escaping, same non-finite handling — each record being
+// one self-contained {"bench": ..., fields...} line.
+#pragma once
+
+#include <string>
+
+#include "obs/metric_registry.h"
+#include "util/bench_json.h"
+
+namespace webwave {
+
+class Timeline {
+ public:
+  explicit Timeline(std::string name) : json_(std::move(name)) {}
+
+  void BeginRecord() { json_.BeginRun(); }
+
+  void Add(const std::string& key, double value) { json_.Add(key, value); }
+  void Add(const std::string& key, long long value) { json_.Add(key, value); }
+  void Add(const std::string& key, int value) { json_.Add(key, value); }
+  void Add(const std::string& key, std::uint64_t value) {
+    json_.Add(key, static_cast<long long>(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    json_.Add(key, value);
+  }
+
+  // Snapshots every metric in the registry into the current record,
+  // keyed by metric name.
+  void AddRegistry(const MetricRegistry& registry) {
+    for (MetricRegistry::Id id = 0;
+         id < static_cast<MetricRegistry::Id>(registry.size()); ++id) {
+      if (registry.kind(id) == MetricRegistry::Kind::kGauge) {
+        json_.Add(registry.name(id),
+                  static_cast<long long>(registry.gauge(id)));
+      } else {
+        json_.Add(registry.name(id),
+                  static_cast<long long>(registry.counter(id)));
+      }
+    }
+  }
+
+  std::size_t record_count() const { return json_.run_count(); }
+  std::string RenderLine(std::size_t r) const { return json_.RenderLine(r); }
+  bool WriteJsonLines(const std::string& path) const {
+    return json_.WriteLines(path);
+  }
+
+ private:
+  BenchJson json_;
+};
+
+}  // namespace webwave

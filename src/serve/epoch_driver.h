@@ -24,11 +24,15 @@
 // snapshot when no projector is attached.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/webwave_batch.h"
 #include "fault/fault_projector.h"
 #include "fault/fault_schedule.h"
+#include "obs/clock.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
 #include "serve/quota_snapshot.h"
 #include "serve/serving_plane.h"
 #include "store/capacity_projector.h"
@@ -46,10 +50,27 @@ class EpochDriver {
     double min_rate = 1e-12;
   };
 
+  // The six phases of one ApplyEpoch, in execution order — the epoch
+  // phase profiler's vocabulary.
+  enum Phase {
+    kDemand = 0,     // ApplyDemandEvents
+    kDiffusion = 1,  // steps_per_epoch engine steps
+    kRefresh = 2,    // snapshot re-sync from dirty lanes
+    kClamp = 3,      // capacity re-projection
+    kRehome = 4,     // fault re-projection
+    kInstall = 5,    // plane refresh + down-set install
+    kPhaseCount = 6,
+  };
+  static const char* PhaseName(int phase);
+
   struct Report {
     std::vector<int> dirty;   // the engine lanes that moved this epoch
     bool snapshot_in_place = false;   // RefreshFromBatch held the shape
     bool projections_in_place = false;  // every projector refresh did too
+    // Wall time per phase from the attached clock; all zeros without one.
+    // Timings never participate in identity assertions — only the fields
+    // above and the layer outputs do.
+    std::uint64_t phase_ns[kPhaseCount] = {};
   };
 
   // Builds the maintained snapshot (FromBatch) and clears the engine's
@@ -66,6 +87,20 @@ class EpochDriver {
   // A long-lived plane refreshed from serving() at the end of every
   // ApplyEpoch (hinted by the epoch's affected documents).
   void AttachPlane(ServingPlane* plane);
+
+  // --- telemetry (src/obs/) ----------------------------------------------
+  // Phase timings come from `clock` (nullptr = record zeros, the
+  // default).  Production passes a SteadyClock, tests a FakeClock.
+  void SetClock(MonotonicClock* clock) { clock_ = clock; }
+  // Per-epoch publishing: gauges for the epoch's dirty-lane count,
+  // in-place flags, phase timings and each attached projector's spill
+  // stats (SpillProjector::PublishMetrics), plus an "epoch.count"
+  // counter.  nullptr detaches.
+  void AttachRegistry(MetricRegistry* registry);
+  // One JSON-lines record appended per ApplyEpoch (epoch index, dirty
+  // lanes, in-place flags, phase ns, projector stats).  nullptr detaches.
+  void AttachTimeline(Timeline* timeline) { timeline_ = timeline; }
+  std::uint64_t epoch_index() const { return epoch_index_; }
 
   // One control epoch: demand events into the engine, steps_per_epoch
   // diffusion steps, snapshot re-sync over the dirty lanes, capacity
@@ -86,12 +121,20 @@ class EpochDriver {
   void InstallDown(ServingPlane& plane) const;
 
  private:
+  void Publish(const Report& report);
+
   BatchWebWaveSimulator& sim_;
   Options options_;
   QuotaSnapshot snap_;
   CapacityProjector* capacity_ = nullptr;
   FaultProjector* faults_ = nullptr;
   ServingPlane* plane_ = nullptr;
+  MonotonicClock* clock_ = nullptr;
+  MetricRegistry* registry_ = nullptr;
+  Timeline* timeline_ = nullptr;
+  std::uint64_t epoch_index_ = 0;
+  MetricRegistry::Id reg_epochs_{}, reg_dirty_{}, reg_snap_in_place_{},
+      reg_proj_in_place_{}, reg_down_nodes_{}, reg_phase_[kPhaseCount] = {};
 };
 
 }  // namespace webwave

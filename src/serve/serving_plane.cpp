@@ -235,6 +235,21 @@ bool ServingPlane::TablesEqual(const ServingPlane& other) const {
   return tokens_per_block_ == other.tokens_per_block_;
 }
 
+void ServingPlane::AttachRegistry(MetricRegistry* registry,
+                                  const std::string& prefix) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  reg_ids_.requests = registry_->Counter(prefix + "requests");
+  reg_ids_.cache_served = registry_->Counter(prefix + "cache_served");
+  reg_ids_.home_served = registry_->Counter(prefix + "home_served");
+  reg_ids_.hop_sum = registry_->Counter(prefix + "hop_sum");
+  reg_ids_.failed_attempts = registry_->Counter(prefix + "failed_attempts");
+  reg_ids_.failovers = registry_->Counter(prefix + "failovers");
+  reg_ids_.dropped_requests = registry_->Counter(prefix + "dropped_requests");
+  reg_ids_.backoff_slots = registry_->Counter(prefix + "backoff_slots");
+  reg_ids_.trace_events = registry_->Counter(prefix + "trace_events");
+}
+
 void ServingPlane::ResetMetrics() {
   metrics_.requests = 0;
   metrics_.cache_served = 0;
@@ -247,7 +262,33 @@ void ServingPlane::ResetMetrics() {
   std::fill(metrics_.served_per_node.begin(), metrics_.served_per_node.end(),
             0);
   std::fill(metrics_.hops.begin(), metrics_.hops.end(), 0);
+  trace_.clear();
 }
+
+namespace {
+
+// Per-request trace emitter: a null sink (the untraced 99.994%) makes
+// Emit a no-op, so the hot loop's only tracing cost is the sampling hash.
+struct TraceSink {
+  std::vector<TraceEvent>* out = nullptr;
+  std::uint64_t req_id = 0;
+  std::uint16_t seq = 0;
+
+  void Emit(TraceEventKind kind, NodeId node, std::uint8_t aux,
+            std::uint64_t detail) {
+    if (out == nullptr) return;
+    TraceEvent e;
+    e.req_id = req_id;
+    e.detail = detail;
+    e.node = node;
+    e.seq = seq++;
+    e.kind = kind;
+    e.aux = aux;
+    out->push_back(e);
+  }
+};
+
+}  // namespace
 
 // --- the admission core ------------------------------------------------
 // Shared verbatim by ProcessBlock (the batch hot loop) and
@@ -313,6 +354,7 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
   const std::uint8_t* down = down_.empty() ? nullptr : down_.data();
   const std::uint32_t max_attempts =
       static_cast<std::uint32_t>(options_.max_failover_attempts);
+  const bool tracing = options_.trace;
   for (std::size_t i = 0; i < count; ++i) {
     // The stream-global request index: blocks are numbered for the
     // plane's lifetime, so this is unique and batching-invariant — the
@@ -324,6 +366,13 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
     std::uint64_t hops = 0;
     std::uint32_t failed = 0;
     bool dropped = false;
+    TraceSink tc;
+    if (tracing && TraceSampled(options_.trace_seed, req_id,
+                                options_.trace_sample_shift)) {
+      tc.out = &ws.trace;
+      tc.req_id = req_id;
+      tc.Emit(TraceEventKind::kArrival, v, 0, static_cast<std::uint64_t>(d));
+    }
     for (;;) {
       if (down != nullptr && down[v] != 0) {
         // Crashed node: the request cannot query it.  Burn an attempt,
@@ -331,12 +380,19 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
         // never down, so a surviving request always terminates.
         ++failed;
         if (failed > max_attempts) {
+          tc.Emit(TraceEventKind::kDropped, v, static_cast<std::uint8_t>(failed),
+                  hops);
           dropped = true;
           break;
         }
-        ws.local.backoff_slots += BackoffSlots(req_id, failed);
+        const std::uint64_t slots = BackoffSlots(req_id, failed);
+        ws.local.backoff_slots += slots;
+        tc.Emit(TraceEventKind::kFailover, v, static_cast<std::uint8_t>(failed),
+                slots);
         v = parents[v];
         ++hops;
+        tc.Emit(TraceEventKind::kHop, v, static_cast<std::uint8_t>(failed),
+                hops);
         continue;
       }
       const std::int64_t cell = FindCell(v, d);
@@ -350,17 +406,22 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
             ws.avail[static_cast<std::size_t>(tok)] =
                 TokenGrant(tok, cell, block_id);
           }
-          if (ws.avail[static_cast<std::size_t>(tok)] > 0) {
+          const bool admit = ws.avail[static_cast<std::size_t>(tok)] > 0;
+          tc.Emit(TraceEventKind::kTokenGrant, v, admit ? 1 : 0, 0);
+          if (admit) {
             --ws.avail[static_cast<std::size_t>(tok)];
             break;
           }
-        } else if (ThinningAdmit(req_id, cell)) {
-          break;
+        } else {
+          const bool admit = ThinningAdmit(req_id, cell);
+          tc.Emit(TraceEventKind::kThinning, v, admit ? 1 : 0, 0);
+          if (admit) break;
         }
       }
       if (v == root_) break;  // the home serves whatever reaches it
       v = parents[v];
       ++hops;
+      tc.Emit(TraceEventKind::kHop, v, static_cast<std::uint8_t>(failed), hops);
     }
     ++ws.local.requests;
     ws.local.failed_attempts += failed;
@@ -370,6 +431,7 @@ void ServingPlane::ProcessBlock(WorkerState& ws, std::uint64_t block_id,
       ++ws.local.dropped_requests;
       continue;
     }
+    tc.Emit(TraceEventKind::kServed, v, failed > 0 ? 1 : 0, hops);
     if (failed > 0) ++ws.local.failovers;
     ++ws.local.served_per_node[static_cast<std::size_t>(v)];
     ++ws.local.hops[static_cast<std::size_t>(hops)];
@@ -408,6 +470,17 @@ void ServingPlane::Serve(Span<Request> batch) {
 
   // Deterministic merge: integer sums over workers (order-independent).
   for (WorkerState& ws : workers_) {
+    if (registry_ != nullptr) {
+      registry_->Add(reg_ids_.requests, ws.local.requests);
+      registry_->Add(reg_ids_.cache_served, ws.local.cache_served);
+      registry_->Add(reg_ids_.home_served, ws.local.home_served);
+      registry_->Add(reg_ids_.hop_sum, ws.local.hop_sum);
+      registry_->Add(reg_ids_.failed_attempts, ws.local.failed_attempts);
+      registry_->Add(reg_ids_.failovers, ws.local.failovers);
+      registry_->Add(reg_ids_.dropped_requests, ws.local.dropped_requests);
+      registry_->Add(reg_ids_.backoff_slots, ws.local.backoff_slots);
+      registry_->Add(reg_ids_.trace_events, ws.trace.size());
+    }
     metrics_.requests += ws.local.requests;
     metrics_.cache_served += ws.local.cache_served;
     metrics_.home_served += ws.local.home_served;
@@ -431,6 +504,22 @@ void ServingPlane::Serve(Span<Request> batch) {
     std::fill(ws.local.served_per_node.begin(), ws.local.served_per_node.end(),
               0);
     std::fill(ws.local.hops.begin(), ws.local.hops.end(), 0);
+  }
+
+  // Drain the per-worker trace buffers into the canonical (req_id, seq)
+  // order — worker assignment leaks nothing into the stream, so the
+  // sorted result is bit-identical at any thread count.
+  std::size_t traced = 0;
+  for (const WorkerState& ws : workers_) traced += ws.trace.size();
+  if (traced > 0) {
+    std::vector<TraceEvent> merged;
+    merged.reserve(traced);
+    for (WorkerState& ws : workers_) {
+      merged.insert(merged.end(), ws.trace.begin(), ws.trace.end());
+      ws.trace.clear();
+    }
+    CanonicalizeTrace(&merged);
+    trace_.insert(trace_.end(), merged.begin(), merged.end());
   }
 }
 
@@ -467,6 +556,18 @@ ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
   std::uint64_t hops = in.ttl_hops;
   std::uint32_t failed = in.failed;
   bool dropped = false;
+  // Tracing state rides the frame: the loadgen's sampling law set the
+  // flag, trace_seq is the walk's next sequence number (nonzero after a
+  // forward).  The emission points mirror ProcessBlock exactly, so the
+  // fleet's merged trace equals the oracle's record-for-record.
+  TraceSink tc;
+  if (options_.trace && (in.flags & kGetFlagTrace) != 0) {
+    tc.out = &trace_;
+    tc.req_id = req_id;
+    tc.seq = in.trace_seq;
+    if (tc.seq == 0)
+      tc.Emit(TraceEventKind::kArrival, v, 0, static_cast<std::uint64_t>(d));
+  }
   for (;;) {
     if (owned != nullptr && owned[static_cast<std::size_t>(v)] == 0) {
       // The walk left this process's shard: hand the resumable request to
@@ -476,18 +577,30 @@ ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
       forward->origin_node = v;
       forward->ttl_hops = static_cast<std::uint16_t>(hops);
       forward->failed = static_cast<std::uint16_t>(failed);
+      forward->trace_seq = tc.seq;
+      if (registry_ != nullptr && tc.out != nullptr)
+        registry_->Add(reg_ids_.trace_events,
+                       static_cast<std::uint16_t>(tc.seq - in.trace_seq));
       return WireServe::kForwarded;
     }
     if (down != nullptr && down[static_cast<std::size_t>(v)] != 0) {
       ++failed;
       ++metrics_.failed_attempts;  // accounted where incurred
+      if (registry_ != nullptr) registry_->Add(reg_ids_.failed_attempts, 1);
       if (failed > max_attempts) {
+        tc.Emit(TraceEventKind::kDropped, v, static_cast<std::uint8_t>(failed),
+                hops);
         dropped = true;
         break;
       }
-      metrics_.backoff_slots += BackoffSlots(req_id, failed);
+      const std::uint64_t slots = BackoffSlots(req_id, failed);
+      metrics_.backoff_slots += slots;
+      if (registry_ != nullptr) registry_->Add(reg_ids_.backoff_slots, slots);
+      tc.Emit(TraceEventKind::kFailover, v, static_cast<std::uint8_t>(failed),
+              slots);
       v = parents[v];
       ++hops;
+      tc.Emit(TraceEventKind::kHop, v, static_cast<std::uint8_t>(failed), hops);
       continue;
     }
     const std::int64_t cell = FindCell(v, d);
@@ -497,27 +610,40 @@ ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
         // block_size == 1: every request is its own block (block ids are
         // req_id + 1 — Serve's numbering starts at 1), so the grant is
         // stateless and order-free.
-        if (TokenGrant(tok, cell, req_id + 1) > 0) break;
-      } else if (ThinningAdmit(req_id, cell)) {
-        break;
+        const bool admit = TokenGrant(tok, cell, req_id + 1) > 0;
+        tc.Emit(TraceEventKind::kTokenGrant, v, admit ? 1 : 0, 0);
+        if (admit) break;
+      } else {
+        const bool admit = ThinningAdmit(req_id, cell);
+        tc.Emit(TraceEventKind::kThinning, v, admit ? 1 : 0, 0);
+        if (admit) break;
       }
     }
     if (v == root_) break;  // the home serves whatever reaches it
     v = parents[v];
     ++hops;
+    tc.Emit(TraceEventKind::kHop, v, static_cast<std::uint8_t>(failed), hops);
   }
   ++metrics_.requests;
+  if (registry_ != nullptr) registry_->Add(reg_ids_.requests, 1);
   reply->req_id = req_id;
   reply->doc = d;
   reply->hops = static_cast<std::uint16_t>(hops);
   reply->version = 0;
   if (dropped) {
     ++metrics_.dropped_requests;
+    if (registry_ != nullptr) {
+      registry_->Add(reg_ids_.dropped_requests, 1);
+      if (tc.out != nullptr)
+        registry_->Add(reg_ids_.trace_events,
+                       static_cast<std::uint16_t>(tc.seq - in.trace_seq));
+    }
     reply->serving_node = kNoNode;
     reply->result = GetResult::kDropped;
     reply->load = 0;
     return WireServe::kDropped;
   }
+  tc.Emit(TraceEventKind::kServed, v, failed > 0 ? 1 : 0, hops);
   if (failed > 0) ++metrics_.failovers;
   ++metrics_.served_per_node[static_cast<std::size_t>(v)];
   ++metrics_.hops[static_cast<std::size_t>(hops)];
@@ -526,6 +652,15 @@ ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
     ++metrics_.home_served;
   else
     ++metrics_.cache_served;
+  if (registry_ != nullptr) {
+    registry_->Add(reg_ids_.hop_sum, hops);
+    if (failed > 0) registry_->Add(reg_ids_.failovers, 1);
+    registry_->Add(v == root_ ? reg_ids_.home_served : reg_ids_.cache_served,
+                   1);
+    if (tc.out != nullptr)
+      registry_->Add(reg_ids_.trace_events,
+                     static_cast<std::uint16_t>(tc.seq - in.trace_seq));
+  }
   reply->serving_node = v;
   reply->result = GetResult::kServed;
   reply->load = static_cast<double>(

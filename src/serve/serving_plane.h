@@ -54,8 +54,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 #include "serve/quota_snapshot.h"
 #include "serve/request_gen.h"
 #include "tree/routing_tree.h"
@@ -86,6 +89,15 @@ struct ServingOptions {
   // heights here are ~log n) while still modelling a finite client
   // retry budget.
   int max_failover_attempts = 8;
+  // Deterministic sampled request tracing (obs/trace.h).  When enabled,
+  // requests selected by TraceSampled(trace_seed, req_id,
+  // trace_sample_shift) record their full walk as TraceEvents — an
+  // expected 1 in 2^trace_sample_shift requests.  Tracing never perturbs
+  // an admission decision: traced and untraced runs produce identical
+  // metrics (asserted by obs_test and tab_serving).
+  bool trace = false;
+  std::uint64_t trace_seed = 0x7ace5eedULL;
+  int trace_sample_shift = 14;
 };
 
 // Integer serving counters; everything derived (ratios, loads) comes from
@@ -197,12 +209,27 @@ class ServingPlane {
   const ServingMetrics& metrics() const { return metrics_; }
   void ResetMetrics();
 
+  // --- telemetry (src/obs/) ----------------------------------------------
+  // Publishes the serving counters into `registry` under
+  // "<prefix>requests", "<prefix>cache_served", ... — deltas are added at
+  // Serve()'s per-worker merge (a block boundary) and per terminal wire
+  // request, so the registry totals track metrics() exactly and are
+  // bit-identical at any thread count.  Pass nullptr to detach.
+  void AttachRegistry(MetricRegistry* registry, const std::string& prefix);
+
+  // Trace events accumulated so far, in canonical (req_id, seq) order for
+  // Serve() batches; ServeWireSegment appends in completion order and the
+  // caller canonicalizes after merging daemon shards.  Cleared by
+  // ResetMetrics.
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
  private:
   struct WorkerState {
     // Indexed by token-cell compact id, not raw cell.
     std::vector<std::uint64_t> stamp;  // block id a cell's grant was cut in
     std::vector<std::int32_t> avail;   // tokens left for the cell, then
     ServingMetrics local;
+    std::vector<TraceEvent> trace;  // sampled events, drained at the merge
   };
 
   void ProcessBlock(WorkerState& ws, std::uint64_t block_id,
@@ -252,8 +279,17 @@ class ServingPlane {
   std::vector<std::uint8_t> owned_;
   std::uint64_t next_block_id_ = 1;  // 0 is the never-used stamp value
   ServingMetrics metrics_;
+  std::vector<TraceEvent> trace_;
   std::vector<WorkerState> workers_;
   std::unique_ptr<WorkerPool> pool_;
+  // Registered counter ids when a registry is attached (AttachRegistry).
+  MetricRegistry* registry_ = nullptr;
+  struct RegistryIds {
+    MetricRegistry::Id requests, cache_served, home_served, hop_sum,
+        failed_attempts, failovers, dropped_requests, backoff_slots,
+        trace_events;
+  };
+  RegistryIds reg_ids_{};
 };
 
 }  // namespace webwave

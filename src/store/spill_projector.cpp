@@ -23,6 +23,15 @@ std::int64_t SpillProjector::evicted_cells() const {
   return total;
 }
 
+void SpillProjector::PublishMetrics(MetricRegistry* registry,
+                                    const std::string& prefix) const {
+  registry->Set(registry->Gauge(prefix + "evicted_cells"), evicted_cells());
+  registry->Set(registry->Gauge(prefix + "spilled_rate_micros"),
+                std::llround(spilled_rate() * 1e6));
+  registry->Set(registry->Gauge(prefix + "affected_docs"),
+                static_cast<std::int64_t>(last_affected_.size()));
+}
+
 bool SpillProjector::ConservesTotalRate(const QuotaSnapshot& base,
                                         double rel_tol) const {
   return std::abs(clamped_.total_rate() - base.total_rate()) <=

@@ -23,8 +23,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metric_registry.h"
 #include "serve/quota_snapshot.h"
 #include "tree/routing_tree.h"
 #include "util/span.h"
@@ -53,6 +55,14 @@ class SpillProjector {
     return Span<const std::int32_t>(last_affected_.data(),
                                     last_affected_.size());
   }
+
+  // Publishes the last projection's stats into `registry` as gauges:
+  // "<prefix>evicted_cells", "<prefix>spilled_rate_micros" (the spilled
+  // quota rate in integer micro-units — the registry is integer-only so
+  // identity assertions stay exact) and "<prefix>affected_docs".  The
+  // EpochDriver calls this each epoch with "capacity." / "fault.".
+  void PublishMetrics(MetricRegistry* registry,
+                      const std::string& prefix) const;
 
   // The spill invariant, checkable against the snapshot the last
   // projection consumed: |clamped total − base total| within rel_tol

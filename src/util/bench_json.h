@@ -64,15 +64,42 @@ class BenchJson {
 
   // Writes the document to `path`; returns false on I/O failure.
   bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const std::string doc = Render();
-    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-    return std::fclose(f) == 0 && ok;
+    return WriteString(path, Render());
+  }
+
+  std::size_t run_count() const { return runs_.size(); }
+
+  // Renders run `r` as one self-contained single-line object — the
+  // JSON-lines record shape {"bench": ..., fields...} used by the
+  // per-epoch timeline artifacts (obs/timeline.h).
+  std::string RenderLine(std::size_t r) const {
+    std::string out = "{\"bench\": " + Quote(bench_name_);
+    for (const auto& field : runs_[r]) {
+      out += ", " + Quote(field.first) + ": " + field.second;
+    }
+    out += "}";
+    return out;
+  }
+
+  // Writes one record per line (JSON-lines); returns false on I/O failure.
+  bool WriteLines(const std::string& path) const {
+    std::string doc;
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+      doc += RenderLine(r);
+      doc += '\n';
+    }
+    return WriteString(path, doc);
   }
 
  private:
   using Record = std::vector<std::pair<std::string, std::string>>;
+
+  static bool WriteString(const std::string& path, const std::string& doc) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
 
   void AddRaw(const std::string& key, std::string json_value) {
     if (runs_.empty()) runs_.emplace_back();

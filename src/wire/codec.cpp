@@ -18,7 +18,11 @@ std::size_t BeginFrame(MsgType type, std::size_t payload,
   return base + MessageCodec::kHeaderSize;
 }
 
-// The payload width a type requires, or SIZE_MAX for unknown types.
+// kTraceReply's payload is variable length (count-prefixed records).
+constexpr std::size_t kVariablePayload = static_cast<std::size_t>(-2);
+
+// The payload width a type requires, kVariablePayload for count-prefixed
+// types, or SIZE_MAX for unknown types.
 std::size_t PayloadSizeOf(MsgType type) {
   switch (type) {
     case MsgType::kGetRequest:
@@ -33,9 +37,21 @@ std::size_t PayloadSizeOf(MsgType type) {
       return MessageCodec::kCountersSize;
     case MsgType::kStatsRequest:
     case MsgType::kShutdown:
+    case MsgType::kTraceRequest:
       return 0;
+    case MsgType::kTraceReply:
+      return kVariablePayload;
   }
   return static_cast<std::size_t>(-1);
+}
+
+// A kTraceReply stated length is valid iff it holds a whole number of
+// records after the count word, within the anti-DoS cap.
+bool ValidTracePayload(std::uint32_t stated) {
+  if (stated < 4) return false;
+  const std::uint32_t body = stated - 4;
+  return body % MessageCodec::kTraceEventSize == 0 &&
+         body / MessageCodec::kTraceEventSize <= MessageCodec::kMaxTraceRecords;
 }
 
 }  // namespace
@@ -50,6 +66,8 @@ std::size_t MessageCodec::Encode(const GetRequest& m,
   PutU32(p + 12, static_cast<std::uint32_t>(m.origin_node));
   PutU16(p + 16, m.ttl_hops);
   PutU16(p + 18, m.failed);
+  PutU16(p + 20, m.flags);
+  PutU16(p + 22, m.trace_seq);
   return kHeaderSize + kGetRequestSize;
 }
 
@@ -101,6 +119,25 @@ std::size_t MessageCodec::Encode(const WireCounters& m,
   return kHeaderSize + kCountersSize;
 }
 
+std::size_t MessageCodec::Encode(const std::vector<TraceEvent>& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t payload = 4 + m.size() * kTraceEventSize;
+  const std::size_t at = BeginFrame(MsgType::kTraceReply, payload, out);
+  std::uint8_t* p = out->data() + at;
+  PutU32(p, static_cast<std::uint32_t>(m.size()));
+  p += 4;
+  for (const TraceEvent& e : m) {
+    PutU64(p, e.req_id);
+    PutU64(p + 8, e.detail);
+    PutU32(p + 16, static_cast<std::uint32_t>(e.node));
+    PutU16(p + 20, e.seq);
+    p[22] = static_cast<std::uint8_t>(e.kind);
+    p[23] = e.aux;
+    p += kTraceEventSize;
+  }
+  return kHeaderSize + payload;
+}
+
 std::size_t MessageCodec::EncodeControl(MsgType type,
                                         std::vector<std::uint8_t>* out) {
   BeginFrame(type, 0, out);
@@ -126,7 +163,11 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
     return DecodeStatus::kError;
   if (len < kHeaderSize) return DecodeStatus::kNeedMore;
   const std::uint32_t stated = GetU32(data + 4);
-  if (stated != want_payload) return DecodeStatus::kError;
+  if (want_payload == kVariablePayload) {
+    if (!ValidTracePayload(stated)) return DecodeStatus::kError;
+  } else if (stated != want_payload) {
+    return DecodeStatus::kError;
+  }
   if (len < kHeaderSize + stated) return DecodeStatus::kNeedMore;
 
   const std::uint8_t* p = data + kHeaderSize;
@@ -138,6 +179,8 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
       out->get.origin_node = static_cast<NodeId>(GetU32(p + 12));
       out->get.ttl_hops = GetU16(p + 16);
       out->get.failed = GetU16(p + 18);
+      out->get.flags = GetU16(p + 20);
+      out->get.trace_seq = GetU16(p + 22);
       break;
     case MsgType::kGetReply:
       out->reply.req_id = GetU64(p);
@@ -171,8 +214,31 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
       for (int i = 0; i < 10; ++i) *fields[i] = GetU64(p + 8 * i);
       break;
     }
+    case MsgType::kTraceReply: {
+      const std::uint32_t count = GetU32(p);
+      if (4 + static_cast<std::size_t>(count) * kTraceEventSize != stated)
+        return DecodeStatus::kError;
+      out->trace.clear();
+      out->trace.reserve(count);
+      const std::uint8_t* r = p + 4;
+      for (std::uint32_t i = 0; i < count; ++i, r += kTraceEventSize) {
+        TraceEvent e;
+        e.req_id = GetU64(r);
+        e.detail = GetU64(r + 8);
+        e.node = static_cast<NodeId>(GetU32(r + 16));
+        e.seq = GetU16(r + 20);
+        if (r[22] < static_cast<std::uint8_t>(TraceEventKind::kArrival) ||
+            r[22] > static_cast<std::uint8_t>(TraceEventKind::kDropped))
+          return DecodeStatus::kError;
+        e.kind = static_cast<TraceEventKind>(r[22]);
+        e.aux = r[23];
+        out->trace.push_back(e);
+      }
+      break;
+    }
     case MsgType::kStatsRequest:
     case MsgType::kShutdown:
+    case MsgType::kTraceRequest:
       break;
   }
   *consumed = kHeaderSize + stated;
@@ -195,6 +261,10 @@ const char* MsgTypeName(MsgType type) {
       return "stats-reply";
     case MsgType::kShutdown:
       return "shutdown";
+    case MsgType::kTraceRequest:
+      return "trace-request";
+    case MsgType::kTraceReply:
+      return "trace-reply";
   }
   return "?";
 }

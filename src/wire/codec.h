@@ -10,9 +10,11 @@
 //   3       1     MsgType
 //   4       4     payload length in bytes (u32)
 //
-// Data-plane payloads are fixed width per type (20 B GetRequest, 32 B
+// Data-plane payloads are fixed width per type (24 B GetRequest, 32 B
 // GetReply, 16 B LoadGossip); a length that disagrees with the type is
-// garbage, not a negotiation.  All multi-byte fields are little-endian
+// garbage, not a negotiation.  The one variable-length frame is
+// kTraceReply — a u32 record count followed by count 24 B TraceEvent
+// records, the stated length validated against the count.  All multi-byte fields are little-endian
 // byte by byte — the codec's output is identical on any host, and a
 // big-endian peer would interoperate unmodified.  Doubles travel as
 // their IEEE-754 bit pattern in a u64, so round-trips are bit-exact
@@ -82,15 +84,21 @@ inline double GetF64(const std::uint8_t* p) {
 class MessageCodec {
  public:
   static constexpr std::uint16_t kMagic = 0x5741;
-  static constexpr std::uint8_t kVersion = 1;
+  // v2: GetRequest grew flags/trace_seq (20 -> 24 B) and the kTraceRequest
+  // / kTraceReply control frames were added.
+  static constexpr std::uint8_t kVersion = 2;
   static constexpr std::size_t kHeaderSize = 8;
 
   // Fixed payload widths of the data-plane messages.
-  static constexpr std::size_t kGetRequestSize = 20;
+  static constexpr std::size_t kGetRequestSize = 24;
   static constexpr std::size_t kGetReplySize = 32;
   static constexpr std::size_t kLoadGossipSize = 16;
   static constexpr std::size_t kHelloSize = 8;
   static constexpr std::size_t kCountersSize = 80;
+  // kTraceReply is the one variable-length frame: a u32 record count
+  // followed by count fixed-width TraceEvent records.
+  static constexpr std::size_t kTraceEventSize = 24;
+  static constexpr std::size_t kMaxTraceRecords = 1u << 20;
 
   // Appends one frame (header + payload) to *out; returns bytes appended.
   static std::size_t Encode(const GetRequest& m, std::vector<std::uint8_t>* out);
@@ -98,6 +106,9 @@ class MessageCodec {
   static std::size_t Encode(const LoadGossip& m, std::vector<std::uint8_t>* out);
   static std::size_t Encode(const Hello& m, std::vector<std::uint8_t>* out);
   static std::size_t Encode(const WireCounters& m,
+                            std::vector<std::uint8_t>* out);
+  // kTraceReply: the daemon's accumulated TraceEvent records.
+  static std::size_t Encode(const std::vector<TraceEvent>& m,
                             std::vector<std::uint8_t>* out);
   // The empty-payload control frames.
   static std::size_t EncodeControl(MsgType type,

@@ -27,7 +27,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "obs/trace.h"
 #include "tree/routing_tree.h"
 
 namespace webwave {
@@ -42,6 +44,8 @@ enum class MsgType : std::uint8_t {
   kStatsRequest = 17,
   kStatsReply = 18,
   kShutdown = 19,
+  kTraceRequest = 20,
+  kTraceReply = 21,
 };
 
 enum class GetResult : std::uint8_t {
@@ -49,23 +53,33 @@ enum class GetResult : std::uint8_t {
   kDropped = 1,  // retry budget exhausted mid-outage; never served
 };
 
+// GetRequest.flags bits.  kGetFlagTrace marks a request the loadgen's
+// sampling law (obs/trace.h TraceSampled) selected for tracing; every
+// daemon the walk crosses records its TraceEvents, so the fleet's merged
+// trace equals the in-process oracle's record-for-record.
+inline constexpr std::uint16_t kGetFlagTrace = 0x1;
+
 // A request for `doc`, (re)starting its up-tree walk at `origin_node`:
 // the client's origin on first transmission, the resume node when a
 // server forwards the miss toward the home.  `ttl_hops` counts the edges
 // climbed so far (it doubles as the loop guard: a walk longer than the
 // tree height is a protocol error); `failed` counts failover attempts
 // burned at crashed nodes, so the retry budget survives process hops.
+// `trace_seq` is the next trace sequence number when kGetFlagTrace is
+// set — like `failed`, walk state that must survive a forward.
 struct GetRequest {
   std::uint64_t req_id = 0;  // stream-global request index (seed, i)
   std::int32_t doc = 0;
   NodeId origin_node = kNoNode;
   std::uint16_t ttl_hops = 0;
   std::uint16_t failed = 0;
+  std::uint16_t flags = 0;
+  std::uint16_t trace_seq = 0;
 
   bool operator==(const GetRequest& o) const {
     return req_id == o.req_id && doc == o.doc &&
            origin_node == o.origin_node && ttl_hops == o.ttl_hops &&
-           failed == o.failed;
+           failed == o.failed && flags == o.flags && trace_seq == o.trace_seq;
   }
 };
 
@@ -155,7 +169,8 @@ struct WireMessage {
   GetReply reply;
   LoadGossip gossip;
   Hello hello;
-  WireCounters stats;  // kStatsReply
+  WireCounters stats;                // kStatsReply
+  std::vector<TraceEvent> trace;     // kTraceReply
 };
 
 }  // namespace webwave

@@ -96,8 +96,10 @@ ServingMetrics SumMetrics(const std::vector<ServingMetrics>& parts) {
 
 // Runs the stream through K in-process segment planes, routing forwards
 // by ownership exactly as the socket fleet does — but synchronously, so
-// failures localize.  Returns the per-plane metrics.
-std::vector<ServingMetrics> RunSegmentFleet(const Cluster& c) {
+// failures localize.  Returns the per-plane metrics; with `trace`
+// non-null, the planes' merged trace streams in canonical order.
+std::vector<ServingMetrics> RunSegmentFleet(
+    const Cluster& c, std::vector<TraceEvent>* trace = nullptr) {
   QuotaSnapshot snapshot;
   EXPECT_TRUE(QuotaWireTable::Deserialize(
       c.config.quota_blob.data(), c.config.quota_blob.size(), &snapshot));
@@ -124,6 +126,10 @@ std::vector<ServingMetrics> RunSegmentFleet(const Cluster& c) {
     msg.req_id = i;
     msg.doc = r.doc;
     msg.origin_node = r.node;
+    if (c.config.serving.trace &&
+        TraceSampled(c.config.serving.trace_seed, i,
+                     c.config.serving.trace_sample_shift))
+      msg.flags |= kGetFlagTrace;
     int hop_guard = 0;
     for (;;) {
       const int s = c.config.owner[static_cast<std::size_t>(msg.origin_node)];
@@ -143,6 +149,12 @@ std::vector<ServingMetrics> RunSegmentFleet(const Cluster& c) {
   }
   std::vector<ServingMetrics> out;
   for (auto& p : planes) out.push_back(p->metrics());
+  if (trace != nullptr) {
+    trace->clear();
+    for (auto& p : planes)
+      trace->insert(trace->end(), p->trace().begin(), p->trace().end());
+    CanonicalizeTrace(trace);
+  }
   return out;
 }
 
@@ -290,6 +302,79 @@ TEST(NetdCluster, ForkedFleetOverLoopbackMatchesOracle) {
   EXPECT_EQ(run.client_hop_sum, oracle.hop_sum);
   EXPECT_GT(run.fleet.net_forwards, 0u);
   ASSERT_EQ(run.per_server.size(), 4u);
+}
+
+TEST(NetdSegments, SegmentFleetTraceMatchesOracleRecordForRecord) {
+  Cluster c = MakeCluster(260, 10, 4, 30000);
+  c.config.serving.trace = true;
+  c.config.serving.trace_sample_shift = 6;  // ~1/64: a dense traced set
+  std::vector<TraceEvent> oracle_trace;
+  ReplayOracle(c.config, &oracle_trace);
+  std::vector<TraceEvent> fleet_trace;
+  RunSegmentFleet(c, &fleet_trace);
+  ASSERT_GT(oracle_trace.size(), 100u);
+  ASSERT_EQ(fleet_trace.size(), oracle_trace.size());
+  for (std::size_t i = 0; i < oracle_trace.size(); ++i)
+    ASSERT_EQ(fleet_trace[i], oracle_trace[i]) << "record " << i;
+}
+
+TEST(NetdSegments, FaultedSegmentFleetTraceMatchesOracle) {
+  Cluster c = MakeCluster(260, 10, 4, 30000);
+  c.config.serving.trace = true;
+  c.config.serving.trace_sample_shift = 5;
+  for (const NodeId v : c.tree.preorder())
+    if (!c.tree.is_root(v) && !c.tree.is_leaf(v)) {
+      c.config.down.push_back(v);
+      break;
+    }
+  ASSERT_FALSE(c.config.down.empty());
+  std::vector<TraceEvent> oracle_trace;
+  ReplayOracle(c.config, &oracle_trace);
+  std::vector<TraceEvent> fleet_trace;
+  RunSegmentFleet(c, &fleet_trace);
+  ASSERT_EQ(fleet_trace.size(), oracle_trace.size());
+  bool saw_failover = false;
+  for (std::size_t i = 0; i < oracle_trace.size(); ++i) {
+    ASSERT_EQ(fleet_trace[i], oracle_trace[i]) << "record " << i;
+    saw_failover |= oracle_trace[i].kind == TraceEventKind::kFailover;
+  }
+  EXPECT_TRUE(saw_failover) << "faulted stream should trace failovers";
+}
+
+TEST(NetdCluster, ForkedFleetTraceAndScrapesMatchOracle) {
+  Cluster c = MakeCluster(200, 8, 4, 20000);
+  c.config.serving.trace = true;
+  c.config.serving.trace_sample_shift = 6;
+  c.config.stats_scrape_period_ms = 2;
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+
+  // The scraped trace records, merged across daemons, equal the oracle's
+  // record for record.
+  std::vector<TraceEvent> oracle_trace;
+  const ServingMetrics oracle = ReplayOracle(c.config, &oracle_trace);
+  EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
+  ASSERT_GT(oracle_trace.size(), 0u);
+  ASSERT_EQ(run.trace.size(), oracle_trace.size());
+  for (std::size_t i = 0; i < oracle_trace.size(); ++i)
+    ASSERT_EQ(run.trace[i], oracle_trace[i]) << "record " << i;
+
+  // Live scrapes: the final sample is always present, every per-daemon
+  // counter set is monotone sample to sample, and the final sample's
+  // fleet sum is exactly the oracle's totals.
+  ASSERT_GE(run.samples.size(), 1u);
+  for (std::size_t i = 1; i < run.samples.size(); ++i) {
+    EXPECT_LE(run.samples[i - 1].at_completed, run.samples[i].at_completed);
+    ASSERT_EQ(run.samples[i].per_server.size(), run.per_server.size());
+    for (std::size_t s = 0; s < run.per_server.size(); ++s)
+      EXPECT_TRUE(CountersMonotone(run.samples[i - 1].per_server[s],
+                                   run.samples[i].per_server[s]))
+          << "sample " << i << " server " << s;
+  }
+  const NetdStatsSample& last = run.samples.back();
+  EXPECT_EQ(last.at_completed, c.config.total_requests);
+  EXPECT_TRUE(ServingCountersEqual(SumCounters(last.per_server),
+                                   CountersFromMetrics(oracle)));
 }
 
 TEST(NetdCluster, ForkedFaultedFleetMatchesOracle) {

@@ -39,7 +39,20 @@ GetRequest RandomGetRequest(std::uint64_t seed, std::uint64_t i) {
   m.origin_node = static_cast<NodeId>(Draw(seed, i, 3) & 0x7fffffff);
   m.ttl_hops = static_cast<std::uint16_t>(Draw(seed, i, 4));
   m.failed = static_cast<std::uint16_t>(Draw(seed, i, 5));
+  m.flags = static_cast<std::uint16_t>(Draw(seed, i, 6));
+  m.trace_seq = static_cast<std::uint16_t>(Draw(seed, i, 7));
   return m;
+}
+
+TraceEvent RandomTraceEvent(std::uint64_t seed, std::uint64_t i) {
+  TraceEvent e;
+  e.req_id = Draw(seed, i, 1);
+  e.detail = Draw(seed, i, 2);
+  e.node = static_cast<NodeId>(Draw(seed, i, 3) & 0x7fffffff);
+  e.seq = static_cast<std::uint16_t>(Draw(seed, i, 4));
+  e.kind = static_cast<TraceEventKind>(1 + (Draw(seed, i, 5) % 7));
+  e.aux = static_cast<std::uint8_t>(Draw(seed, i, 6));
+  return e;
 }
 
 GetReply RandomGetReply(std::uint64_t seed, std::uint64_t i) {
@@ -164,6 +177,63 @@ TEST(WireCodec, HelloAndCountersAndControlRoundTrip) {
   EXPECT_EQ(at, buf.size());
 }
 
+TEST(WireCodec, TraceReplyRoundTripsIncludingEmpty) {
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{17}, std::size_t{300}}) {
+    std::vector<TraceEvent> events;
+    for (std::size_t i = 0; i < count; ++i)
+      events.push_back(RandomTraceEvent(44, i));
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(events, &buf);
+    ASSERT_EQ(n, buf.size());
+    ASSERT_EQ(n, MessageCodec::kHeaderSize + 4 +
+                     count * MessageCodec::kTraceEventSize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, n);
+    EXPECT_EQ(out.type, MsgType::kTraceReply);
+    ASSERT_EQ(out.trace.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(out.trace[i], events[i]) << "record " << i;
+  }
+}
+
+TEST(WireCodec, TraceReplyPrefixesNeedMoreAndCorruptionErrors) {
+  std::vector<TraceEvent> events;
+  for (std::size_t i = 0; i < 5; ++i) events.push_back(RandomTraceEvent(45, i));
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(events, &frame);
+
+  // Every strict prefix of the variable-length frame is kNeedMore.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireMessage out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(MessageCodec::Decode(frame.data(), cut, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+
+  // A record count disagreeing with the stated payload length is kError.
+  auto bad = frame;
+  bad[MessageCodec::kHeaderSize] ^= 0x01;
+  WireMessage out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // An out-of-range event kind inside a record is kError.
+  bad = frame;
+  bad[MessageCodec::kHeaderSize + 4 + 22] = 0;  // record 0's kind byte
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+  bad[MessageCodec::kHeaderSize + 4 + 22] = 8;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
 TEST(WireCodec, DoubleFieldsRoundTripBitExactly) {
   const double specials[] = {0.0, -0.0, 1.0 / 3.0,
                              std::numeric_limits<double>::infinity(),
@@ -203,6 +273,10 @@ TEST(WireCodec, EveryOneByteTruncationIsRejected) {
   }
   frames.emplace_back();
   MessageCodec::Encode(RandomCounters(24, 0), &frames.back());
+  frames.emplace_back();
+  MessageCodec::Encode(std::vector<TraceEvent>{RandomTraceEvent(25, 0),
+                                               RandomTraceEvent(25, 1)},
+                       &frames.back());
   frames.emplace_back();
   MessageCodec::EncodeControl(MsgType::kShutdown, &frames.back());
 
@@ -266,6 +340,8 @@ TEST(WireCodec, EncodingIsExplicitlyLittleEndian) {
   m.origin_node = 5;
   m.ttl_hops = 0x1122;
   m.failed = 0;
+  m.flags = 0x3344;
+  m.trace_seq = 0x5566;
   std::vector<std::uint8_t> buf;
   MessageCodec::Encode(m, &buf);
   // Header: magic 0x5741 is "A" then "W" in little-endian byte order.
@@ -282,6 +358,11 @@ TEST(WireCodec, EncodingIsExplicitlyLittleEndian) {
   // ttl_hops at offset 16, LE.
   EXPECT_EQ(buf[MessageCodec::kHeaderSize + 16], 0x22);
   EXPECT_EQ(buf[MessageCodec::kHeaderSize + 17], 0x11);
+  // flags at offset 20, trace_seq at 22, LE.
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 20], 0x44);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 21], 0x33);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 22], 0x66);
+  EXPECT_EQ(buf[MessageCodec::kHeaderSize + 23], 0x55);
 }
 
 QuotaSnapshot MakeSnapshot() {

@@ -13,10 +13,15 @@ copying the smoke artifact over the file in bench/baselines/ (or
 bench/baselines/t2/) when a change legitimately moves the numbers.
 
 Usage: check_bench_baselines.py [--baselines DIR] [--current DIR]
-                                [--threshold 0.5]
+                                [--threshold 0.5] [--strict]
 
 Records are matched per bench by the key fields below; records present on
-only one side are reported informationally and skipped.
+only one side are reported informationally and skipped.  JSON-lines
+artifacts (the per-epoch timeline and the trace sample) are validated
+structurally — present-but-empty files and unparseable lines are
+warnings, since an empty timeline means the telemetry plane silently
+stopped emitting.  `--strict` turns any warning into a non-zero exit for
+local use; CI stays warn-only.
 """
 
 import argparse
@@ -30,7 +35,8 @@ RULES = {
                           ("lane_steps_per_sec",)),
     "tab_rotating_hotspot": (("record", "epoch"), ("lane_steps_per_sec",)),
     "tab_serving": (("record", "placement", "epoch", "budget_x"),
-                    ("req_per_sec", "snapshot_speedup", "plane_speedup")),
+                    ("req_per_sec", "snapshot_speedup", "plane_speedup",
+                     "untraced_req_per_sec", "traced_req_per_sec")),
     "tab_capacity": (("record", "placement", "budget_x", "epoch"),
                      ("req_per_sec",)),
     "tab_faults": (("record", "placement", "pattern", "crash_fraction",
@@ -38,9 +44,21 @@ RULES = {
                    ("req_per_sec",)),
     "tab_netd": (("record", "scenario", "servers", "requests", "sim_nodes"),
                  ("req_per_sec", "oracle_req_per_sec")),
+    # The scraper artifact carries counter snapshots, not throughputs: no
+    # regression fields, but keyed matching still reports coverage drift
+    # (a scenario that stopped producing samples).
+    "tab_netd_stats": (("record", "scenario", "sample"), ()),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
+
+# JSON-lines artifacts emitted by the telemetry plane.  No baselines (the
+# records carry wall-clock phase timings); the check is structural: if the
+# file exists it must be non-empty and every line must parse as JSON.
+JSONL_ARTIFACTS = (
+    "BENCH_serving_timeline.jsonl",
+    "BENCH_trace_sample.jsonl",
+)
 
 
 def load(path):
@@ -70,6 +88,12 @@ def check_dir(baselines, current, threshold, label):
             continue
         base = load(base_path)
         cur = load(cur_path)
+        if not cur.get("runs"):
+            warned += 1
+            print(f"::warning title=empty bench artifact::{label}{name} "
+                  f"exists but contains zero runs — the bench wrote its "
+                  f"artifact before recording anything")
+            continue
         bench = base.get("bench")
         if bench not in RULES or cur.get("bench") != bench:
             print(f"note: {label}{name}: bench {bench!r} has no rules, "
@@ -115,27 +139,66 @@ def check_dir(baselines, current, threshold, label):
     return compared, warned
 
 
+def check_jsonl(current, label):
+    """Structural validation of the JSON-lines telemetry artifacts."""
+    warned = 0
+    for name in JSONL_ARTIFACTS:
+        path = os.path.join(current, name)
+        if not os.path.exists(path):
+            print(f"note: {label}{name} not produced by this run")
+            continue
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [line for line in f.read().splitlines() if line.strip()]
+        if not lines:
+            warned += 1
+            print(f"::warning title=empty telemetry artifact::{label}{name} "
+                  f"exists but holds zero records — the telemetry plane "
+                  f"silently stopped emitting")
+            continue
+        bad = 0
+        for i, line in enumerate(lines, 1):
+            try:
+                json.loads(line)
+            except ValueError:
+                bad += 1
+                if bad == 1:
+                    warned += 1
+                    print(f"::warning title=corrupt telemetry artifact::"
+                          f"{label}{name} line {i} is not valid JSON")
+        print(f"note: {label}{name}: {len(lines)} record(s), "
+              f"{bad} unparseable")
+    return warned
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baselines", default="bench/baselines")
     ap.add_argument("--current", default=".")
     ap.add_argument("--threshold", type=float, default=0.5)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero if any warning fired (CI keeps the "
+                         "default warn-only behaviour)")
     args = ap.parse_args()
 
     compared, warned = check_dir(args.baselines, args.current,
                                  args.threshold, "")
+    warned += check_jsonl(args.current, "")
     t2_base = os.path.join(args.baselines, "t2")
     t2_cur = os.path.join(args.current, "t2")
     if os.path.isdir(t2_base) and os.path.isdir(t2_cur):
         c2, w2 = check_dir(t2_base, t2_cur, args.threshold, "t2/")
         compared += c2
         warned += w2
+        warned += check_jsonl(t2_cur, "t2/")
     else:
         print("note: no t2 baselines or artifacts, skipping the "
               "2-thread comparison")
     print(f"bench baseline check: {compared} fields compared, "
           f"{warned} warning(s)")
-    return 0  # warn-only by design
+    if args.strict and warned > 0:
+        print("strict mode: failing on warnings")
+        return 1
+    return 0  # warn-only by design in CI
 
 
 if __name__ == "__main__":
