@@ -27,9 +27,24 @@
 // The fleet also runs with request tracing on, and the scraped trace
 // records are asserted equal to the oracle's, record for record.
 //
+// Part 4 — the survivable fleet (PR 9).  A multi-epoch closed loop
+// (BuildEpochPlan: one EpochDriver control node refreshing the quota
+// table per epoch, FaultProjector re-homing around dead shards) runs
+// against a fault-injected fleet: a scheduled daemon is SIGKILLed at an
+// epoch boundary mid-run and re-forked later, rejoining via Hello and
+// re-synced by kQuotaDelta.  Asserted, not observed: the fleet's summed
+// counters (live finals + the victims' pre-kill scrapes) equal the
+// multi-epoch oracle bit-for-bit; every quiesced barrier sample plus the
+// retired counters equals the oracle's cumulative per-epoch counters —
+// including the killed epochs AND the post-recovery epochs after the
+// delta re-sync; no forward was shed; every daemon's outbox peak stayed
+// under the watermark.  The oracle replay honors WEBWAVE_THREADS
+// (order-free admission makes its counters thread-count invariant).
+//
 // Emits BENCH_netd.json, BENCH_netd_stats.json (one record per live
-// scrape) and netd_stats.prom (Prometheus text exposition of the final
-// fleet counters per scenario).  Environment knobs:
+// scrape), BENCH_netd_faults.json (the survivable-fleet scenario) and
+// netd_stats.prom (Prometheus text exposition of the final fleet
+// counters per scenario).  Environment knobs:
 //   WEBWAVE_SMOKE            reduced shapes (the CI smoke configuration)
 //   WEBWAVE_NETD_NODES       big-tree nodes to carve from (default
 //                            1000000; smoke 60000)
@@ -42,7 +57,11 @@
 //   WEBWAVE_NETD_SCRAPE_MS   live stats-scrape period (default 5; 0
 //                            disables mid-run scraping)
 //   WEBWAVE_NETD_TRACE_SHIFT trace sampling shift (default 10: ~1/1024)
+//   WEBWAVE_NETD_EPOCHS      fault-scenario epochs (default 5)
+//   WEBWAVE_THREADS          oracle replay worker threads (default 1)
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -51,7 +70,9 @@
 #include "bench_util.h"
 #include "doc/catalog.h"
 #include "doc/placement.h"
+#include "fault/process_faults.h"
 #include "netd/cluster.h"
+#include "netd/epoch_plan.h"
 #include "obs/exposition.h"
 #include "proto/packet_sim.h"
 #include "serve/quota_snapshot.h"
@@ -315,6 +336,222 @@ int main() {
     json.Add("match", match ? 1 : 0);
   }
   std::printf("%s\n", table.Render().c_str());
+
+  // Part 4 — the survivable fleet: kill + restart mid-run ----------------
+  {
+    const int epochs = EnvInt("WEBWAVE_NETD_EPOCHS", 5);
+    const int oracle_threads = bench::EnvThreads("WEBWAVE_NETD_THREADS", 1);
+    NetdClusterConfig fc = config;
+    fc.down.clear();
+    fc.serving.max_failover_attempts = 8;
+    fc.serving.threads = oracle_threads;
+    fc.load_window_factor = 4.0;
+
+    EpochPlanOptions eopt;
+    eopt.epochs = epochs;
+    eopt.requests_per_epoch =
+        std::max<std::uint64_t>(fc.total_requests /
+                                    static_cast<std::uint64_t>(epochs),
+                                1000);
+    eopt.faults.pattern = FaultPattern::kSingleNodes;
+    eopt.faults.crash_fraction = 0.4;
+    eopt.faults.outage_epochs = 1;
+    eopt.faults.start_epoch = 1;
+
+    // The fault schedule is a pure (seed, server, epoch) hash; probe for
+    // the first seed whose draw kills AND restarts at least one daemon,
+    // so the scenario is guaranteed whatever the hash does.  (The oracle
+    // identity holds for any plan — the probe only pins coverage.)
+    auto kills_through = [](const ProcessFaultPlan& p, int e) {
+      std::size_t n = 0;
+      for (int i = 0; i <= e; ++i)
+        n += p.kill_at[static_cast<std::size_t>(i)].size();
+      return n;
+    };
+    auto restarts_through = [](const ProcessFaultPlan& p, int e) {
+      std::size_t n = 0;
+      for (int i = 0; i <= e; ++i)
+        n += p.restart_at[static_cast<std::size_t>(i)].size();
+      return n;
+    };
+    std::uint64_t fseed = 0;
+    for (std::uint64_t s = 1; s <= 64 && fseed == 0; ++s) {
+      FaultScheduleOptions probe = eopt.faults;
+      probe.seed = s;
+      const ProcessFaultPlan p =
+          BuildProcessFaultPlan(servers, epochs, probe);
+      if (kills_through(p, epochs - 1) >= 1 &&
+          restarts_through(p, epochs - 1) >= 1)
+        fseed = s;
+    }
+    if (fseed == 0) {
+      std::printf("ASSERT FAILED: no fault seed in 1..64 yields a kill "
+                  "and a restart\n");
+      return 1;
+    }
+    eopt.faults.seed = fseed;
+    const ProcessFaultPlan plan = BuildEpochPlan(&fc, eopt);
+    const std::size_t kills = kills_through(plan, epochs - 1);
+    const std::size_t restarts = restarts_through(plan, epochs - 1);
+    std::printf(
+        "survivable fleet: %d epochs x %llu requests, fault seed %llu —\n"
+        "%zu daemon kill(s), %zu restart(s) scheduled mid-run\n",
+        epochs,
+        static_cast<unsigned long long>(eopt.requests_per_epoch),
+        static_cast<unsigned long long>(fseed), kills, restarts);
+
+    const auto t_fleet = Clock::now();
+    const NetdRunResult run = RunNetdCluster(fc);
+    const double fleet_ms = MillisSince(t_fleet);
+
+    const auto t_oracle = Clock::now();
+    std::vector<TraceEvent> oracle_trace;
+    std::vector<WireCounters> per_epoch;
+    const ServingMetrics oracle = ReplayOracle(fc, &oracle_trace, &per_epoch);
+    const double oracle_ms = MillisSince(t_oracle);
+
+    bool match = run.ok;
+    if (!run.ok)
+      std::printf("ASSERT FAILED [faults]: fleet run did not complete\n");
+
+    // The sum law across faults: live finals + the victims' pre-kill
+    // scrapes equal the multi-epoch oracle, every integer counter.
+    if (!ServingCountersEqual(run.fleet, CountersFromMetrics(oracle))) {
+      std::printf("ASSERT FAILED [faults]: fleet sum != oracle\n");
+      match = false;
+    }
+    if (run.client_served + run.client_dropped != fc.total_requests ||
+        run.client_served != oracle.requests - oracle.dropped_requests ||
+        run.client_hop_sum != oracle.hop_sum) {
+      std::printf("ASSERT FAILED [faults]: client tallies != oracle\n");
+      match = false;
+    }
+    if (run.retired.size() != kills ||
+        run.rejoin_hello_epochs.size() != restarts) {
+      std::printf("ASSERT FAILED [faults]: %zu retired / %zu rejoins, "
+                  "plan says %zu / %zu\n",
+                  run.retired.size(), run.rejoin_hello_epochs.size(), kills,
+                  restarts);
+      match = false;
+    }
+    for (const std::uint32_t e : run.rejoin_hello_epochs)
+      if (e != 0) {
+        std::printf("ASSERT FAILED [faults]: a rejoin Hello announced "
+                    "epoch %u (restart must boot fresh)\n", e);
+        match = false;
+      }
+    if (run.trace != oracle_trace) {
+      std::printf("ASSERT FAILED [faults]: fleet trace (%zu) != oracle "
+                  "trace (%zu)\n",
+                  run.trace.size(), oracle_trace.size());
+      match = false;
+    }
+
+    // Backpressure stayed bounded: nothing shed, every outbox peak under
+    // the watermark — in live daemons and in the killed ones alike.
+    if (run.fleet.shed_forwards != 0) {
+      std::printf("ASSERT FAILED [faults]: %llu forwards shed\n",
+                  static_cast<unsigned long long>(run.fleet.shed_forwards));
+      match = false;
+    }
+    std::uint64_t outbox_peak = 0;
+    for (const WireCounters& s : run.per_server)
+      outbox_peak = std::max(outbox_peak, s.outbox_peak_bytes);
+    for (const WireCounters& s : run.retired)
+      outbox_peak = std::max(outbox_peak, s.outbox_peak_bytes);
+    if (outbox_peak > fc.outbox_watermark_bytes) {
+      std::printf("ASSERT FAILED [faults]: outbox peak %llu > watermark "
+                  "%zu\n",
+                  static_cast<unsigned long long>(outbox_peak),
+                  fc.outbox_watermark_bytes);
+      match = false;
+    }
+
+    // Barrier sample i closes epoch i: its live counters plus every
+    // retired scrape taken through that transition equal the oracle's
+    // cumulative counters after epoch i — the killed epochs match the
+    // down-set oracle, the post-restart epochs match the recovered one.
+    BenchJson faults_json("tab_netd_faults");
+    const bool epochs_ok =
+        run.epoch_samples.size() == static_cast<std::size_t>(epochs - 1) &&
+        per_epoch.size() == static_cast<std::size_t>(epochs);
+    if (!epochs_ok) {
+      std::printf("ASSERT FAILED [faults]: %zu barrier samples / %zu "
+                  "oracle epochs (want %d / %d)\n",
+                  run.epoch_samples.size(), per_epoch.size(), epochs - 1,
+                  epochs);
+      match = false;
+    }
+    for (std::size_t i = 0; epochs_ok && i < run.epoch_samples.size(); ++i) {
+      std::vector<WireCounters> parts = run.epoch_samples[i].per_server;
+      const std::size_t used =
+          std::min(kills_through(plan, static_cast<int>(i) + 1),
+                   run.retired.size());
+      parts.insert(parts.end(), run.retired.begin(),
+                   run.retired.begin() + static_cast<std::ptrdiff_t>(used));
+      const WireCounters sum = SumCounters(parts);
+      const bool ematch = ServingCountersEqual(sum, per_epoch[i]);
+      if (!ematch) {
+        std::printf("ASSERT FAILED [faults]: barrier sample %zu != "
+                    "oracle cumulative epoch %zu\n", i, i);
+        match = false;
+      }
+      faults_json.BeginRun();
+      faults_json.Add("record", std::string("epoch"));
+      faults_json.Add("epoch", static_cast<long long>(i));
+      faults_json.Add("servers", servers);
+      faults_json.Add("kills_through", static_cast<long long>(used));
+      faults_json.Add("at_completed",
+                      static_cast<long long>(run.epoch_samples[i].at_completed));
+      faults_json.Add("requests", static_cast<long long>(sum.requests));
+      faults_json.Add("failovers", static_cast<long long>(sum.failovers));
+      faults_json.Add("dropped",
+                      static_cast<long long>(sum.dropped_requests));
+      faults_json.Add("match", ematch ? 1 : 0);
+    }
+    all_match = all_match && match;
+
+    faults_json.BeginRun();
+    faults_json.Add("record", std::string("fleet"));
+    faults_json.Add("servers", servers);
+    faults_json.Add("epochs", epochs);
+    faults_json.Add("requests", static_cast<long long>(fc.total_requests));
+    faults_json.Add("fault_seed", static_cast<long long>(fseed));
+    faults_json.Add("kills", static_cast<long long>(kills));
+    faults_json.Add("restarts", static_cast<long long>(restarts));
+    faults_json.Add("reconnects",
+                    static_cast<long long>(run.fleet.reconnects));
+    faults_json.Add("shed_forwards",
+                    static_cast<long long>(run.fleet.shed_forwards));
+    faults_json.Add("outbox_peak_bytes",
+                    static_cast<long long>(outbox_peak));
+    faults_json.Add("served", static_cast<long long>(run.client_served));
+    faults_json.Add("dropped", static_cast<long long>(run.client_dropped));
+    faults_json.Add("failovers",
+                    static_cast<long long>(run.fleet.failovers));
+    faults_json.Add("oracle_threads", oracle_threads);
+    faults_json.Add("fleet_ms", fleet_ms);
+    faults_json.Add("req_per_sec",
+                    static_cast<double>(fc.total_requests) / fleet_ms * 1e3);
+    faults_json.Add("oracle_req_per_sec",
+                    static_cast<double>(fc.total_requests) / oracle_ms * 1e3);
+    faults_json.Add("match", match ? 1 : 0);
+    bench::WriteArtifact(faults_json, "BENCH_netd_faults.json");
+
+    std::printf(
+        "survivable fleet: %llu served + %llu dropped, %llu failovers,\n"
+        "%llu reconnects, outbox peak %llu B (watermark %zu), "
+        "%.1f kreq/s — %s\n\n",
+        static_cast<unsigned long long>(run.client_served),
+        static_cast<unsigned long long>(run.client_dropped),
+        static_cast<unsigned long long>(run.fleet.failovers),
+        static_cast<unsigned long long>(run.fleet.reconnects),
+        static_cast<unsigned long long>(outbox_peak),
+        fc.outbox_watermark_bytes,
+        static_cast<double>(fc.total_requests) / fleet_ms, match
+            ? "EXACT across kill, restart and delta re-sync"
+            : "MISMATCH");
+  }
 
   // Part 2 — the simulator as the protocol's second transport ------------
   {

@@ -44,8 +44,39 @@ std::vector<int> PartitionOwners(const RoutingTree& tree, int servers) {
   return owner;
 }
 
+std::vector<int> ReassignOwners(const RoutingTree& tree,
+                                const std::vector<int>& base,
+                                const std::vector<bool>& server_dead) {
+  std::vector<int> out = base;
+  for (const NodeId v : tree.preorder()) {
+    const std::size_t i = static_cast<std::size_t>(v);
+    if (!server_dead[static_cast<std::size_t>(out[i])]) continue;
+    WEBWAVE_REQUIRE(tree.parent(v) != kNoNode,
+                    "the root's owner must never be dead");
+    // The parent resolved earlier in preorder, so this chains up to the
+    // nearest alive adopter in one assignment.
+    out[i] = out[static_cast<std::size_t>(tree.parent(v))];
+  }
+  return out;
+}
+
+std::vector<OwnerDelta> OwnerDiff(const std::vector<int>& base,
+                                  const std::vector<int>& now) {
+  WEBWAVE_REQUIRE(base.size() == now.size(), "owner maps must align");
+  std::vector<OwnerDelta> out;
+  for (std::size_t v = 0; v < base.size(); ++v)
+    if (now[v] != base[v]) {
+      OwnerDelta d;
+      d.node = static_cast<NodeId>(v);
+      d.owner = static_cast<std::uint32_t>(now[v]);
+      out.push_back(d);
+    }
+  return out;
+}
+
 ServingMetrics ReplayOracle(const NetdClusterConfig& config,
-                            std::vector<TraceEvent>* trace) {
+                            std::vector<TraceEvent>* trace,
+                            std::vector<WireCounters>* epoch_counters) {
   QuotaSnapshot snapshot;
   WEBWAVE_REQUIRE(QuotaWireTable::Deserialize(config.quota_blob.data(),
                                               config.quota_blob.size(),
@@ -53,15 +84,52 @@ ServingMetrics ReplayOracle(const NetdClusterConfig& config,
                   "oracle handed a corrupt quota blob");
   const RoutingTree tree = RoutingTree::FromParents(config.parents);
   ServingOptions opt = config.serving;
-  opt.threads = 1;
+  if (opt.threads <= 0) opt.threads = 1;
   ServingPlane plane(tree, std::move(snapshot), opt);
-  if (!config.down.empty())
-    plane.SetDownNodes(
-        Span<const NodeId>(config.down.data(), config.down.size()));
-  std::vector<Request> batch(config.total_requests);
-  for (std::uint64_t i = 0; i < config.total_requests; ++i)
-    batch[i] = NetdRequestAt(config.stream_seed, i, tree.size(), config.docs);
-  plane.Serve(Span<Request>(batch.data(), batch.size()));
+  const auto serve_block = [&](std::uint64_t begin, std::uint64_t count) {
+    std::vector<Request> batch(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+      batch[i] = NetdRequestAt(config.stream_seed, begin + i, tree.size(),
+                               config.docs);
+    plane.Serve(Span<Request>(batch.data(), batch.size()));
+  };
+  if (config.epochs.empty()) {
+    if (!config.down.empty())
+      plane.SetDownNodes(
+          Span<const NodeId>(config.down.data(), config.down.size()));
+    serve_block(0, config.total_requests);
+  } else {
+    // Multi-epoch replay: each block under its epoch's table + down set
+    // — exactly the state the quiesced fleet serves that block under.
+    // Serve() numbers blocks continuously across calls, so req_ids stay
+    // the global stream index and every admission decision matches the
+    // single-shot replay.
+    std::uint64_t pos = 0;
+    for (std::size_t e = 0; e < config.epochs.size(); ++e) {
+      const NetdEpoch& ep = config.epochs[e];
+      if (e == 0) {
+        WEBWAVE_REQUIRE(ep.quota_blob == config.quota_blob &&
+                            ep.down == config.down,
+                        "epoch 0 must equal the boot state");
+      } else {
+        QuotaSnapshot next;
+        WEBWAVE_REQUIRE(
+            QuotaWireTable::Deserialize(ep.quota_blob.data(),
+                                        ep.quota_blob.size(), &next),
+            "oracle handed a corrupt epoch blob");
+        // Refresh's bool is "updated in place" vs "rebuilt", not success
+        // — epoch tables routinely change shape as placement moves.
+        plane.Refresh(std::move(next));
+      }
+      plane.SetDownNodes(Span<const NodeId>(ep.down.data(), ep.down.size()));
+      serve_block(pos, ep.requests);
+      pos += ep.requests;
+      if (epoch_counters != nullptr)
+        epoch_counters->push_back(CountersFromMetrics(plane.metrics()));
+    }
+    WEBWAVE_REQUIRE(pos == config.total_requests,
+                    "epoch blocks must cover the whole stream");
+  }
   if (trace != nullptr) *trace = plane.trace();
   return plane.metrics();
 }
@@ -101,6 +169,9 @@ WireCounters SumCounters(const std::vector<WireCounters>& all) {
     sum.backoff_slots += c.backoff_slots;
     sum.net_forwards += c.net_forwards;
     sum.gossip_sent += c.gossip_sent;
+    sum.shed_forwards += c.shed_forwards;
+    sum.reconnects += c.reconnects;
+    sum.outbox_peak_bytes += c.outbox_peak_bytes;
   }
   return sum;
 }
@@ -113,7 +184,10 @@ bool CountersMonotone(const WireCounters& a, const WireCounters& b) {
          a.dropped_requests <= b.dropped_requests &&
          a.backoff_slots <= b.backoff_slots &&
          a.net_forwards <= b.net_forwards &&
-         a.gossip_sent <= b.gossip_sent;
+         a.gossip_sent <= b.gossip_sent &&
+         a.shed_forwards <= b.shed_forwards &&
+         a.reconnects <= b.reconnects &&
+         a.outbox_peak_bytes <= b.outbox_peak_bytes;
 }
 
 namespace {
@@ -152,6 +226,19 @@ NetdRunResult RunNetdCluster(const NetdClusterConfig& config) {
   for (const int s : config.owner)
     WEBWAVE_REQUIRE(s >= 0 && s < config.server_count,
                     "owner out of range");
+  if (!config.epochs.empty()) {
+    std::uint64_t sum = 0;
+    for (const NetdEpoch& ep : config.epochs) sum += ep.requests;
+    WEBWAVE_REQUIRE(sum == config.total_requests,
+                    "epoch blocks must cover the whole stream");
+    WEBWAVE_REQUIRE(config.epochs[0].kill_servers.empty() &&
+                        config.epochs[0].restart_servers.empty(),
+                    "faults fire at transitions; none enters epoch 0");
+    WEBWAVE_REQUIRE(config.epochs[0].quota_blob == config.quota_blob &&
+                        config.epochs[0].owner == config.owner &&
+                        config.epochs[0].down == config.down,
+                    "epoch 0 must equal the boot state");
+  }
 
   // A daemon writing to a peer that already shut down must see EPIPE,
   // not die.  Set before forking so every process inherits it.
@@ -185,13 +272,48 @@ NetdRunResult RunNetdCluster(const NetdClusterConfig& config) {
     }
     pids.push_back(pid);
   }
-  for (const int fd : listen_fds) ::close(fd);
+  // The parent keeps every listen socket open for the whole run: a
+  // restarted daemon re-forks onto the SAME fd (and port), and while a
+  // daemon is dead the kernel backlog queues peer connects instead of
+  // refusing them — the fleet rides out the outage with no port races.
 
   NetdRunResult result;
   LoadgenClient loadgen(config, ports);
+  loadgen.SetFaultHooks(
+      [&](int s) {
+        const pid_t pid = pids[static_cast<std::size_t>(s)];
+        WEBWAVE_REQUIRE(pid > 0, "killing a server that is not running");
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        pid_t r;
+        do {
+          r = ::waitpid(pid, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        WEBWAVE_REQUIRE(r == pid, "waitpid after SIGKILL failed");
+        pids[static_cast<std::size_t>(s)] = -1;
+      },
+      [&](int s, const std::vector<int>& loadgen_fds) {
+        WEBWAVE_REQUIRE(pids[static_cast<std::size_t>(s)] < 0,
+                        "restarting a server that is still running");
+        const pid_t pid = ::fork();
+        WEBWAVE_REQUIRE(pid >= 0, "fork() for restart failed");
+        if (pid == 0) {
+          for (int t = 0; t < config.server_count; ++t)
+            if (t != s) ::close(listen_fds[static_cast<std::size_t>(t)]);
+          // The child also inherited the loadgen's live sockets; close
+          // them or the fleet's EOFs would never fire.
+          for (const int fd : loadgen_fds) ::close(fd);
+          CacheServerDaemon daemon(config, s,
+                                   listen_fds[static_cast<std::size_t>(s)],
+                                   ports);
+          ::_exit(daemon.Run());
+        }
+        pids[static_cast<std::size_t>(s)] = pid;
+      });
   bool ok = loadgen.Run(&result);
 
   for (const pid_t pid : pids) {
+    if (pid < 0) continue;  // killed mid-run and already reaped
     int status = 0;
     pid_t r;
     do {
@@ -199,8 +321,14 @@ NetdRunResult RunNetdCluster(const NetdClusterConfig& config) {
     } while (r < 0 && errno == EINTR);
     ok = ok && r == pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
   }
+  for (const int fd : listen_fds) ::close(fd);
 
-  result.fleet = SumCounters(result.per_server);
+  // The fleet total includes daemons killed mid-run: their pre-kill
+  // scrapes are exactly their final state (the boundary was quiesced),
+  // so fleet = live finals + retired holds across faults.
+  std::vector<WireCounters> every = result.per_server;
+  every.insert(every.end(), result.retired.begin(), result.retired.end());
+  result.fleet = SumCounters(every);
   // Per-daemon scrapes arrive in completion order within each shard;
   // across shards the only deterministic total order is the canonical
   // one — the same order ReplayOracle's single plane emits.

@@ -31,6 +31,24 @@
 
 namespace webwave {
 
+// One epoch of a multi-epoch fleet run: a block of the request stream
+// served under one quota table, down set and ownership map.  Process
+// faults happen at epoch *boundaries*: the loadgen drains in-flight to
+// zero, scrapes any victim's counters (and trace), then kills /
+// restarts the listed daemons, ships every live daemon its
+// kQuotaDelta + kEpochUpdate pair, runs a full kStatsRequest barrier
+// round, and only then resumes the stream — so each block is served
+// under exactly one fleet state and the bit-exact oracle comparison
+// extends across faults.
+struct NetdEpoch {
+  std::uint64_t requests = 0;           // stream block length
+  std::vector<NodeId> down;             // ascending; installed fleet-wide
+  std::vector<std::uint8_t> quota_blob; // full table at this epoch
+  std::vector<int> owner;               // re-homed node -> server map
+  std::vector<int> kill_servers;        // SIGKILLed entering this epoch
+  std::vector<int> restart_servers;     // re-forked entering this epoch
+};
+
 struct NetdClusterConfig {
   // The carved tree, as a parent array (RoutingTree::FromParents form).
   std::vector<NodeId> parents;
@@ -60,6 +78,24 @@ struct NetdClusterConfig {
   // kStatsRequest on this cadence *while the stream is in flight* and
   // records the replies as NetdStatsSamples (0 = final sample only).
   int stats_scrape_period_ms = 0;
+  // Multi-epoch closed loop: when non-empty, the stream is served in
+  // epoch blocks (sum of requests must equal total_requests) and epoch 0
+  // must match the boot state (quota_blob, owner, down) since daemons
+  // construct from it and no transition into epoch 0 is ever sent.
+  std::vector<NetdEpoch> epochs;
+  // Bounded backpressure: a forward that would push a peer connection's
+  // outbox past this many queued bytes is shed (the origin gets a
+  // kDropped reply and netd.shed_forwards counts it) instead of
+  // buffering unboundedly behind a slow or dead peer.
+  std::size_t outbox_watermark_bytes = std::size_t{1} << 20;
+  // Non-blocking peer connect deadline before the attempt counts as
+  // failed and the counter-hash backoff schedules a retry.
+  int connect_timeout_ms = 2000;
+  // Loadgen load-reactive window: when > 0, a GetReply whose piggybacked
+  // load exceeds factor x (completed / server_count) halves the live
+  // window (additive +1 recovery up to `window`).  Pacing only — the
+  // stream content and every admission decision are unaffected.
+  double load_window_factor = 0;
 };
 
 // Request i of stream `seed` — a pure counter function, evaluated
@@ -89,13 +125,37 @@ CarvedTree CarveSubtree(const RoutingTree& big, NodeId r);
 // connected (preorder keeps subtrees together).
 std::vector<int> PartitionOwners(const RoutingTree& tree, int servers);
 
+// Re-homes ownership around dead servers: every node owned by a dead
+// server is adopted by its parent's (already re-homed) owner, walking
+// preorder so parents resolve first.  Preserves the up-the-tree owner
+// monotonicity that terminates forward chains (new[v] <= base[v]
+// everywhere).  The root's owner (server 0) must be alive.
+std::vector<int> ReassignOwners(const RoutingTree& tree,
+                                const std::vector<int>& base,
+                                const std::vector<bool>& server_dead);
+
+// The sparse (node, owner) pairs where `now` differs from `base`,
+// ascending by node — the kEpochUpdate payload.  Stateless by design:
+// a daemon applies them to a fresh copy of the base map, so a rejoining
+// process that missed epochs is current after one update.
+std::vector<OwnerDelta> OwnerDiff(const std::vector<int>& base,
+                                  const std::vector<int>& now);
+
 // Replays the config's stream on one all-owning plane built from the
 // same quota blob — the oracle the fleet is compared against.  When
 // `trace` is non-null and config.serving.trace is set, the oracle's
 // sampled TraceEvent stream is copied out (already canonical order) —
 // the record-for-record reference for the fleet's scraped traces.
+// With config.epochs set, each epoch's block is replayed under that
+// epoch's table + down set (Refresh between blocks), and
+// `epoch_counters` (if non-null) receives the cumulative counter set
+// after each epoch — the reference for the fleet's quiesced barrier
+// samples.  Runs config.serving.threads workers (order-free admission
+// makes the counters thread-count invariant).
 ServingMetrics ReplayOracle(const NetdClusterConfig& config,
-                            std::vector<TraceEvent>* trace = nullptr);
+                            std::vector<TraceEvent>* trace = nullptr,
+                            std::vector<WireCounters>* epoch_counters =
+                                nullptr);
 
 // The scalar counters of a ServingMetrics, in WireCounters form (the
 // transport-level fields net_forwards/gossip_sent stay 0 — the oracle
@@ -135,6 +195,19 @@ struct NetdRunResult {
   // The fleet's sampled trace records (config.serving.trace), merged
   // across daemons and canonicalized to (req_id, seq) order.
   std::vector<TraceEvent> trace;
+  // Final counters of daemons killed mid-run, scraped at the quiesced
+  // boundary just before each SIGKILL.  `fleet` includes them, so the
+  // sum law holds across faults: fleet = live finals + retired.
+  std::vector<WireCounters> retired;
+  // One quiesced barrier sample per epoch *transition* (epochs 1..E-1):
+  // every live daemon's counters after its delta + epoch update landed.
+  // Dead slots stay zero — their final counters are in `retired` — so
+  // SumCounters(sample) + retired-so-far equals the oracle's cumulative
+  // counters after the preceding epoch.
+  std::vector<NetdStatsSample> epoch_samples;
+  // The epoch each restarted daemon announced in its rejoin Hello —
+  // always 0 (a fresh boot serves the base table until its delta lands).
+  std::vector<std::uint32_t> rejoin_hello_epochs;
 };
 
 // Forks config.server_count daemons, runs the loadgen against them,

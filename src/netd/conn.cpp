@@ -22,17 +22,40 @@ int MakeNonBlocking(int fd) {
   return fd;
 }
 
+void FrameConn::ResetFd(int new_fd) {
+  WEBWAVE_REQUIRE(connecting_ && out_start_ == 0,
+                  "ResetFd on a conn that already touched the wire");
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = new_fd;
+  closed_ = false;
+  in_.clear();
+  in_start_ = 0;
+}
+
 bool FrameConn::Flush() {
-  while (!out_.empty()) {
-    const ssize_t n = ::write(fd_, out_.data(), out_.size());
+  if (connecting_) return true;  // corked until the connect completes
+  while (out_.size() > out_start_) {
+    // Resume at the consumed-prefix cursor: after a short write the
+    // remaining bytes of the partial frame go out before anything
+    // queued later, so frames never interleave on the wire.
+    const ssize_t n =
+        ::write(fd_, out_.data() + out_start_, out_.size() - out_start_);
     if (n > 0) {
-      out_.erase(out_.begin(), out_.begin() + n);
+      out_start_ += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET / EOF-ish: the peer is gone mid-frame.  A clean
+    // conn-down — the owner sees false and retires the connection.
     closed_ = true;
     return false;
+  }
+  // Trim lazily: only once everything queued has been written, so a
+  // burst of short writes costs zero memmoves.
+  if (out_start_ == out_.size() && out_start_ > 0) {
+    out_.clear();
+    out_start_ = 0;
   }
   return true;
 }

@@ -6,6 +6,21 @@
 // Writes append encoded frames to an output buffer and flush as much as
 // the socket accepts; the owner toggles the event loop's write interest
 // off `want_write()` after each send/flush.
+//
+// Robustness contract (PR 9): a short write leaves the unsent suffix
+// queued and the next Flush resumes mid-frame at the exact byte offset —
+// frames can never interleave because there is exactly one output buffer
+// and writes always start at its consumed-prefix cursor.  EPIPE /
+// ECONNRESET mid-frame (the peer died) marks the connection closed and
+// returns false — a clean conn-down event the owner handles, never a
+// crash (the daemons ignore SIGPIPE).  While `connecting` is set the
+// conn is corked: Send() queues but nothing touches the socket until
+// the non-blocking connect completes and the owner uncorks.
+//
+// outbox_bytes()/outbox_peak() expose the queued-output depth for the
+// daemon's watermark policy: a forward that would push a peer conn past
+// the high-watermark is shed into the failover path instead of buffering
+// unboundedly behind a slow or dead peer.
 #pragma once
 
 #include <cstdint>
@@ -31,17 +46,35 @@ class FrameConn {
   template <typename Message>
   void Send(const Message& m) {
     MessageCodec::Encode(m, &out_);
+    NotePeak();
     Flush();
   }
   void SendControl(MsgType type) {
     MessageCodec::EncodeControl(type, &out_);
+    NotePeak();
     Flush();
   }
 
   // Writes as much queued output as the socket accepts.  Returns false
   // when the connection died (peer reset).
   bool Flush();
-  bool want_write() const { return !out_.empty(); }
+  bool want_write() const { return out_.size() > out_start_ || connecting_; }
+
+  // Cork control for non-blocking connect: while connecting, Send()
+  // queues frames but Flush() leaves the socket untouched.
+  void set_connecting(bool on) { connecting_ = on; }
+  bool connecting() const { return connecting_; }
+
+  // Swaps in a fresh socket for a connect retry, keeping the queued
+  // outbox.  Only legal while corked (nothing was ever written, so the
+  // outbox still starts at a frame boundary and replays cleanly on the
+  // new socket).  Pass -1 to park the conn with no socket between
+  // backoff attempts.
+  void ResetFd(int new_fd);
+
+  // Bytes currently queued and the high-water mark since construction.
+  std::size_t outbox_bytes() const { return out_.size() - out_start_; }
+  std::size_t outbox_peak() const { return outbox_peak_; }
 
   // Drains the socket and invokes on_frame for every complete frame.
   // Returns false on EOF or error (the connection is done); throws on
@@ -50,11 +83,18 @@ class FrameConn {
   bool OnReadable(const std::function<void(const WireMessage&)>& on_frame);
 
  private:
+  void NotePeak() {
+    if (outbox_bytes() > outbox_peak_) outbox_peak_ = outbox_bytes();
+  }
+
   int fd_;
   bool closed_ = false;
+  bool connecting_ = false;
   std::vector<std::uint8_t> in_;
-  std::size_t in_start_ = 0;  // consumed prefix of in_
+  std::size_t in_start_ = 0;   // consumed prefix of in_
   std::vector<std::uint8_t> out_;
+  std::size_t out_start_ = 0;  // consumed prefix of out_ (lazy trim)
+  std::size_t outbox_peak_ = 0;
 };
 
 // Makes fd non-blocking (and close-on-exec); returns fd.

@@ -5,11 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include "util/check.h"
-#include "wire/quota_wire.h"
+#include "util/rng.h"
 
 namespace webwave {
 
@@ -32,22 +34,26 @@ CacheServerDaemon::CacheServerDaemon(const NetdClusterConfig& config,
       listen_fd_(listen_fd),
       ports_(std::move(ports)),
       tree_(RoutingTree::FromParents(config.parents)),
-      peer_fd_(config.server_count, -1) {
+      table_(SnapshotFromBlob(config.quota_blob)),
+      owner_(config.owner),
+      peers_(static_cast<std::size_t>(config.server_count)) {
   WEBWAVE_REQUIRE(config.serving.block_size == 1,
                   "netd requires block_size == 1 (the order-free admission "
                   "regime) so async fleets stay bit-comparable to the oracle");
   ServingOptions opt = config.serving;
   opt.threads = 1;  // a forked daemon must never spawn threads
-  plane_ = std::make_unique<ServingPlane>(tree_, SnapshotFromBlob(config.quota_blob),
-                                          opt);
+  plane_ = std::make_unique<ServingPlane>(tree_, table_, opt);
   for (NodeId v = 0; v < tree_.size(); ++v)
-    if (config.owner[static_cast<std::size_t>(v)] == index_) shard_.push_back(v);
+    if (owner_[static_cast<std::size_t>(v)] == index_) shard_.push_back(v);
   plane_->SetSegmentNodes(Span<const NodeId>(shard_.data(), shard_.size()));
   if (!config.down.empty())
     plane_->SetDownNodes(Span<const NodeId>(config.down.data(), config.down.size()));
   plane_->AttachRegistry(&registry_, "serve.");
   reg_net_forwards_ = registry_.Counter("netd.net_forwards");
   reg_gossip_sent_ = registry_.Counter("netd.gossip_sent");
+  reg_shed_forwards_ = registry_.Counter("netd.shed_forwards");
+  reg_reconnects_ = registry_.Counter("netd.reconnects");
+  reg_outbox_peak_ = registry_.Gauge("netd.outbox_peak_bytes");
 }
 
 CacheServerDaemon::~CacheServerDaemon() {
@@ -87,16 +93,18 @@ void CacheServerDaemon::AdoptConn(int fd) {
 }
 
 void CacheServerDaemon::DropConn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  NoteOutboxPeak(*it->second);
   loop_.Unwatch(fd);
-  for (int& pf : peer_fd_)
-    if (pf == fd) pf = -1;
-  conns_.erase(fd);  // closes the fd
+  conns_.erase(it);  // closes the fd
 }
 
 void CacheServerDaemon::UpdateWriteInterest(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   FrameConn* c = it->second.get();
+  NoteOutboxPeak(*c);
   if (c->closed()) {
     DropConn(fd);
     return;
@@ -149,13 +157,36 @@ void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
       }
       break;
     }
+    case MsgType::kQuotaDelta:
+      ApplyQuotaDelta(msg.delta);
+      break;
+    case MsgType::kEpochUpdate:
+      ApplyEpochUpdate(msg.epoch_update);
+      break;
+    case MsgType::kHello:
+      // The rejoin handshake: a loadgen Hello is answered with this
+      // daemon's identity and current epoch, so the control node knows
+      // which table the daemon is serving from (a fresh boot says 0 and
+      // is then brought current by one delta).  Peer-server Hellos are
+      // introductions only.
+      if (msg.hello.kind == PeerKind::kLoadgen) {
+        const auto it = conns_.find(from_fd);
+        if (it != conns_.end()) {
+          Hello h;
+          h.kind = PeerKind::kServer;
+          h.sender = static_cast<std::uint32_t>(index_);
+          h.epoch = epoch_;
+          it->second->Send(h);
+          UpdateWriteInterest(from_fd);
+        }
+      }
+      break;
     case MsgType::kShutdown:
       loop_.Stop(0);
       break;
-    case MsgType::kHello:
     case MsgType::kStatsReply:
     case MsgType::kTraceReply:
-      break;  // peer introductions; nothing to do
+      break;  // never addressed to a daemon; ignore
   }
 }
 
@@ -173,13 +204,36 @@ void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
       break;
     }
     case ServingPlane::WireServe::kForwarded: {
-      const int target =
-          config_.owner[static_cast<std::size_t>(fwd.origin_node)];
+      const int target = owner_[static_cast<std::size_t>(fwd.origin_node)];
       FrameConn* peer = ConnTo(target);
+      constexpr std::size_t kFrameBytes =
+          MessageCodec::kHeaderSize + MessageCodec::kGetRequestSize;
+      if (peer->outbox_bytes() + kFrameBytes >
+          config_.outbox_watermark_bytes) {
+        // Bounded backpressure: shed into the failover path instead of
+        // queueing unboundedly behind a slow or dead peer.  The plane's
+        // oracle-compared counters are untouched — this is a transport
+        // event, counted by netd.shed_forwards alone.
+        GetReply shed;
+        shed.req_id = req.req_id;
+        shed.doc = req.doc;
+        shed.serving_node = kNoNode;
+        shed.result = GetResult::kDropped;
+        shed.hops = fwd.ttl_hops;
+        shed.load = 0;
+        shed.version = epoch_;
+        registry_.Add(reg_shed_forwards_, 1);
+        const auto it = conns_.find(from_fd);
+        if (it != conns_.end()) {
+          it->second->Send(shed);
+          UpdateWriteInterest(from_fd);
+        }
+        break;
+      }
       pending_[req.req_id] = from_fd;
       peer->Send(fwd);
       registry_.Add(reg_net_forwards_, 1);
-      UpdateWriteInterest(peer->fd());
+      UpdatePeerWriteInterest(target);
       break;
     }
   }
@@ -187,31 +241,203 @@ void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
 
 FrameConn* CacheServerDaemon::ConnTo(int s) {
   WEBWAVE_REQUIRE(s != index_, "a shard never forwards to itself");
-  if (peer_fd_[static_cast<std::size_t>(s)] >= 0)
-    return conns_[peer_fd_[static_cast<std::size_t>(s)]].get();
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  if (link.st == PeerLink::St::kIdle) {
+    if (!link.conn) {
+      // First contact: a fresh corked conn whose queue begins with this
+      // daemon's introduction, so Hello always precedes any forward —
+      // including across socket retries (the corked queue replays
+      // whole).
+      link.conn = std::make_unique<FrameConn>(-1);
+      link.conn->set_connecting(true);
+      Hello hello;
+      hello.kind = PeerKind::kServer;
+      hello.sender = static_cast<std::uint32_t>(index_);
+      hello.epoch = epoch_;
+      link.conn->Send(hello);
+    }
+    StartConnect(s);
+  }
+  return link.conn.get();
+}
+
+void CacheServerDaemon::StartConnect(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
+  MakeNonBlocking(fd);
+  link.conn->ResetFd(fd);
+  link.st = PeerLink::St::kConnecting;
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof addr);
   addr.sin_family = AF_INET;
   addr.sin_port = htons(ports_[static_cast<std::size_t>(s)]);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  // Blocking connect on purpose: the peer's listen socket already exists
-  // (created by the parent before any fork), so the kernel completes the
-  // handshake immediately regardless of whether the peer polled yet.
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   } while (rc < 0 && errno == EINTR);
-  WEBWAVE_REQUIRE(rc == 0, "connect() to a peer daemon failed");
-  AdoptConn(fd);
-  peer_fd_[static_cast<std::size_t>(s)] = fd;
-  Hello hello;
-  hello.kind = PeerKind::kServer;
-  hello.sender = static_cast<std::uint32_t>(index_);
-  conns_[fd]->Send(hello);
-  UpdateWriteInterest(fd);
-  return conns_[fd].get();
+  if (rc == 0) {
+    FinishConnect(s);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ConnectFailed(s);
+    return;
+  }
+  // In flight: writability signals the outcome, the timer bounds it.
+  loop_.WatchRead(fd, [this, s] {
+    // Readable while connecting means the handshake resolved (possibly
+    // with an error); SO_ERROR disambiguates.
+    CheckConnect(s);
+  });
+  loop_.SetWriteInterest(fd, true, [this, s] { CheckConnect(s); });
+  link.timer = loop_.AddTimer(config_.connect_timeout_ms, [this, s] {
+    peers_[static_cast<std::size_t>(s)].timer_armed = false;
+    ConnectFailed(s);
+  });
+  link.timer_armed = true;
+}
+
+void CacheServerDaemon::CheckConnect(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  if (link.st != PeerLink::St::kConnecting || !link.conn ||
+      link.conn->fd() < 0)
+    return;
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(link.conn->fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+    err = errno;
+  if (err == 0) {
+    FinishConnect(s);
+  } else if (err != EINPROGRESS && err != EALREADY) {
+    ConnectFailed(s);
+  }
+}
+
+void CacheServerDaemon::FinishConnect(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  CancelPeerTimer(s);
+  link.st = PeerLink::St::kLive;
+  link.attempts = 0;
+  const int fd = link.conn->fd();
+  link.conn->set_connecting(false);
+  loop_.WatchRead(fd, [this, s] {
+    PeerLink& l = peers_[static_cast<std::size_t>(s)];
+    if (l.st != PeerLink::St::kLive || !l.conn) return;
+    const bool alive = l.conn->OnReadable(
+        [this, fd2 = l.conn->fd()](const WireMessage& m) { OnFrame(fd2, m); });
+    if (!alive) PeerConnDown(s);
+  });
+  if (!link.conn->Flush()) {
+    PeerConnDown(s);
+    return;
+  }
+  UpdatePeerWriteInterest(s);
+}
+
+void CacheServerDaemon::ConnectFailed(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  CancelPeerTimer(s);
+  if (link.conn->fd() >= 0) {
+    loop_.Unwatch(link.conn->fd());
+    link.conn->ResetFd(-1);  // park: keep the corked queue, drop the socket
+  }
+  link.st = PeerLink::St::kIdle;
+  link.attempts++;
+  registry_.Add(reg_reconnects_, 1);
+  const std::uint64_t delay = ReconnectDelayMs(s, link.attempts);
+  link.timer = loop_.AddTimer(static_cast<int>(delay), [this, s] {
+    PeerLink& l = peers_[static_cast<std::size_t>(s)];
+    l.timer_armed = false;
+    if (l.st == PeerLink::St::kIdle && l.conn) StartConnect(s);
+  });
+  link.timer_armed = true;
+}
+
+void CacheServerDaemon::PeerConnDown(int s) {
+  // A live peer conn died (peer crashed or reset).  A partial frame may
+  // already be on the dead wire, so the queue cannot be replayed —
+  // discard the conn; the next forward makes a fresh one (ConnTo) and
+  // counts the reconnect.
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  if (link.conn) {
+    NoteOutboxPeak(*link.conn);
+    if (link.conn->fd() >= 0) loop_.Unwatch(link.conn->fd());
+  }
+  CancelPeerTimer(s);
+  link.conn.reset();
+  link.st = PeerLink::St::kIdle;
+  link.attempts = 0;
+  registry_.Add(reg_reconnects_, 1);
+}
+
+void CacheServerDaemon::UpdatePeerWriteInterest(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  if (!link.conn) return;
+  NoteOutboxPeak(*link.conn);
+  if (link.st != PeerLink::St::kLive) return;  // corked; nothing to flush
+  if (link.conn->closed()) {
+    PeerConnDown(s);
+    return;
+  }
+  const int fd = link.conn->fd();
+  loop_.SetWriteInterest(fd, link.conn->want_write(), [this, s] {
+    PeerLink& l = peers_[static_cast<std::size_t>(s)];
+    if (l.st != PeerLink::St::kLive || !l.conn) return;
+    if (!l.conn->Flush()) {
+      PeerConnDown(s);
+      return;
+    }
+    UpdatePeerWriteInterest(s);
+  });
+}
+
+void CacheServerDaemon::CancelPeerTimer(int s) {
+  PeerLink& link = peers_[static_cast<std::size_t>(s)];
+  if (link.timer_armed) {
+    loop_.CancelTimer(link.timer);
+    link.timer_armed = false;
+  }
+}
+
+std::uint64_t CacheServerDaemon::ReconnectDelayMs(
+    int s, std::uint32_t attempt) const {
+  // Same dither law as serving backoff (serving_plane.cpp): a unit
+  // double hashed from (key, attempt) scales an exponentially growing
+  // slot window; here one slot is one millisecond.  key mixes the
+  // ordered server pair so no two links share a phase.
+  std::uint64_t pair = 0x9e3779b97f4a7c15ULL *
+                           static_cast<std::uint64_t>(index_ + 1) +
+                       static_cast<std::uint64_t>(s);
+  const std::uint64_t key = SplitMix64(pair);
+  const double u = CounterUnitDouble(key + 0xd1342543de82ef95ULL * attempt);
+  const std::uint32_t cap = attempt < 16 ? attempt : 16;
+  const double window = static_cast<double>(1ULL << cap);
+  return 1 + static_cast<std::uint64_t>(u * window);
+}
+
+void CacheServerDaemon::ApplyQuotaDelta(const QuotaDelta& delta) {
+  WEBWAVE_REQUIRE(QuotaWireTable::ApplyDelta(delta, &table_),
+                  "netd daemon handed an inapplicable quota delta");
+  plane_->Refresh(table_);
+  epoch_ = delta.epoch;
+  plane_->SetTableVersion(epoch_);
+}
+
+void CacheServerDaemon::ApplyEpochUpdate(const EpochUpdate& update) {
+  // Stateless by design: overrides apply to a fresh copy of the boot
+  // map, so the same frame lands identically on a daemon that saw every
+  // epoch and one that just rebooted.
+  owner_ = config_.owner;
+  for (const OwnerDelta& d : update.reassign)
+    owner_[static_cast<std::size_t>(d.node)] = static_cast<int>(d.owner);
+  shard_.clear();
+  for (NodeId v = 0; v < tree_.size(); ++v)
+    if (owner_[static_cast<std::size_t>(v)] == index_) shard_.push_back(v);
+  plane_->SetSegmentNodes(Span<const NodeId>(shard_.data(), shard_.size()));
+  plane_->SetDownNodes(
+      Span<const NodeId>(update.down.data(), update.down.size()));
 }
 
 void CacheServerDaemon::ScheduleGossip() {
@@ -228,10 +454,17 @@ void CacheServerDaemon::GossipTick() {
   g.epoch = gossip_epoch_++;
   g.load = static_cast<double>(plane_->metrics().requests);
   const int target = (index_ + 1) % config_.server_count;
+  if (target == index_) return;
   FrameConn* peer = ConnTo(target);
   peer->Send(g);
   registry_.Add(reg_gossip_sent_, 1);
-  UpdateWriteInterest(peer->fd());
+  UpdatePeerWriteInterest(target);
+}
+
+void CacheServerDaemon::NoteOutboxPeak(const FrameConn& c) {
+  const std::size_t peak = c.outbox_peak();
+  if (static_cast<std::int64_t>(peak) > registry_.gauge(reg_outbox_peak_))
+    registry_.Set(reg_outbox_peak_, static_cast<std::int64_t>(peak));
 }
 
 WireCounters CacheServerDaemon::Counters() const {
@@ -247,6 +480,10 @@ WireCounters CacheServerDaemon::Counters() const {
   c.backoff_slots = m.backoff_slots;
   c.net_forwards = registry_.counter(reg_net_forwards_);
   c.gossip_sent = registry_.counter(reg_gossip_sent_);
+  c.shed_forwards = registry_.counter(reg_shed_forwards_);
+  c.reconnects = registry_.counter(reg_reconnects_);
+  c.outbox_peak_bytes =
+      static_cast<std::uint64_t>(registry_.gauge(reg_outbox_peak_));
   return c;
 }
 

@@ -10,6 +10,26 @@
 // to the client.  A timer-wheel cadence emits LoadGossip to the next
 // server on the ring — the transport-plane heartbeat; gossip counters
 // are reported but (unlike the serving counters) not oracle-compared.
+//
+// Survivability (PR 9) — see src/netd/README.md for the full state
+// machine:
+//   * Peer connects are non-blocking with a timer-wheel deadline; while
+//     connecting the FrameConn is corked, so forwards queue as whole
+//     frames and replay cleanly if the socket has to be remade.  A
+//     failed attempt schedules a retry under the same counter-hash
+//     dither law as serving backoff (1 ms slots), so every daemon's
+//     reconnect schedule is a pure function of (server pair, attempt).
+//   * A forward that would push a peer conn's outbox past the
+//     watermark is shed into the failover path: the origin gets a
+//     synthesized kDropped reply and netd.shed_forwards counts it; the
+//     plane's oracle-compared counters are never touched.
+//   * Epoch control frames keep a (possibly restarted) daemon current:
+//     kQuotaDelta patches the boot table row-by-row (bit-exact whole-row
+//     splice) and refreshes the plane; kEpochUpdate installs the down
+//     set and the re-homed ownership map as base + sparse overrides.
+//     A loadgen Hello is answered with Hello{kServer, index, epoch} —
+//     the rejoin handshake that tells the control node which table the
+//     daemon is serving from.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +41,7 @@
 #include "netd/conn.h"
 #include "netd/event_loop.h"
 #include "obs/metric_registry.h"
+#include "wire/quota_wire.h"
 
 namespace webwave {
 
@@ -36,17 +57,45 @@ class CacheServerDaemon {
   int Run();
 
  private:
+  // Outgoing peer connection lifecycle: kIdle (no socket) ->
+  // kConnecting (non-blocking connect or backoff wait; conn corked) ->
+  // kLive (uncorked, flushing).  A live conn that dies goes back to
+  // kIdle with its outbox discarded (a partial frame may have left, so
+  // the queue cannot be replayed); the next forward reconnects.
+  struct PeerLink {
+    enum class St : std::uint8_t { kIdle, kConnecting, kLive };
+    St st = St::kIdle;
+    std::unique_ptr<FrameConn> conn;
+    std::uint32_t attempts = 0;  // failed connects since last success
+    std::uint64_t timer = 0;     // connect-deadline or backoff timer id
+    bool timer_armed = false;
+  };
+
   void OnAcceptable();
   void AdoptConn(int fd);
   void DropConn(int fd);
   void UpdateWriteInterest(int fd);
   void OnFrame(int from_fd, const WireMessage& msg);
   void HandleRequest(int from_fd, const GetRequest& req);
-  // The connection to peer server `s`, connecting (and saying Hello) on
-  // first use.
+  // The connection to peer server `s`, starting a non-blocking connect
+  // (and queueing Hello) on first use.  Always returns a conn frames can
+  // be queued on; it may still be corked.
   FrameConn* ConnTo(int s);
+  void StartConnect(int s);
+  void CheckConnect(int s);     // writable while connecting: SO_ERROR
+  void FinishConnect(int s);    // uncork, watch, flush
+  void ConnectFailed(int s);    // park + counter-hash backoff retry
+  void PeerConnDown(int s);     // a live peer conn died
+  void UpdatePeerWriteInterest(int s);
+  void CancelPeerTimer(int s);
+  // Dither-phased retry delay in ms for attempt `attempt` to server `s`
+  // — same hash law as serving backoff, 1 ms slots.
+  std::uint64_t ReconnectDelayMs(int s, std::uint32_t attempt) const;
+  void ApplyQuotaDelta(const QuotaDelta& delta);
+  void ApplyEpochUpdate(const EpochUpdate& update);
   void ScheduleGossip();
   void GossipTick();
+  void NoteOutboxPeak(const FrameConn& c);
   WireCounters Counters() const;
 
   const NetdClusterConfig& config_;
@@ -57,10 +106,19 @@ class CacheServerDaemon {
   RoutingTree tree_;
   std::unique_ptr<ServingPlane> plane_;
   std::vector<NodeId> shard_;  // nodes this daemon owns
+  // Epoch state: the table the plane serves from (patched in place by
+  // kQuotaDelta), the current ownership map (base + kEpochUpdate
+  // overrides) and which epoch both belong to.  A fresh boot is always
+  // epoch 0 — the shared boot blob and base owner map.
+  QuotaSnapshot table_;
+  std::vector<int> owner_;
+  std::uint32_t epoch_ = 0;
 
   EventLoop loop_;
+  // Accepted (incoming) connections, keyed by fd.  Outgoing peer conns
+  // live in peers_ instead so they survive socket retries.
   std::unordered_map<int, std::unique_ptr<FrameConn>> conns_;
-  std::vector<int> peer_fd_;  // server -> outgoing conn fd, -1 if none
+  std::vector<PeerLink> peers_;  // server -> outgoing link
   // req_id -> fd the request arrived on; how a reply retraces the
   // forward chain.  Walks climb the tree, preorder positions only
   // decrease, so a request visits each shard at most once and the map
@@ -75,6 +133,8 @@ class CacheServerDaemon {
   // registry, so kStatsReply and the registry can never disagree.
   MetricRegistry registry_;
   MetricRegistry::Id reg_net_forwards_{}, reg_gossip_sent_{};
+  MetricRegistry::Id reg_shed_forwards_{}, reg_reconnects_{};
+  MetricRegistry::Id reg_outbox_peak_{};  // gauge: high-water mark, bytes
 };
 
 }  // namespace webwave

@@ -1,0 +1,47 @@
+// BuildEpochPlan — the closed-loop control plane behind a multi-epoch
+// netd run.
+//
+// One diffusion engine (BatchWebWaveSimulator + EpochDriver +
+// FaultProjector) plays the control node: per epoch it folds the epoch's
+// own request block into demand churn (the fleet learns from the stream
+// it serves), applies the process-fault plan's crash/recover transitions
+// as node-level fault events over the dead servers' shards (quota
+// re-homes to the nearest live ancestor copy, conservation asserted
+// inside the driver), and snapshots the resulting serving table.  Each
+// NetdEpoch then carries exactly what the loadgen ships at the boundary:
+// the full table (the loadgen diffs consecutive blobs into kQuotaDelta
+// frames), the projector's down set, and the ReassignOwners-re-homed
+// ownership map, plus the plan's kill/restart lists.
+//
+// Everything here is a pure function of (config, options): the fleet and
+// the in-process oracle both replay the same plan, which is what makes
+// the cross-fault counter comparison bit-exact.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/process_faults.h"
+#include "netd/cluster.h"
+#include "serve/epoch_driver.h"
+
+namespace webwave {
+
+struct EpochPlanOptions {
+  int epochs = 4;
+  std::uint64_t requests_per_epoch = 0;  // required > 0
+  EpochDriver::Options driver;
+  // Evaluated over the fleet star (see fault/process_faults.h); only
+  // used when inject_faults is set.
+  FaultScheduleOptions faults;
+  bool inject_faults = true;
+};
+
+// Fills config->epochs (and the derived boot state: quota_blob, down,
+// total_requests) from the closed loop described above.  Requires
+// config->parents/owner/server_count/docs/stream_seed to be set.
+// Returns the process-fault plan the epochs were built from, so callers
+// can assert against the same schedule.
+ProcessFaultPlan BuildEpochPlan(NetdClusterConfig* config,
+                                const EpochPlanOptions& options);
+
+}  // namespace webwave

@@ -58,6 +58,27 @@ void EventLoop::CancelTimer(std::uint64_t id) {
   }
 }
 
+int EventLoop::NextTimerDelayMs() const {
+  if (active_timers_ == 0) return -1;
+  // A timer in the slot the cursor sits on fires only after a full
+  // revolution (AdvanceWheel moves first, then drains), so offset 0
+  // means kWheelSlots ticks, not zero.
+  std::uint64_t best_ticks = ~std::uint64_t{0};
+  for (std::size_t s = 0; s < kWheelSlots; ++s) {
+    if (wheel_[s].empty()) continue;
+    const std::size_t off = (s + kWheelSlots - wheel_pos_) % kWheelSlots;
+    const std::uint64_t base = off == 0 ? kWheelSlots : off;
+    for (const Timer& t : wheel_[s])
+      best_ticks = std::min(
+          best_ticks,
+          base + static_cast<std::uint64_t>(t.rounds) * kWheelSlots);
+  }
+  const std::int64_t due =
+      wheel_time_ms_ + static_cast<std::int64_t>(best_ticks) * kTickMs;
+  const std::int64_t delay = due - NowMs();
+  return delay < 0 ? 0 : static_cast<int>(delay);
+}
+
 void EventLoop::AdvanceWheel() {
   const std::int64_t now = NowMs();
   while (wheel_time_ms_ + kTickMs <= now) {
@@ -98,7 +119,15 @@ int EventLoop::Run() {
       fds.push_back(p);
       order.push_back(fd);
     }
-    const int timeout = active_timers_ > 0 || !watches_.empty() ? kTickMs : 10;
+    // Sleep until the nearest timer deadline (fd readiness wakes poll
+    // regardless), bounded by kIdleTimeoutMs so the wheel clock never
+    // drifts far; with nothing to wait for, a short nap keeps a bare
+    // loop responsive to Stop() from a signal-free test harness.
+    int timeout;
+    if (active_timers_ > 0)
+      timeout = std::min(NextTimerDelayMs(), kIdleTimeoutMs);
+    else
+      timeout = watches_.empty() ? 10 : kIdleTimeoutMs;
     const int n = ::poll(fds.data(), fds.size(), timeout);
     AdvanceWheel();
     if (!running_) break;

@@ -45,6 +45,13 @@ class EventLoop {
   std::uint64_t AddTimer(int delay_ms, TimerCallback cb);
   void CancelTimer(std::uint64_t id);
 
+  // Milliseconds until the nearest pending timer is due (0 if overdue),
+  // or -1 when no timers are pending.  O(kWheelSlots + timers) — Run()
+  // calls it once per poll round to sleep exactly until the next
+  // deadline instead of ticking blindly, so sparse timers (reconnect
+  // backoff under light traffic) fire on schedule without busy-polling.
+  int NextTimerDelayMs() const;
+
   // Dispatches until Stop() is called.  Returns the Stop code.
   int Run();
   void Stop(int code = 0);
@@ -55,6 +62,10 @@ class EventLoop {
  private:
   static constexpr int kTickMs = 4;
   static constexpr std::size_t kWheelSlots = 256;
+  // Upper bound on one poll sleep: a watched fd can become readable any
+  // time, but poll wakes on readiness anyway — this only bounds how
+  // stale the wheel clock may get before an AdvanceWheel catch-up.
+  static constexpr int kIdleTimeoutMs = 100;
 
   struct Watch {
     IoCallback on_readable;

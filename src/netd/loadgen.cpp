@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,6 +17,9 @@ namespace {
 // Hard ceiling on one fleet run; a hung daemon fails the run instead of
 // wedging the harness (and CI) forever.
 constexpr int kRunTimeoutMs = 120000;
+// The load-reactive window never shrinks below this: progress must
+// continue even when every reply reports a hot shard.
+constexpr std::uint64_t kMinWindow = 16;
 }  // namespace
 
 LoadgenClient::LoadgenClient(const NetdClusterConfig& config,
@@ -29,36 +33,57 @@ LoadgenClient::LoadgenClient(const NetdClusterConfig& config,
 
 void LoadgenClient::ConnectAll() {
   conns_.resize(static_cast<std::size_t>(config_.server_count));
-  for (int s = 0; s < config_.server_count; ++s) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof addr);
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(ports_[static_cast<std::size_t>(s)]);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    int rc;
-    do {
-      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-    } while (rc < 0 && errno == EINTR);
-    WEBWAVE_REQUIRE(rc == 0, "connect() to a daemon failed");
-    MakeNonBlocking(fd);
-    conns_[static_cast<std::size_t>(s)] = std::make_unique<FrameConn>(fd);
-    loop_.WatchRead(fd, [this, s] {
-      FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
-      const bool alive =
-          c->OnReadable([this, s](const WireMessage& m) { OnFrame(s, m); });
-      if (!alive && !shutdown_sent_) {
-        failed_ = true;  // a daemon died under us
-        loop_.Stop(1);
-      }
-    });
-    Hello hello;
-    hello.kind = PeerKind::kLoadgen;
-    hello.sender = 0;
-    conns_[static_cast<std::size_t>(s)]->Send(hello);
-    UpdateWriteInterest(s);
-  }
+  for (int s = 0; s < config_.server_count; ++s) ConnectOne(s);
+}
+
+void LoadgenClient::ConnectOne(int s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  WEBWAVE_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ports_[static_cast<std::size_t>(s)]);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // Blocking connect on purpose: the listen socket is held open by the
+  // parent for the whole run, so the kernel completes the handshake
+  // immediately (backlog) even if the daemon has not polled yet — true
+  // for the initial fleet and for a just-restarted daemon alike.
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  WEBWAVE_REQUIRE(rc == 0, "connect() to a daemon failed");
+  MakeNonBlocking(fd);
+  conns_[static_cast<std::size_t>(s)] = std::make_unique<FrameConn>(fd);
+  loop_.WatchRead(fd, [this, s] {
+    FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
+    if (c == nullptr) return;
+    const bool alive =
+        c->OnReadable([this, s](const WireMessage& m) { OnFrame(s, m); });
+    if (!alive && !shutdown_sent_) {
+      failed_ = true;  // a daemon died under us, unscheduled
+      loop_.Stop(1);
+    }
+  });
+  Hello hello;
+  hello.kind = PeerKind::kLoadgen;
+  hello.sender = 0;
+  conns_[static_cast<std::size_t>(s)]->Send(hello);
+  UpdateWriteInterest(s);
+}
+
+void LoadgenClient::DropServerConn(int s) {
+  FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
+  if (c == nullptr) return;
+  loop_.Unwatch(c->fd());
+  conns_[static_cast<std::size_t>(s)].reset();
+}
+
+std::vector<int> LoadgenClient::OpenConnFds() const {
+  std::vector<int> fds;
+  for (const auto& c : conns_)
+    if (c) fds.push_back(c->fd());
+  return fds;
 }
 
 void LoadgenClient::ScheduleRefill() {
@@ -70,8 +95,8 @@ void LoadgenClient::ScheduleRefill() {
 }
 
 void LoadgenClient::TrySend() {
-  while (next_ < config_.total_requests && tokens_ > 0 &&
-         in_flight_ < static_cast<std::uint64_t>(config_.window)) {
+  if (boundary_ != Boundary::kNone) return;
+  while (next_ < epoch_end_ && tokens_ > 0 && in_flight_ < window_cur_) {
     const Request r =
         NetdRequestAt(config_.stream_seed, next_, nodes_, config_.docs);
     GetRequest g;
@@ -86,13 +111,28 @@ void LoadgenClient::TrySend() {
         TraceSampled(config_.serving.trace_seed, next_,
                      config_.serving.trace_sample_shift))
       g.flags |= kGetFlagTrace;
-    const int s = config_.owner[static_cast<std::size_t>(r.node)];
+    const int s = OwnerMap()[static_cast<std::size_t>(r.node)];
     conns_[static_cast<std::size_t>(s)]->Send(g);
     UpdateWriteInterest(s);
     ++next_;
     ++in_flight_;
     --tokens_;
   }
+}
+
+void LoadgenClient::AdaptWindow(double load) {
+  if (config_.load_window_factor <= 0) return;
+  // `load` is the serving shard's own request tally; a fair share is
+  // completed / server_count.  Hot shard -> halve, otherwise creep back
+  // up.  Pacing only: decisions are order-free at block_size = 1.
+  const double fair = std::max(
+      static_cast<double>(completed_) /
+          static_cast<double>(config_.server_count),
+      1.0);
+  if (load > config_.load_window_factor * fair)
+    window_cur_ = std::max(window_cur_ / 2, kMinWindow);
+  else if (window_cur_ < static_cast<std::uint64_t>(config_.window))
+    ++window_cur_;
 }
 
 void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
@@ -106,10 +146,19 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
       } else {
         ++result_->client_dropped;
       }
+      AdaptWindow(msg.reply.load);
       TrySend();
-      if (completed_ == config_.total_requests && !stats_phase_) {
-        // Stream drained.  If a live scrape round is still in flight its
-        // replies must not be confused with the final round's — defer.
+      if (completed_ != epoch_end_) break;
+      // Epoch block drained — in_flight_ is zero by construction (sends
+      // are capped at epoch_end_), so the fleet is quiesced.  If a live
+      // scrape round is still in flight its replies must not be
+      // confused with a boundary's or the final round's — defer.
+      if (epoch_ + 1 < EpochCount()) {
+        if (scrape_outstanding_)
+          boundary_pending_ = true;
+        else
+          BeginBoundary();
+      } else if (!stats_phase_) {
         if (scrape_outstanding_)
           final_pending_ = true;
         else
@@ -119,25 +168,44 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
     }
     case MsgType::kStatsReply: {
       if (scrape_outstanding_) {
-        // A mid-run scrape reply (FIFO per connection; the final round
-        // is never issued while a scrape is outstanding).
+        // A mid-run scrape reply (FIFO per connection; no other round
+        // is ever issued while a scrape is outstanding).
         scrape_sample_.per_server[static_cast<std::size_t>(server)] =
             msg.stats;
-        if (++scrape_received_ == config_.server_count) {
+        if (++scrape_received_ == live_count_) {
           scrape_outstanding_ = false;
           result_->samples.push_back(scrape_sample_);
-          if (final_pending_) {
+          if (boundary_pending_) {
+            boundary_pending_ = false;
+            BeginBoundary();
+          } else if (final_pending_) {
             final_pending_ = false;
             BeginFinalStats();
           }
         }
         break;
       }
-      result_->per_server[static_cast<std::size_t>(server)] =
-          msg.stats;
-      if (++stats_received_ == config_.server_count) {
+      if (boundary_ == Boundary::kVictimStats) {
+        // The victim's final state: the boundary is quiesced, so this
+        // scrape is exactly what the daemon dies knowing.  The kills
+        // must run off this stack: this frame arrived through the
+        // victim's own FrameConn::OnReadable, and DoKillsAndRestarts
+        // destroys that conn.
+        result_->retired.push_back(msg.stats);
+        if (++victim_replies_ == victim_replies_needed_)
+          loop_.AddTimer(0, [this] { DoKillsAndRestarts(); });
+        break;
+      }
+      if (boundary_ == Boundary::kBarrier) {
+        barrier_sample_.per_server[static_cast<std::size_t>(server)] =
+            msg.stats;
+        if (++barrier_received_ == live_count_) FinishBoundary();
+        break;
+      }
+      result_->per_server[static_cast<std::size_t>(server)] = msg.stats;
+      if (++stats_received_ == live_count_) {
         // The end-of-run sample: what a scraper polling at this instant
-        // would see, which by now is every daemon's final tally.
+        // would see, which by now is every live daemon's final tally.
         NetdStatsSample final_sample;
         final_sample.at_completed = completed_;
         final_sample.per_server = result_->per_server;
@@ -152,7 +220,28 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
     case MsgType::kTraceReply: {
       result_->trace.insert(result_->trace.end(), msg.trace.begin(),
                             msg.trace.end());
-      if (++trace_received_ == config_.server_count) Shutdown();
+      if (boundary_ == Boundary::kVictimStats) {
+        // Same re-entrancy hazard as the stats branch above: never tear
+        // the delivering conn down from inside its own read callback.
+        if (++victim_replies_ == victim_replies_needed_)
+          loop_.AddTimer(0, [this] { DoKillsAndRestarts(); });
+        break;
+      }
+      if (++trace_received_ == live_count_) Shutdown();
+      break;
+    }
+    case MsgType::kHello: {
+      // The rejoin handshake: a restarted daemon answering our Hello
+      // with its identity and boot epoch.  (The initial fleet's Hello
+      // replies all land before the first epoch boundary — per-conn
+      // FIFO puts them ahead of epoch 0's replies — so they are simply
+      // ignored here.)
+      if (boundary_ != Boundary::kRejoin) break;
+      WEBWAVE_REQUIRE(msg.hello.sender ==
+                          static_cast<std::uint32_t>(server),
+                      "rejoin Hello from the wrong daemon");
+      result_->rejoin_hello_epochs.push_back(msg.hello.epoch);
+      if (--rejoin_needed_ == 0) ShipEpoch();
       break;
     }
     default:
@@ -168,21 +257,121 @@ void LoadgenClient::ScheduleScrape() {
 }
 
 void LoadgenClient::StartScrape() {
-  if (scrape_outstanding_ || stats_phase_ || shutdown_sent_) return;
+  if (scrape_outstanding_ || stats_phase_ || shutdown_sent_ ||
+      boundary_ != Boundary::kNone)
+    return;
   scrape_outstanding_ = true;
   scrape_received_ = 0;
   scrape_sample_.at_completed = completed_;
   scrape_sample_.per_server.assign(
       static_cast<std::size_t>(config_.server_count), WireCounters{});
   for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)]) continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
     UpdateWriteInterest(s);
   }
 }
 
+void LoadgenClient::BeginBoundary() {
+  const NetdEpoch& ep = config_.epochs[epoch_ + 1];
+  if (ep.kill_servers.empty()) {
+    boundary_ = Boundary::kVictimStats;  // degenerate: nothing to scrape
+    DoKillsAndRestarts();
+    return;
+  }
+  boundary_ = Boundary::kVictimStats;
+  victim_replies_ = 0;
+  victim_replies_needed_ =
+      ep.kill_servers.size() * (config_.serving.trace ? 2u : 1u);
+  for (const int s : ep.kill_servers) {
+    WEBWAVE_REQUIRE(live_[static_cast<std::size_t>(s)],
+                    "killing a server that is already dead");
+    WEBWAVE_REQUIRE(s != 0, "server 0 owns the root and must survive");
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
+    if (config_.serving.trace)
+      conns_[static_cast<std::size_t>(s)]->SendControl(
+          MsgType::kTraceRequest);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::DoKillsAndRestarts() {
+  const NetdEpoch& ep = config_.epochs[epoch_ + 1];
+  for (const int s : ep.kill_servers) {
+    WEBWAVE_REQUIRE(kill_fn_ != nullptr, "no kill hook installed");
+    // Drop our conn first: after SIGKILL the socket would EOF anyway,
+    // and the boundary is quiesced so nothing is left unread on it.
+    DropServerConn(s);
+    kill_fn_(s);
+    live_[static_cast<std::size_t>(s)] = false;
+    --live_count_;
+  }
+  rejoin_needed_ = static_cast<int>(ep.restart_servers.size());
+  if (rejoin_needed_ == 0) {
+    ShipEpoch();
+    return;
+  }
+  boundary_ = Boundary::kRejoin;
+  for (const int s : ep.restart_servers) {
+    WEBWAVE_REQUIRE(!live_[static_cast<std::size_t>(s)],
+                    "restarting a server that is still live");
+    WEBWAVE_REQUIRE(restart_fn_ != nullptr, "no restart hook installed");
+    restart_fn_(s, OpenConnFds());
+    ConnectOne(s);  // Hello goes out; the daemon's Hello reply rejoins
+    live_[static_cast<std::size_t>(s)] = true;
+    ++live_count_;
+    server_epoch_[static_cast<std::size_t>(s)] = 0;  // fresh boot state
+  }
+}
+
+void LoadgenClient::ShipEpoch() {
+  const std::size_t e = epoch_ + 1;
+  const NetdEpoch& ep = config_.epochs[e];
+  const std::vector<OwnerDelta> reassign = OwnerDiff(config_.owner, ep.owner);
+  for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)]) continue;
+    // Each daemon's delta starts from whatever table it actually has —
+    // the previous epoch for survivors, the boot table for a rejoiner.
+    QuotaDelta delta;
+    WEBWAVE_REQUIRE(
+        QuotaWireTable::DiffSnapshots(
+            Snap(server_epoch_[static_cast<std::size_t>(s)]), Snap(e),
+            &delta),
+        "epoch snapshots must be diffable");
+    delta.epoch = static_cast<std::uint32_t>(e);
+    EpochUpdate up;
+    up.epoch = static_cast<std::uint32_t>(e);
+    up.down = ep.down;
+    up.reassign = reassign;
+    FrameConn* c = conns_[static_cast<std::size_t>(s)].get();
+    c->Send(delta);
+    c->Send(up);
+    // FIFO barrier: the stats reply acknowledges that both control
+    // frames above were applied before any epoch-e request arrives.
+    c->SendControl(MsgType::kStatsRequest);
+    UpdateWriteInterest(s);
+    server_epoch_[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(e);
+  }
+  boundary_ = Boundary::kBarrier;
+  barrier_received_ = 0;
+  barrier_sample_.at_completed = completed_;
+  barrier_sample_.per_server.assign(
+      static_cast<std::size_t>(config_.server_count), WireCounters{});
+}
+
+void LoadgenClient::FinishBoundary() {
+  result_->epoch_samples.push_back(barrier_sample_);
+  ++epoch_;
+  epoch_end_ += config_.epochs[epoch_].requests;
+  boundary_ = Boundary::kNone;
+  TrySend();
+}
+
 void LoadgenClient::BeginFinalStats() {
   stats_phase_ = true;
   for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)]) continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
     UpdateWriteInterest(s);
   }
@@ -191,6 +380,7 @@ void LoadgenClient::BeginFinalStats() {
 void LoadgenClient::BeginTraceDump() {
   trace_phase_ = true;
   for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)]) continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kTraceRequest);
     UpdateWriteInterest(s);
   }
@@ -199,6 +389,9 @@ void LoadgenClient::BeginTraceDump() {
 void LoadgenClient::Shutdown() {
   shutdown_sent_ = true;
   for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)] ||
+        !conns_[static_cast<std::size_t>(s)])
+      continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kShutdown);
     conns_[static_cast<std::size_t>(s)]->Flush();
   }
@@ -207,18 +400,43 @@ void LoadgenClient::Shutdown() {
 
 void LoadgenClient::UpdateWriteInterest(int server) {
   FrameConn* c = conns_[static_cast<std::size_t>(server)].get();
+  if (c == nullptr) return;
   const int fd = c->fd();
   loop_.SetWriteInterest(fd, c->want_write(), [this, server] {
     FrameConn* c2 = conns_[static_cast<std::size_t>(server)].get();
+    if (c2 == nullptr) return;
     c2->Flush();
     UpdateWriteInterest(server);
   });
+}
+
+const QuotaSnapshot& LoadgenClient::Snap(std::size_t epoch) {
+  if (snaps_.empty()) {
+    snaps_.resize(EpochCount());
+    snap_ready_.assign(EpochCount(), false);
+  }
+  if (!snap_ready_[epoch]) {
+    const std::vector<std::uint8_t>& blob =
+        epoch == 0 ? config_.quota_blob : config_.epochs[epoch].quota_blob;
+    WEBWAVE_REQUIRE(QuotaWireTable::Deserialize(blob.data(), blob.size(),
+                                                &snaps_[epoch]),
+                    "loadgen handed a corrupt epoch blob");
+    snap_ready_[epoch] = true;
+  }
+  return snaps_[epoch];
 }
 
 bool LoadgenClient::Run(NetdRunResult* result) {
   result_ = result;
   result_->per_server.assign(static_cast<std::size_t>(config_.server_count),
                              WireCounters{});
+  live_.assign(static_cast<std::size_t>(config_.server_count), true);
+  live_count_ = config_.server_count;
+  server_epoch_.assign(static_cast<std::size_t>(config_.server_count), 0);
+  epoch_ = 0;
+  epoch_end_ = config_.epochs.empty() ? config_.total_requests
+                                      : config_.epochs[0].requests;
+  window_cur_ = static_cast<std::uint64_t>(config_.window);
   ConnectAll();
   ScheduleRefill();
   if (config_.stats_scrape_period_ms > 0) ScheduleScrape();

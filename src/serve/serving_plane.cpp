@@ -629,7 +629,7 @@ ServingPlane::WireServe ServingPlane::ServeWireSegment(const GetRequest& in,
   reply->req_id = req_id;
   reply->doc = d;
   reply->hops = static_cast<std::uint16_t>(hops);
-  reply->version = 0;
+  reply->version = table_version_;
   if (dropped) {
     ++metrics_.dropped_requests;
     if (registry_ != nullptr) {

@@ -155,6 +155,12 @@ class ServingPlane {
   // that is the oracle configuration; a daemon installs its shard.
   void SetSegmentNodes(Span<const NodeId> owned);
 
+  // The quota-table epoch stamped into every GetReply.version — the
+  // DistCache-style piggyback that lets clients learn how current the
+  // serving daemon's table is without a query protocol.  A daemon bumps
+  // it after applying each kQuotaDelta; the oracle leaves it 0.
+  void SetTableVersion(std::uint32_t version) { table_version_ = version; }
+
   enum class WireServe { kServed, kForwarded, kDropped };
 
   // Serves one wire GetRequest through exactly the admission core
@@ -258,6 +264,7 @@ class ServingPlane {
 
   QuotaSnapshot snapshot_;
   ServingOptions options_;
+  std::uint32_t table_version_ = 0;  // stamped into GetReply.version
   NodeId root_;
   std::vector<NodeId> parents_;
   // Per cell: the thinning probability min(1, slack · fraction), and for

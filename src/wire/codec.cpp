@@ -18,8 +18,14 @@ std::size_t BeginFrame(MsgType type, std::size_t payload,
   return base + MessageCodec::kHeaderSize;
 }
 
-// kTraceReply's payload is variable length (count-prefixed records).
+// kTraceReply / kQuotaDelta / kEpochUpdate payloads are variable length
+// (count-prefixed records).
 constexpr std::size_t kVariablePayload = static_cast<std::size_t>(-2);
+
+// Anti-DoS ceiling on a kQuotaDelta payload a peer will buffer: enough
+// for every row of the largest table the repo ships changing at once,
+// far below anything that could exhaust a daemon.
+constexpr std::size_t kMaxDeltaPayload = std::size_t{1} << 27;
 
 // The payload width a type requires, kVariablePayload for count-prefixed
 // types, or SIZE_MAX for unknown types.
@@ -40,6 +46,8 @@ std::size_t PayloadSizeOf(MsgType type) {
     case MsgType::kTraceRequest:
       return 0;
     case MsgType::kTraceReply:
+    case MsgType::kQuotaDelta:
+    case MsgType::kEpochUpdate:
       return kVariablePayload;
   }
   return static_cast<std::size_t>(-1);
@@ -52,6 +60,22 @@ bool ValidTracePayload(std::uint32_t stated) {
   const std::uint32_t body = stated - 4;
   return body % MessageCodec::kTraceEventSize == 0 &&
          body / MessageCodec::kTraceEventSize <= MessageCodec::kMaxTraceRecords;
+}
+
+// The stated-length plausibility checks for the epoch control frames:
+// row geometry can only be validated once the payload arrives, but a
+// length below the prologue or above the anti-DoS cap is garbage the
+// moment the header is complete.
+bool ValidDeltaPayload(std::uint32_t stated) {
+  return stated >= MessageCodec::kDeltaPrologueSize &&
+         stated <= kMaxDeltaPayload;
+}
+
+bool ValidEpochUpdatePayload(std::uint32_t stated) {
+  constexpr std::size_t kMax =
+      MessageCodec::kEpochUpdatePrologueSize +
+      MessageCodec::kMaxEpochUpdateNodes * (4 + 8);
+  return stated >= MessageCodec::kEpochUpdatePrologueSize && stated <= kMax;
 }
 
 }  // namespace
@@ -104,6 +128,7 @@ std::size_t MessageCodec::Encode(const Hello& m,
   p[0] = static_cast<std::uint8_t>(m.kind);
   p[1] = p[2] = p[3] = 0;  // reserved
   PutU32(p + 4, m.sender);
+  PutU32(p + 8, m.epoch);
   return kHeaderSize + kHelloSize;
 }
 
@@ -111,11 +136,13 @@ std::size_t MessageCodec::Encode(const WireCounters& m,
                                  std::vector<std::uint8_t>* out) {
   const std::size_t at = BeginFrame(MsgType::kStatsReply, kCountersSize, out);
   std::uint8_t* p = out->data() + at;
-  const std::uint64_t fields[10] = {
-      m.requests,     m.cache_served,     m.home_served,   m.hop_sum,
-      m.failed_attempts, m.failovers,     m.dropped_requests,
-      m.backoff_slots,   m.net_forwards,  m.gossip_sent};
-  for (int i = 0; i < 10; ++i) PutU64(p + 8 * i, fields[i]);
+  const std::uint64_t fields[13] = {
+      m.requests,        m.cache_served, m.home_served,
+      m.hop_sum,         m.failed_attempts, m.failovers,
+      m.dropped_requests, m.backoff_slots, m.net_forwards,
+      m.gossip_sent,     m.shed_forwards, m.reconnects,
+      m.outbox_peak_bytes};
+  for (int i = 0; i < 13; ++i) PutU64(p + 8 * i, fields[i]);
   return kHeaderSize + kCountersSize;
 }
 
@@ -134,6 +161,54 @@ std::size_t MessageCodec::Encode(const std::vector<TraceEvent>& m,
     p[22] = static_cast<std::uint8_t>(e.kind);
     p[23] = e.aux;
     p += kTraceEventSize;
+  }
+  return kHeaderSize + payload;
+}
+
+std::size_t MessageCodec::Encode(const QuotaDelta& m,
+                                 std::vector<std::uint8_t>* out) {
+  std::size_t payload = kDeltaPrologueSize;
+  for (const QuotaDeltaRow& row : m.rows)
+    payload += kDeltaRowHeaderSize + row.cells.size() * kDeltaCellSize;
+  const std::size_t at = BeginFrame(MsgType::kQuotaDelta, payload, out);
+  std::uint8_t* p = out->data() + at;
+  PutU32(p, m.epoch);
+  PutU32(p + 4, static_cast<std::uint32_t>(m.rows.size()));
+  PutF64(p + 8, m.total_rate);
+  p += kDeltaPrologueSize;
+  for (const QuotaDeltaRow& row : m.rows) {
+    PutU32(p, static_cast<std::uint32_t>(row.node));
+    PutU32(p + 4, static_cast<std::uint32_t>(row.cells.size()));
+    p += kDeltaRowHeaderSize;
+    for (const QuotaDeltaCell& cell : row.cells) {
+      PutU32(p, static_cast<std::uint32_t>(cell.doc));
+      PutF64(p + 4, cell.rate);
+      PutF64(p + 12, cell.frac);
+      p += kDeltaCellSize;
+    }
+  }
+  return kHeaderSize + payload;
+}
+
+std::size_t MessageCodec::Encode(const EpochUpdate& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t payload =
+      kEpochUpdatePrologueSize + m.down.size() * 4 + m.reassign.size() * 8;
+  const std::size_t at = BeginFrame(MsgType::kEpochUpdate, payload, out);
+  std::uint8_t* p = out->data() + at;
+  PutU32(p, m.epoch);
+  PutU32(p + 4, static_cast<std::uint32_t>(m.down.size()));
+  PutU32(p + 8, static_cast<std::uint32_t>(m.reassign.size()));
+  PutU32(p + 12, 0);  // reserved
+  p += kEpochUpdatePrologueSize;
+  for (const NodeId v : m.down) {
+    PutU32(p, static_cast<std::uint32_t>(v));
+    p += 4;
+  }
+  for (const OwnerDelta& d : m.reassign) {
+    PutU32(p, static_cast<std::uint32_t>(d.node));
+    PutU32(p + 4, d.owner);
+    p += 8;
   }
   return kHeaderSize + payload;
 }
@@ -164,7 +239,12 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
   if (len < kHeaderSize) return DecodeStatus::kNeedMore;
   const std::uint32_t stated = GetU32(data + 4);
   if (want_payload == kVariablePayload) {
-    if (!ValidTracePayload(stated)) return DecodeStatus::kError;
+    const MsgType t = static_cast<MsgType>(data[3]);
+    const bool plausible =
+        t == MsgType::kTraceReply    ? ValidTracePayload(stated)
+        : t == MsgType::kQuotaDelta  ? ValidDeltaPayload(stated)
+                                     : ValidEpochUpdatePayload(stated);
+    if (!plausible) return DecodeStatus::kError;
   } else if (stated != want_payload) {
     return DecodeStatus::kError;
   }
@@ -203,15 +283,18 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
         return DecodeStatus::kError;
       out->hello.kind = static_cast<PeerKind>(p[0]);
       out->hello.sender = GetU32(p + 4);
+      out->hello.epoch = GetU32(p + 8);
       break;
     case MsgType::kStatsReply: {
-      std::uint64_t* fields[10] = {
+      std::uint64_t* fields[13] = {
           &out->stats.requests,        &out->stats.cache_served,
           &out->stats.home_served,     &out->stats.hop_sum,
           &out->stats.failed_attempts, &out->stats.failovers,
           &out->stats.dropped_requests, &out->stats.backoff_slots,
-          &out->stats.net_forwards,    &out->stats.gossip_sent};
-      for (int i = 0; i < 10; ++i) *fields[i] = GetU64(p + 8 * i);
+          &out->stats.net_forwards,    &out->stats.gossip_sent,
+          &out->stats.shed_forwards,   &out->stats.reconnects,
+          &out->stats.outbox_peak_bytes};
+      for (int i = 0; i < 13; ++i) *fields[i] = GetU64(p + 8 * i);
       break;
     }
     case MsgType::kTraceReply: {
@@ -233,6 +316,84 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
         e.kind = static_cast<TraceEventKind>(r[22]);
         e.aux = r[23];
         out->trace.push_back(e);
+      }
+      break;
+    }
+    case MsgType::kQuotaDelta: {
+      out->delta.epoch = GetU32(p);
+      const std::uint32_t row_count = GetU32(p + 4);
+      if (row_count > kMaxDeltaRows) return DecodeStatus::kError;
+      out->delta.total_rate = GetF64(p + 8);
+      out->delta.rows.clear();
+      out->delta.rows.reserve(row_count);
+      const std::uint8_t* r = p + kDeltaPrologueSize;
+      std::size_t remaining = stated - kDeltaPrologueSize;
+      NodeId prev_node = kNoNode;
+      for (std::uint32_t i = 0; i < row_count; ++i) {
+        if (remaining < kDeltaRowHeaderSize) return DecodeStatus::kError;
+        QuotaDeltaRow row;
+        row.node = static_cast<NodeId>(GetU32(r));
+        const std::uint32_t cell_count = GetU32(r + 4);
+        r += kDeltaRowHeaderSize;
+        remaining -= kDeltaRowHeaderSize;
+        // Rows strictly ascending by node (kNoNode == -1 precedes all).
+        if (i > 0 && row.node <= prev_node) return DecodeStatus::kError;
+        if (row.node < 0) return DecodeStatus::kError;
+        prev_node = row.node;
+        if (cell_count > kMaxDeltaCellsPerRow) return DecodeStatus::kError;
+        if (remaining < static_cast<std::size_t>(cell_count) * kDeltaCellSize)
+          return DecodeStatus::kError;
+        row.cells.reserve(cell_count);
+        std::int32_t prev_doc = -1;
+        for (std::uint32_t c = 0; c < cell_count; ++c, r += kDeltaCellSize) {
+          QuotaDeltaCell cell;
+          cell.doc = static_cast<std::int32_t>(GetU32(r));
+          // Documents strictly ascending within a row (CellOf's binary
+          // search depends on it after splicing).
+          if (cell.doc < 0 || cell.doc <= prev_doc)
+            return DecodeStatus::kError;
+          prev_doc = cell.doc;
+          cell.rate = GetF64(r + 4);
+          cell.frac = GetF64(r + 12);
+          row.cells.push_back(cell);
+        }
+        remaining -= static_cast<std::size_t>(cell_count) * kDeltaCellSize;
+        out->delta.rows.push_back(std::move(row));
+      }
+      if (remaining != 0) return DecodeStatus::kError;
+      break;
+    }
+    case MsgType::kEpochUpdate: {
+      out->epoch_update.epoch = GetU32(p);
+      const std::uint32_t down_count = GetU32(p + 4);
+      const std::uint32_t reassign_count = GetU32(p + 8);
+      if (down_count > kMaxEpochUpdateNodes ||
+          reassign_count > kMaxEpochUpdateNodes)
+        return DecodeStatus::kError;
+      if (stated != kEpochUpdatePrologueSize +
+                        static_cast<std::size_t>(down_count) * 4 +
+                        static_cast<std::size_t>(reassign_count) * 8)
+        return DecodeStatus::kError;
+      const std::uint8_t* r = p + kEpochUpdatePrologueSize;
+      out->epoch_update.down.clear();
+      out->epoch_update.down.reserve(down_count);
+      for (std::uint32_t i = 0; i < down_count; ++i, r += 4) {
+        const NodeId v = static_cast<NodeId>(GetU32(r));
+        if (v < 0 ||
+            (i > 0 && v <= out->epoch_update.down.back()))
+          return DecodeStatus::kError;
+        out->epoch_update.down.push_back(v);
+      }
+      out->epoch_update.reassign.clear();
+      out->epoch_update.reassign.reserve(reassign_count);
+      for (std::uint32_t i = 0; i < reassign_count; ++i, r += 8) {
+        OwnerDelta d;
+        d.node = static_cast<NodeId>(GetU32(r));
+        d.owner = GetU32(r + 4);
+        if (d.node < 0 ||
+            (i > 0 && d.node <= out->epoch_update.reassign.back().node))
+          return DecodeStatus::kError;
+        out->epoch_update.reassign.push_back(d);
       }
       break;
     }
@@ -265,6 +426,10 @@ const char* MsgTypeName(MsgType type) {
       return "trace-request";
     case MsgType::kTraceReply:
       return "trace-reply";
+    case MsgType::kQuotaDelta:
+      return "quota-delta";
+    case MsgType::kEpochUpdate:
+      return "epoch-update";
   }
   return "?";
 }

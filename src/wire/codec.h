@@ -86,19 +86,34 @@ class MessageCodec {
   static constexpr std::uint16_t kMagic = 0x5741;
   // v2: GetRequest grew flags/trace_seq (20 -> 24 B) and the kTraceRequest
   // / kTraceReply control frames were added.
-  static constexpr std::uint8_t kVersion = 2;
+  // v3: Hello grew the sender's quota-table epoch (8 -> 12 B),
+  // WireCounters grew shed_forwards/reconnects/outbox_peak_bytes
+  // (80 -> 104 B), and the kQuotaDelta / kEpochUpdate epoch-control
+  // frames were added.
+  static constexpr std::uint8_t kVersion = 3;
   static constexpr std::size_t kHeaderSize = 8;
 
   // Fixed payload widths of the data-plane messages.
   static constexpr std::size_t kGetRequestSize = 24;
   static constexpr std::size_t kGetReplySize = 32;
   static constexpr std::size_t kLoadGossipSize = 16;
-  static constexpr std::size_t kHelloSize = 8;
-  static constexpr std::size_t kCountersSize = 80;
+  static constexpr std::size_t kHelloSize = 12;
+  static constexpr std::size_t kCountersSize = 104;
   // kTraceReply is the one variable-length frame: a u32 record count
   // followed by count fixed-width TraceEvent records.
   static constexpr std::size_t kTraceEventSize = 24;
   static constexpr std::size_t kMaxTraceRecords = 1u << 20;
+  // kQuotaDelta framing: a 16 B prologue (epoch, row count, total rate),
+  // then per row an 8 B row header (node, cell count) and 20 B cells.
+  static constexpr std::size_t kDeltaPrologueSize = 16;
+  static constexpr std::size_t kDeltaRowHeaderSize = 8;
+  static constexpr std::size_t kDeltaCellSize = 20;
+  static constexpr std::size_t kMaxDeltaRows = 1u << 22;
+  static constexpr std::size_t kMaxDeltaCellsPerRow = 1u << 20;
+  // kEpochUpdate framing: a 16 B prologue (epoch, down count, reassign
+  // count, reserved), then down nodes (4 B) and (node, owner) pairs (8 B).
+  static constexpr std::size_t kEpochUpdatePrologueSize = 16;
+  static constexpr std::size_t kMaxEpochUpdateNodes = 1u << 22;
 
   // Appends one frame (header + payload) to *out; returns bytes appended.
   static std::size_t Encode(const GetRequest& m, std::vector<std::uint8_t>* out);
@@ -109,6 +124,11 @@ class MessageCodec {
                             std::vector<std::uint8_t>* out);
   // kTraceReply: the daemon's accumulated TraceEvent records.
   static std::size_t Encode(const std::vector<TraceEvent>& m,
+                            std::vector<std::uint8_t>* out);
+  // The epoch control frames.
+  static std::size_t Encode(const QuotaDelta& m,
+                            std::vector<std::uint8_t>* out);
+  static std::size_t Encode(const EpochUpdate& m,
                             std::vector<std::uint8_t>* out);
   // The empty-payload control frames.
   static std::size_t EncodeControl(MsgType type,

@@ -46,6 +46,9 @@ enum class MsgType : std::uint8_t {
   kShutdown = 19,
   kTraceRequest = 20,
   kTraceReply = 21,
+  // Epoch control plane (multi-epoch closed loop) ------------------------
+  kQuotaDelta = 22,
+  kEpochUpdate = 23,
 };
 
 enum class GetResult : std::uint8_t {
@@ -122,13 +125,19 @@ enum class PeerKind : std::uint8_t {
   kLoadgen = 1,
 };
 
-// First frame on every new connection: who is calling.
+// First frame on every new connection: who is calling, and — since v3 —
+// which quota-table epoch the caller is at.  A restarted daemon rejoins
+// by sending Hello with its boot epoch (0: it only has the base blob);
+// the control node replies with the kQuotaDelta/kEpochUpdate pair that
+// brings it current.  The epoch in a server's Hello *reply* is the
+// rejoin handshake's "how stale am I" disclosure.
 struct Hello {
   PeerKind kind = PeerKind::kServer;
   std::uint32_t sender = 0;  // server index or loadgen id
+  std::uint32_t epoch = 0;   // quota-table epoch the sender is at
 
   bool operator==(const Hello& o) const {
-    return kind == o.kind && sender == o.sender;
+    return kind == o.kind && sender == o.sender && epoch == o.epoch;
   }
 };
 
@@ -149,6 +158,13 @@ struct WireCounters {
   std::uint64_t backoff_slots = 0;
   std::uint64_t net_forwards = 0;  // GetRequests forwarded over a socket
   std::uint64_t gossip_sent = 0;   // LoadGossip frames emitted
+  // Survivability extras (v3): like net_forwards/gossip_sent these are
+  // transport-level — the oracle has no analogue, and the fault-scenario
+  // assertions pin shed_forwards to zero and outbox_peak_bytes under the
+  // watermark rather than diffing them against anything.
+  std::uint64_t shed_forwards = 0;     // forwards shed at the outbox watermark
+  std::uint64_t reconnects = 0;        // peer reconnect attempts made
+  std::uint64_t outbox_peak_bytes = 0; // high-water mark across all conns
 
   bool operator==(const WireCounters& o) const {
     return requests == o.requests && cache_served == o.cache_served &&
@@ -156,7 +172,76 @@ struct WireCounters {
            failed_attempts == o.failed_attempts && failovers == o.failovers &&
            dropped_requests == o.dropped_requests &&
            backoff_slots == o.backoff_slots &&
-           net_forwards == o.net_forwards && gossip_sent == o.gossip_sent;
+           net_forwards == o.net_forwards && gossip_sent == o.gossip_sent &&
+           shed_forwards == o.shed_forwards && reconnects == o.reconnects &&
+           outbox_peak_bytes == o.outbox_peak_bytes;
+  }
+};
+
+// One changed cell of a quota-table delta: the (doc, rate, frac) triple
+// exactly as it appears in the target snapshot's CSR row.
+struct QuotaDeltaCell {
+  std::int32_t doc = 0;
+  double rate = 0;
+  double frac = 0;
+
+  bool operator==(const QuotaDeltaCell& o) const {
+    return doc == o.doc && rate == o.rate && frac == o.frac;
+  }
+};
+
+// One replaced CSR row: node's full new cell list (documents strictly
+// ascending, possibly empty).  Deltas carry whole rows, not cell edits —
+// a row either changed (ship its new contents) or it did not.
+struct QuotaDeltaRow {
+  NodeId node = kNoNode;
+  std::vector<QuotaDeltaCell> cells;
+
+  bool operator==(const QuotaDeltaRow& o) const {
+    return node == o.node && cells == o.cells;
+  }
+};
+
+// kQuotaDelta — the epoch re-sync frame: the rows whose cells differ
+// between a daemon's current table and the control node's epoch-`epoch`
+// table, plus the new total rate (bit-exact; admission thresholds depend
+// on it).  Applying a delta to the table it was diffed from reproduces
+// the target snapshot byte-for-byte (QuotaWireTable::ApplyDelta).
+struct QuotaDelta {
+  std::uint32_t epoch = 0;
+  double total_rate = 0;
+  std::vector<QuotaDeltaRow> rows;  // nodes strictly ascending
+
+  bool operator==(const QuotaDelta& o) const {
+    return epoch == o.epoch && total_rate == o.total_rate && rows == o.rows;
+  }
+};
+
+// One ownership reassignment relative to the BASE owner map: `node` is
+// now owned by server `owner`.  Diffing against the base (not the
+// previous epoch) makes EpochUpdate stateless — a rejoining daemon that
+// missed epochs applies the latest one to a fresh copy of the base map
+// and is current.
+struct OwnerDelta {
+  NodeId node = kNoNode;
+  std::uint32_t owner = 0;
+
+  bool operator==(const OwnerDelta& o) const {
+    return node == o.node && owner == o.owner;
+  }
+};
+
+// kEpochUpdate — the epoch's serving window: the down set every daemon
+// must install (SetDownNodes) and the ownership reassignments re-homing
+// dead daemons' shards, both relative to a clean slate (empty down set,
+// base owner map).
+struct EpochUpdate {
+  std::uint32_t epoch = 0;
+  std::vector<NodeId> down;           // strictly ascending
+  std::vector<OwnerDelta> reassign;   // nodes strictly ascending
+
+  bool operator==(const EpochUpdate& o) const {
+    return epoch == o.epoch && down == o.down && reassign == o.reassign;
   }
 };
 
@@ -171,6 +256,8 @@ struct WireMessage {
   Hello hello;
   WireCounters stats;                // kStatsReply
   std::vector<TraceEvent> trace;     // kTraceReply
+  QuotaDelta delta;                  // kQuotaDelta
+  EpochUpdate epoch_update;          // kEpochUpdate
 };
 
 }  // namespace webwave

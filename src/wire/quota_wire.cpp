@@ -103,6 +103,102 @@ bool QuotaWireTable::Deserialize(const std::uint8_t* data, std::size_t len,
   return true;
 }
 
+bool QuotaWireTable::DiffSnapshots(const QuotaSnapshot& from,
+                                   const QuotaSnapshot& to, QuotaDelta* out) {
+  if (from.node_count() != to.node_count() ||
+      from.doc_count() != to.doc_count())
+    return false;
+  out->rows.clear();
+  out->total_rate = to.total_rate();
+  const int nodes = to.node_count();
+  for (int v = 0; v < nodes; ++v) {
+    const NodeId node = static_cast<NodeId>(v);
+    const std::int64_t fb = v == 0 ? 0 : from.row_end(node - 1);
+    const std::int64_t fe = from.row_end(node);
+    const std::int64_t tb = v == 0 ? 0 : to.row_end(node - 1);
+    const std::int64_t te = to.row_end(node);
+    bool same = (fe - fb) == (te - tb);
+    if (same) {
+      // Bit-pattern comparison: memcmp over the raw arrays, so NaNs and
+      // signed zeros compare the way the wire round-trip preserves them.
+      const std::size_t n = static_cast<std::size_t>(fe - fb);
+      same = std::memcmp(from.cell_docs() + fb, to.cell_docs() + tb,
+                         n * sizeof(std::int32_t)) == 0 &&
+             std::memcmp(from.cell_rates() + fb, to.cell_rates() + tb,
+                         n * sizeof(double)) == 0 &&
+             std::memcmp(from.cell_fractions() + fb, to.cell_fractions() + tb,
+                         n * sizeof(double)) == 0;
+    }
+    if (same) continue;
+    QuotaDeltaRow row;
+    row.node = node;
+    row.cells.reserve(static_cast<std::size_t>(te - tb));
+    for (std::int64_t c = tb; c < te; ++c) {
+      QuotaDeltaCell cell;
+      cell.doc = to.cell_docs()[c];
+      cell.rate = to.cell_rates()[c];
+      cell.frac = to.cell_fractions()[c];
+      row.cells.push_back(cell);
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+bool QuotaWireTable::ApplyDelta(const QuotaDelta& delta,
+                                QuotaSnapshot* snapshot) {
+  const int nodes = snapshot->nodes_;
+  const int docs = snapshot->docs_;
+  for (const QuotaDeltaRow& row : delta.rows) {
+    if (row.node < 0 || row.node >= nodes) return false;
+    for (const QuotaDeltaCell& cell : row.cells)
+      if (cell.doc < 0 || cell.doc >= docs) return false;
+  }
+
+  // Rebuild the CSR arrays splicing the replaced rows in.  Delta rows
+  // arrive strictly ascending by node (the codec enforces it), so one
+  // merge pass suffices.
+  std::vector<std::int64_t> row_off(static_cast<std::size_t>(nodes) + 1, 0);
+  std::vector<std::int32_t> doc;
+  std::vector<double> rate;
+  std::vector<double> frac;
+  doc.reserve(snapshot->doc_.size());
+  rate.reserve(snapshot->rate_.size());
+  frac.reserve(snapshot->frac_.size());
+  std::size_t next_row = 0;
+  for (int v = 0; v < nodes; ++v) {
+    const NodeId node = static_cast<NodeId>(v);
+    if (next_row < delta.rows.size() && delta.rows[next_row].node == node) {
+      for (const QuotaDeltaCell& cell : delta.rows[next_row].cells) {
+        doc.push_back(cell.doc);
+        rate.push_back(cell.rate);
+        frac.push_back(cell.frac);
+      }
+      ++next_row;
+    } else {
+      const std::int64_t b = snapshot->row_off_[static_cast<std::size_t>(v)];
+      const std::int64_t e =
+          snapshot->row_off_[static_cast<std::size_t>(v) + 1];
+      doc.insert(doc.end(), snapshot->doc_.begin() + b,
+                 snapshot->doc_.begin() + e);
+      rate.insert(rate.end(), snapshot->rate_.begin() + b,
+                  snapshot->rate_.begin() + e);
+      frac.insert(frac.end(), snapshot->frac_.begin() + b,
+                  snapshot->frac_.begin() + e);
+    }
+    row_off[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::int64_t>(doc.size());
+  }
+  if (next_row != delta.rows.size()) return false;  // row beyond the table
+
+  snapshot->row_off_ = std::move(row_off);
+  snapshot->doc_ = std::move(doc);
+  snapshot->rate_ = std::move(rate);
+  snapshot->frac_ = std::move(frac);
+  snapshot->total_ = delta.total_rate;
+  return true;
+}
+
 bool QuotaWireTable::WriteFile(const QuotaSnapshot& snapshot,
                                const std::string& path) {
   std::vector<std::uint8_t> bytes;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "serve/quota_snapshot.h"
+#include "wire/message.h"
 
 namespace webwave {
 
@@ -50,6 +51,24 @@ class QuotaWireTable {
   static bool WriteFile(const QuotaSnapshot& snapshot,
                         const std::string& path);
   static bool ReadFile(const std::string& path, QuotaSnapshot* out);
+
+  // Epoch delta support (the kQuotaDelta wire frame's payload) ----------
+  //
+  // DiffSnapshots fills *out with the rows whose cell lists differ
+  // between `from` and `to` — comparison is on the raw IEEE-754 bit
+  // patterns, so a rate that moved by one ulp ships and a bit-identical
+  // row does not — plus `to`'s exact total rate.  Returns false if the
+  // snapshots disagree on node or document count (a delta only makes
+  // sense between same-shaped tables).  out->epoch is left untouched
+  // for the caller to stamp.
+  static bool DiffSnapshots(const QuotaSnapshot& from, const QuotaSnapshot& to,
+                            QuotaDelta* out);
+
+  // Splices a delta's rows into *snapshot and installs the delta's total
+  // rate.  The law: ApplyDelta(DiffSnapshots(a, b), a) == b, cell- and
+  // total-bit-identical.  Returns false (snapshot untouched) on a row
+  // node outside the table or a document outside [0, docs).
+  static bool ApplyDelta(const QuotaDelta& delta, QuotaSnapshot* snapshot);
 };
 
 }  // namespace webwave

@@ -19,13 +19,16 @@
 
 #include <sys/socket.h>
 
+#include <csignal>
 #include <vector>
 
 #include "doc/catalog.h"
 #include "doc/placement.h"
+#include "fault/process_faults.h"
 #include "netd/cluster.h"
 #include "netd/conn.h"
 #include "netd/daemon.h"
+#include "netd/epoch_plan.h"
 #include "netd/event_loop.h"
 #include "netd/loadgen.h"
 #include "tree/builders.h"
@@ -215,6 +218,30 @@ TEST(NetdEventLoop, TimersFireInDelayOrderAcrossRevolutions) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(NetdEventLoop, NextTimerDelayTracksTheNearestDeadline) {
+  EventLoop loop;
+  EXPECT_EQ(loop.NextTimerDelayMs(), -1);  // no timers pending
+  // A delay past one wheel revolution (4 ms x 256 slots = 1024 ms)
+  // exercises the rounds counter in the nearest-deadline scan.
+  loop.AddTimer(1100, [] {});
+  int d = loop.NextTimerDelayMs();
+  EXPECT_GT(d, 1024);
+  EXPECT_LE(d, 1100);
+  loop.AddTimer(60, [] {});
+  d = loop.NextTimerDelayMs();
+  EXPECT_GE(d, 0);
+  EXPECT_LE(d, 60);
+  const std::uint64_t id = loop.AddTimer(20, [] {});
+  d = loop.NextTimerDelayMs();
+  EXPECT_GE(d, 0);
+  EXPECT_LE(d, 20);
+  // Cancelling the nearest timer moves the deadline back out.
+  loop.CancelTimer(id);
+  d = loop.NextTimerDelayMs();
+  EXPECT_GT(d, 20);
+  EXPECT_LE(d, 60);
+}
+
 TEST(NetdFrameConn, FramesSurviveASocketpairStream) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -245,6 +272,101 @@ TEST(NetdFrameConn, FramesSurviveASocketpairStream) {
   EXPECT_EQ(got[1].type, MsgType::kLoadGossip);
   EXPECT_EQ(got[1].gossip, gossip);
   EXPECT_EQ(got[2].type, MsgType::kStatsRequest);
+}
+
+// The peer dies with a frame half-delivered: the complete frames before
+// the cut are delivered, the dangling tail is discarded, and the reader
+// sees a clean conn-down (false), never garbage or a crash.
+TEST(NetdFrameConn, PeerCloseMidFrameIsACleanConnDown) {
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[1]);
+  FrameConn reader(fds[1]);
+
+  GetRequest req;
+  req.req_id = 9;
+  req.doc = 1;
+  req.origin_node = 2;
+  std::vector<std::uint8_t> bytes;
+  MessageCodec::Encode(req, &bytes);
+  const std::size_t whole = bytes.size();
+  GetRequest second = req;
+  second.req_id = 10;
+  MessageCodec::Encode(second, &bytes);
+  const std::size_t cut = whole + 10;  // strictly inside the second frame
+  ASSERT_EQ(::write(fds[0], bytes.data(), cut),
+            static_cast<ssize_t>(cut));
+  ::close(fds[0]);
+
+  std::vector<WireMessage> got;
+  const auto collect = [&](const WireMessage& m) { got.push_back(m); };
+  // Drain until EOF surfaces; the kernel may deliver the bytes and the
+  // EOF in one readable event or two.
+  while (reader.OnReadable(collect)) {
+  }
+  EXPECT_TRUE(reader.closed());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, MsgType::kGetRequest);
+  EXPECT_EQ(got[0].get, req);
+}
+
+// Writing into a dead peer is EPIPE, not SIGPIPE: the conn marks itself
+// closed and Flush reports false — the owner's conn-down event.
+TEST(NetdFrameConn, WriteToDeadPeerClosesInsteadOfCrashing) {
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[0]);
+  FrameConn writer(fds[0]);
+  ::close(fds[1]);
+
+  GetRequest req;
+  req.req_id = 4;
+  writer.Send(req);  // Send flushes opportunistically and eats the EPIPE
+  EXPECT_TRUE(writer.closed());
+  EXPECT_FALSE(writer.Flush());
+}
+
+// A frame far larger than the socket buffer goes out in many short
+// writes, resuming mid-frame at the exact byte offset each time.
+TEST(NetdFrameConn, ShortWritesResumeMidFrame) {
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[0]);
+  MakeNonBlocking(fds[1]);
+  FrameConn a(fds[0]);
+  FrameConn b(fds[1]);
+
+  // ~480 KB of trace payload: no socketpair buffer holds that at once.
+  std::vector<TraceEvent> events(20000);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].req_id = i;
+    events[i].detail = i * 3;
+    events[i].node = static_cast<NodeId>(i % 97);
+    events[i].seq = static_cast<std::uint16_t>(i % 7);
+    events[i].kind = TraceEventKind::kArrival;
+    events[i].aux = static_cast<std::uint8_t>(i);
+  }
+  a.Send(events);
+  EXPECT_TRUE(a.want_write()) << "the frame should not fit in one write";
+
+  std::vector<WireMessage> got;
+  const auto collect = [&](const WireMessage& m) { got.push_back(m); };
+  int rounds = 0;
+  while (got.empty()) {
+    ASSERT_TRUE(a.Flush());
+    ASSERT_TRUE(b.OnReadable(collect));
+    ASSERT_LT(++rounds, 100000) << "frame never completed";
+  }
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].type, MsgType::kTraceReply);
+  ASSERT_EQ(got[0].trace.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    ASSERT_EQ(got[0].trace[i], events[i]) << "record " << i;
+  EXPECT_EQ(a.outbox_bytes(), 0u);
+  EXPECT_GT(a.outbox_peak(), std::size_t{1} << 17);
 }
 
 TEST(NetdSegments, FleetOfSegmentPlanesMatchesOracleExactly) {
@@ -389,6 +511,160 @@ TEST(NetdCluster, ForkedFaultedFleetMatchesOracle) {
   const ServingMetrics oracle = ReplayOracle(c.config);
   EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
   EXPECT_GT(run.fleet.failovers, 0u);
+}
+
+// Cumulative kills/restarts of a plan through the boundary *entering*
+// epoch e (inclusive) — for lining retired scrapes up with barriers.
+std::size_t KillsThrough(const ProcessFaultPlan& plan, int e) {
+  std::size_t n = 0;
+  for (int k = 0; k <= e; ++k)
+    n += plan.kill_at[static_cast<std::size_t>(k)].size();
+  return n;
+}
+
+std::size_t RestartsThrough(const ProcessFaultPlan& plan, int e) {
+  std::size_t n = 0;
+  for (int k = 0; k <= e; ++k)
+    n += plan.restart_at[static_cast<std::size_t>(k)].size();
+  return n;
+}
+
+TEST(NetdCluster, MultiEpochFleetMatchesOracleWithoutFaults) {
+  Cluster c = MakeCluster(200, 8, 4, 0);
+  EpochPlanOptions opt;
+  opt.epochs = 3;
+  opt.requests_per_epoch = 6000;
+  opt.inject_faults = false;
+  BuildEpochPlan(&c.config, opt);
+  // Exercise the load-reactive window: pacing only, so every counter
+  // must still match the oracle exactly.
+  c.config.load_window_factor = 4.0;
+
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+  std::vector<WireCounters> per_epoch;
+  const ServingMetrics oracle = ReplayOracle(c.config, nullptr, &per_epoch);
+  EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
+  EXPECT_EQ(run.client_served + run.client_dropped, c.config.total_requests);
+  EXPECT_EQ(run.fleet.shed_forwards, 0u);
+  EXPECT_TRUE(run.retired.empty());
+  EXPECT_TRUE(run.rejoin_hello_epochs.empty());
+
+  // One quiesced barrier sample per transition, each summing exactly to
+  // the oracle's cumulative counters after the epoch it closes.
+  ASSERT_EQ(per_epoch.size(), 3u);
+  ASSERT_EQ(run.epoch_samples.size(), 2u);
+  for (std::size_t i = 0; i < run.epoch_samples.size(); ++i) {
+    EXPECT_TRUE(ServingCountersEqual(
+        SumCounters(run.epoch_samples[i].per_server), per_epoch[i]))
+        << "barrier sample " << i;
+  }
+  // The final epoch's cumulative counters are the run totals.
+  EXPECT_TRUE(ServingCountersEqual(per_epoch.back(),
+                                   CountersFromMetrics(oracle)));
+}
+
+// The headline: a fleet that loses daemons to SIGKILL mid-run and
+// re-forks them serves the identical integer counters as the in-process
+// oracle replaying the same epoch plan — bit for bit, across the kill,
+// and again after restart + delta re-sync.
+TEST(NetdCluster, KilledAndRestartedFleetMatchesOracleBitForBit) {
+  Cluster c = MakeCluster(200, 8, 4, 0);
+  EpochPlanOptions opt;
+  opt.epochs = 5;
+  opt.requests_per_epoch = 4000;
+  opt.faults.pattern = FaultPattern::kSingleNodes;
+  opt.faults.crash_fraction = 0.4;
+  opt.faults.outage_epochs = 1;
+  opt.faults.start_epoch = 1;
+
+  // The schedule is a pure (seed, server, epoch) function; probe for the
+  // first seed whose draw has at least one kill AND one restart, so the
+  // scenario is guaranteed whatever the hash does.  (The oracle identity
+  // holds for any plan; the probe only pins scenario coverage.)
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s <= 64 && seed == 0; ++s) {
+    FaultScheduleOptions probe = opt.faults;
+    probe.seed = s;
+    const ProcessFaultPlan p = BuildProcessFaultPlan(4, opt.epochs, probe);
+    if (KillsThrough(p, opt.epochs - 1) >= 1 &&
+        RestartsThrough(p, opt.epochs - 1) >= 1)
+      seed = s;
+  }
+  ASSERT_NE(seed, 0u) << "no seed in 1..64 yields a kill and a restart";
+  opt.faults.seed = seed;
+  const ProcessFaultPlan plan = BuildEpochPlan(&c.config, opt);
+  ASSERT_TRUE(plan.any);
+  const std::size_t kills = KillsThrough(plan, opt.epochs - 1);
+  const std::size_t restarts = RestartsThrough(plan, opt.epochs - 1);
+
+  c.config.serving.trace = true;
+  c.config.serving.trace_sample_shift = 6;
+
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+
+  std::vector<TraceEvent> oracle_trace;
+  std::vector<WireCounters> per_epoch;
+  const ServingMetrics oracle =
+      ReplayOracle(c.config, &oracle_trace, &per_epoch);
+
+  // The sum law across faults: live finals + pre-kill scrapes == oracle.
+  EXPECT_TRUE(ServingCountersEqual(run.fleet, CountersFromMetrics(oracle)));
+  EXPECT_EQ(run.client_served + run.client_dropped, c.config.total_requests);
+  ASSERT_EQ(run.retired.size(), kills);
+  ASSERT_EQ(run.rejoin_hello_epochs.size(), restarts);
+  // A restarted daemon always rejoins from a fresh boot (epoch 0) and is
+  // brought current by the delta re-sync.
+  for (const std::uint32_t e : run.rejoin_hello_epochs) EXPECT_EQ(e, 0u);
+
+  // Barrier sample i closes epoch i: its live counters plus every retired
+  // scrape taken through that transition equal the oracle's cumulative
+  // counters after epoch i.  (Dead slots in a sample stay zero.)
+  ASSERT_EQ(run.epoch_samples.size(),
+            static_cast<std::size_t>(opt.epochs - 1));
+  ASSERT_EQ(per_epoch.size(), static_cast<std::size_t>(opt.epochs));
+  for (std::size_t i = 0; i < run.epoch_samples.size(); ++i) {
+    std::vector<WireCounters> parts = run.epoch_samples[i].per_server;
+    const std::size_t used = KillsThrough(plan, static_cast<int>(i) + 1);
+    ASSERT_LE(used, run.retired.size());
+    parts.insert(parts.end(), run.retired.begin(),
+                 run.retired.begin() + static_cast<std::ptrdiff_t>(used));
+    EXPECT_TRUE(ServingCountersEqual(SumCounters(parts), per_epoch[i]))
+        << "barrier sample " << i;
+  }
+
+  // Trace law across the kill: victim pre-kill dumps + restarted
+  // daemons' post-restart events + survivors' final dumps merge to the
+  // oracle's record stream exactly, no loss and no double count.
+  ASSERT_GT(oracle_trace.size(), 0u);
+  ASSERT_EQ(run.trace.size(), oracle_trace.size());
+  for (std::size_t i = 0; i < oracle_trace.size(); ++i)
+    ASSERT_EQ(run.trace[i], oracle_trace[i]) << "record " << i;
+
+  // Backpressure stayed inside the default watermark (no shedding, every
+  // per-daemon outbox peak bounded), and the gossip plane really did
+  // reconnect around the dead daemon.
+  EXPECT_EQ(run.fleet.shed_forwards, 0u);
+  EXPECT_GE(run.fleet.reconnects, 1u);
+  for (const WireCounters& s : run.per_server)
+    EXPECT_LE(s.outbox_peak_bytes, c.config.outbox_watermark_bytes);
+  for (const WireCounters& s : run.retired)
+    EXPECT_LE(s.outbox_peak_bytes, c.config.outbox_watermark_bytes);
+}
+
+// A watermark smaller than one frame forces every cross-shard forward to
+// shed: bounded backpressure turns them into clean client-visible drops
+// instead of unbounded buffering, and the run still accounts for every
+// request.
+TEST(NetdCluster, TinyWatermarkShedsForwardsIntoDrops) {
+  Cluster c = MakeCluster(200, 8, 4, 20000);
+  c.config.outbox_watermark_bytes = 16;
+  const NetdRunResult run = RunNetdCluster(c.config);
+  ASSERT_TRUE(run.ok);
+  EXPECT_GT(run.fleet.shed_forwards, 0u);
+  EXPECT_EQ(run.client_served + run.client_dropped, c.config.total_requests);
+  EXPECT_GT(run.client_dropped, 0u);
 }
 
 }  // namespace

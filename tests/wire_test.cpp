@@ -87,7 +87,70 @@ WireCounters RandomCounters(std::uint64_t seed, std::uint64_t i) {
   c.backoff_slots = Draw(seed, i, 8);
   c.net_forwards = Draw(seed, i, 9);
   c.gossip_sent = Draw(seed, i, 10);
+  c.shed_forwards = Draw(seed, i, 11);
+  c.reconnects = Draw(seed, i, 12);
+  c.outbox_peak_bytes = Draw(seed, i, 13);
   return c;
+}
+
+// Rows ascend by node and documents ascend within a row, as the decoder
+// demands; row 0 (when present) gets an empty cell list so the empty-row
+// encoding is always exercised.
+QuotaDelta RandomQuotaDelta(std::uint64_t seed, std::uint64_t i,
+                            std::size_t row_count) {
+  QuotaDelta d;
+  d.epoch = static_cast<std::uint32_t>(Draw(seed, i, 1));
+  d.total_rate = DrawLoad(seed, i, 2);
+  NodeId node = -1;
+  for (std::size_t r = 0; r < row_count; ++r) {
+    QuotaDeltaRow row;
+    node += 1 + static_cast<NodeId>(Draw(seed, i, 10 + r) % 5);
+    row.node = node;
+    const std::size_t cells = r == 0 ? 0 : 1 + Draw(seed, i, 50 + r) % 3;
+    std::int32_t doc = -1;
+    for (std::size_t c = 0; c < cells; ++c) {
+      QuotaDeltaCell cell;
+      doc += 1 + static_cast<std::int32_t>(Draw(seed, i, 100 + 8 * r + c) % 7);
+      cell.doc = doc;
+      cell.rate = DrawLoad(seed, i, 200 + 8 * r + c);
+      cell.frac = CounterUnitDouble(Draw(seed, i, 300 + 8 * r + c));
+      row.cells.push_back(cell);
+    }
+    d.rows.push_back(std::move(row));
+  }
+  return d;
+}
+
+EpochUpdate RandomEpochUpdate(std::uint64_t seed, std::uint64_t i,
+                              std::size_t down_count,
+                              std::size_t reassign_count) {
+  EpochUpdate u;
+  u.epoch = static_cast<std::uint32_t>(Draw(seed, i, 1));
+  NodeId v = -1;
+  for (std::size_t k = 0; k < down_count; ++k) {
+    v += 1 + static_cast<NodeId>(Draw(seed, i, 10 + k) % 9);
+    u.down.push_back(v);
+  }
+  v = -1;
+  for (std::size_t k = 0; k < reassign_count; ++k) {
+    OwnerDelta d;
+    v += 1 + static_cast<NodeId>(Draw(seed, i, 60 + k) % 9);
+    d.node = v;
+    d.owner = static_cast<std::uint32_t>(Draw(seed, i, 110 + k) % 64);
+    u.reassign.push_back(d);
+  }
+  return u;
+}
+
+// A bare header claiming `stated` payload bytes for `type` — for probing
+// the stated-length plausibility checks with no payload attached.
+std::vector<std::uint8_t> RawHeader(MsgType type, std::uint32_t stated) {
+  std::vector<std::uint8_t> h(MessageCodec::kHeaderSize);
+  PutU16(h.data(), MessageCodec::kMagic);
+  h[2] = MessageCodec::kVersion;
+  h[3] = static_cast<std::uint8_t>(type);
+  PutU32(h.data() + 4, stated);
+  return h;
 }
 
 TEST(WireCodec, GetRequestRoundTripsOverRandomMessages) {
@@ -234,6 +297,205 @@ TEST(WireCodec, TraceReplyPrefixesNeedMoreAndCorruptionErrors) {
             DecodeStatus::kError);
 }
 
+// The v3 rejoin handshake: Hello carries the sender's quota-table epoch,
+// and a stale daemon's nonzero disclosure survives the round trip.
+TEST(WireCodec, HelloRejoinRoundTripsEpoch) {
+  for (const std::uint32_t epoch : {0u, 1u, 0xdeadbeefu}) {
+    Hello h;
+    h.kind = PeerKind::kServer;
+    h.sender = 3;
+    h.epoch = epoch;
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(h, &buf);
+    ASSERT_EQ(n, MessageCodec::kHeaderSize + MessageCodec::kHelloSize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, MsgType::kHello);
+    EXPECT_EQ(out.hello, h);
+  }
+}
+
+TEST(WireCodec, QuotaDeltaRoundTripsIncludingEmpty) {
+  for (const std::size_t rows :
+       {std::size_t{0}, std::size_t{1}, std::size_t{6}, std::size_t{40}}) {
+    const QuotaDelta d = RandomQuotaDelta(46, rows, rows);
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(d, &buf);
+    ASSERT_EQ(n, buf.size());
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, n);
+    EXPECT_EQ(out.type, MsgType::kQuotaDelta);
+    EXPECT_EQ(out.delta, d);
+  }
+}
+
+TEST(WireCodec, EpochUpdateRoundTripsIncludingEmpty) {
+  const std::size_t shapes[][2] = {{0, 0}, {1, 0}, {0, 1}, {5, 9}};
+  for (const auto& s : shapes) {
+    const EpochUpdate u = RandomEpochUpdate(47, s[0] * 16 + s[1], s[0], s[1]);
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = MessageCodec::Encode(u, &buf);
+    ASSERT_EQ(n, MessageCodec::kHeaderSize +
+                     MessageCodec::kEpochUpdatePrologueSize + s[0] * 4 +
+                     s[1] * 8);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, n);
+    EXPECT_EQ(out.type, MsgType::kEpochUpdate);
+    EXPECT_EQ(out.epoch_update, u);
+  }
+}
+
+TEST(WireCodec, QuotaDeltaPrefixesNeedMoreAndCorruptionErrors) {
+  const QuotaDelta d = RandomQuotaDelta(48, 0, 6);
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(d, &frame);
+
+  // Every strict prefix of the variable-length frame is kNeedMore.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireMessage out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(MessageCodec::Decode(frame.data(), cut, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+
+  WireMessage out;
+  std::size_t consumed = 0;
+  const std::size_t prologue = MessageCodec::kHeaderSize;
+
+  // A row count disagreeing with the stated payload length is kError.
+  auto bad = frame;
+  bad[prologue + 4] ^= 0x01;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // A row count past the anti-DoS cap is kError before any row parses.
+  bad = frame;
+  PutU32(bad.data() + prologue + 4, 0xffffffffu);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Rows must ascend strictly by node: copy row 0's node over row 1's.
+  // Row 0 has no cells (RandomQuotaDelta forces it), so row 1's header
+  // sits one bare row header past the prologue.
+  bad = frame;
+  const std::size_t row0 = prologue + MessageCodec::kDeltaPrologueSize;
+  const std::size_t row1 = row0 + MessageCodec::kDeltaRowHeaderSize;
+  std::memcpy(bad.data() + row1, bad.data() + row0, 4);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // A negative row node is kError.
+  bad = frame;
+  PutU32(bad.data() + row0, 0xffffffffu);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // A cell count that overruns the stated payload is kError.
+  bad = frame;
+  PutU32(bad.data() + row0 + 4, 1000);  // row 0 claims cells it doesn't carry
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Documents must ascend strictly within a row.
+  QuotaDelta two;
+  two.epoch = 9;
+  two.total_rate = 1.5;
+  QuotaDeltaRow row;
+  row.node = 4;
+  row.cells.push_back(QuotaDeltaCell{2, 1.0, 0.5});
+  row.cells.push_back(QuotaDeltaCell{5, 2.0, 0.25});
+  two.rows.push_back(row);
+  std::vector<std::uint8_t> tframe;
+  MessageCodec::Encode(two, &tframe);
+  const std::size_t cell1 = prologue + MessageCodec::kDeltaPrologueSize +
+                            MessageCodec::kDeltaRowHeaderSize +
+                            MessageCodec::kDeltaCellSize;
+  PutU32(tframe.data() + cell1, 2);  // second doc == first: not ascending
+  EXPECT_EQ(MessageCodec::Decode(tframe.data(), tframe.size(), &out,
+                                 &consumed),
+            DecodeStatus::kError);
+
+  // Stated lengths outside [prologue, anti-DoS cap] are garbage the
+  // moment the header completes — no payload bytes needed.
+  for (const std::uint32_t stated : {8u, (1u << 27) + 1u}) {
+    const auto h = RawHeader(MsgType::kQuotaDelta, stated);
+    EXPECT_EQ(MessageCodec::Decode(h.data(), h.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "stated " << stated;
+  }
+}
+
+TEST(WireCodec, EpochUpdatePrefixesNeedMoreAndCorruptionErrors) {
+  const EpochUpdate u = RandomEpochUpdate(49, 0, 3, 3);
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(u, &frame);
+
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireMessage out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(MessageCodec::Decode(frame.data(), cut, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+
+  WireMessage out;
+  std::size_t consumed = 0;
+  const std::size_t body =
+      MessageCodec::kHeaderSize + MessageCodec::kEpochUpdatePrologueSize;
+
+  // Counts disagreeing with the stated payload length are kError.
+  auto bad = frame;
+  bad[MessageCodec::kHeaderSize + 4] ^= 0x01;  // down count
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+  bad = frame;
+  PutU32(bad.data() + MessageCodec::kHeaderSize + 4, 0xffffffffu);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Down nodes must ascend strictly: duplicate the first into the second.
+  bad = frame;
+  std::memcpy(bad.data() + body + 4, bad.data() + body, 4);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Reassignment nodes must ascend strictly too; pairs start after the
+  // three down nodes.
+  bad = frame;
+  const std::size_t pairs = body + 3 * 4;
+  std::memcpy(bad.data() + pairs + 8, bad.data() + pairs, 4);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // A negative down node is kError.
+  bad = frame;
+  PutU32(bad.data() + body, 0xffffffffu);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Stated lengths outside the plausible band die on the bare header.
+  const std::uint32_t over = static_cast<std::uint32_t>(
+      MessageCodec::kEpochUpdatePrologueSize +
+      MessageCodec::kMaxEpochUpdateNodes * 12 + 1);
+  for (const std::uint32_t stated : {8u, over}) {
+    const auto h = RawHeader(MsgType::kEpochUpdate, stated);
+    EXPECT_EQ(MessageCodec::Decode(h.data(), h.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "stated " << stated;
+  }
+}
+
 TEST(WireCodec, DoubleFieldsRoundTripBitExactly) {
   const double specials[] = {0.0, -0.0, 1.0 / 3.0,
                              std::numeric_limits<double>::infinity(),
@@ -279,6 +541,16 @@ TEST(WireCodec, EveryOneByteTruncationIsRejected) {
                        &frames.back());
   frames.emplace_back();
   MessageCodec::EncodeControl(MsgType::kShutdown, &frames.back());
+  Hello rejoin;
+  rejoin.kind = PeerKind::kServer;
+  rejoin.sender = 2;
+  rejoin.epoch = 5;
+  frames.emplace_back();
+  MessageCodec::Encode(rejoin, &frames.back());
+  frames.emplace_back();
+  MessageCodec::Encode(RandomQuotaDelta(26, 0, 4), &frames.back());
+  frames.emplace_back();
+  MessageCodec::Encode(RandomEpochUpdate(27, 0, 2, 3), &frames.back());
 
   for (const auto& frame : frames) {
     for (std::size_t cut = 0; cut < frame.size(); ++cut) {
@@ -365,11 +637,11 @@ TEST(WireCodec, EncodingIsExplicitlyLittleEndian) {
   EXPECT_EQ(buf[MessageCodec::kHeaderSize + 23], 0x55);
 }
 
-QuotaSnapshot MakeSnapshot() {
+QuotaSnapshot MakeSnapshotWithDemand(std::uint64_t demand_seed) {
   Rng rng(42);
   const RoutingTree tree = MakeRandomTree(200, rng);
   DemandMatrix demand(200, 8);
-  Rng drng(7);
+  Rng drng(demand_seed);
   for (NodeId v = 0; v < 200; ++v)
     if (tree.children(v).empty())
       for (std::int32_t d = 0; d < 8; ++d)
@@ -377,6 +649,8 @@ QuotaSnapshot MakeSnapshot() {
   const PlacementResult placement = DerivePlacement(tree, demand);
   return QuotaSnapshot::FromPlacement(tree, placement, demand, 1e-9);
 }
+
+QuotaSnapshot MakeSnapshot() { return MakeSnapshotWithDemand(7); }
 
 TEST(QuotaWire, RoundTripIsByteExact) {
   const QuotaSnapshot s = MakeSnapshot();
@@ -446,6 +720,53 @@ TEST(QuotaWire, FileRoundTrip) {
   EXPECT_EQ(back.cell_count(), s.cell_count());
   EXPECT_EQ(back.total_rate(), s.total_rate());
   std::remove(path.c_str());
+}
+
+// The delta law the rejoin protocol rests on: applying the diff of two
+// same-shaped tables to the first reproduces the second byte-for-byte.
+TEST(QuotaWire, DiffApplyLawReproducesTargetByteExactly) {
+  const QuotaSnapshot a = MakeSnapshotWithDemand(7);
+  const QuotaSnapshot b = MakeSnapshotWithDemand(8);
+
+  QuotaDelta d;
+  ASSERT_TRUE(QuotaWireTable::DiffSnapshots(a, b, &d));
+  ASSERT_GT(d.rows.size(), 0u);  // different demand must move some rows
+
+  QuotaSnapshot patched = a;
+  ASSERT_TRUE(QuotaWireTable::ApplyDelta(d, &patched));
+  std::vector<std::uint8_t> want, got;
+  QuotaWireTable::Serialize(b, &want);
+  QuotaWireTable::Serialize(patched, &got);
+  EXPECT_EQ(got, want);
+
+  // Identical tables diff to an empty delta that applies as a no-op.
+  QuotaDelta none;
+  ASSERT_TRUE(QuotaWireTable::DiffSnapshots(a, a, &none));
+  EXPECT_TRUE(none.rows.empty());
+  QuotaSnapshot same = a;
+  ASSERT_TRUE(QuotaWireTable::ApplyDelta(none, &same));
+  std::vector<std::uint8_t> base, after;
+  QuotaWireTable::Serialize(a, &base);
+  QuotaWireTable::Serialize(same, &after);
+  EXPECT_EQ(after, base);
+}
+
+TEST(QuotaWire, DiffRejectsShapeMismatch) {
+  const QuotaSnapshot big = MakeSnapshot();
+  Rng rng(43);
+  const RoutingTree small_tree = MakeRandomTree(50, rng);
+  DemandMatrix demand(50, 8);
+  Rng drng(9);
+  for (NodeId v = 0; v < 50; ++v)
+    if (small_tree.children(v).empty())
+      for (std::int32_t d = 0; d < 8; ++d)
+        demand.set(v, d, drng.NextDouble(0.1, 4.0));
+  const QuotaSnapshot small = QuotaSnapshot::FromPlacement(
+      small_tree, DerivePlacement(small_tree, demand), demand, 1e-9);
+
+  QuotaDelta d;
+  EXPECT_FALSE(QuotaWireTable::DiffSnapshots(big, small, &d));
+  EXPECT_FALSE(QuotaWireTable::DiffSnapshots(small, big, &d));
 }
 
 }  // namespace

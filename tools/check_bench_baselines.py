@@ -48,6 +48,11 @@ RULES = {
     # regression fields, but keyed matching still reports coverage drift
     # (a scenario that stopped producing samples).
     "tab_netd_stats": (("record", "scenario", "sample"), ()),
+    # The survivable-fleet scenario: one record per epoch barrier (counter
+    # snapshots, coverage-matched only) plus one fleet record whose
+    # throughputs are tracked.
+    "tab_netd_faults": (("record", "epoch", "servers", "epochs"),
+                        ("req_per_sec", "oracle_req_per_sec")),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
