@@ -41,10 +41,25 @@
 // under the watermark.  The oracle replay honors WEBWAVE_THREADS
 // (order-free admission makes its counters thread-count invariant).
 //
+// Part 5 (riding inside parts 1 and 4): the latency plane (PR 10).
+// Every kStatsReply carries the daemon's serve-time histogram in the v4
+// section, so the scraper collects fleet-wide latency live; the merged
+// fleet histogram is asserted equal to the naive per-bucket integer sum,
+// and its total count is a structural identity (every request plus every
+// forward arrives as exactly one kGetRequest frame).  The loadgen's own
+// send->reply histograms obey a partition law: bucketed per epoch and
+// per server, the two partitions merge to the same histogram.  Victims'
+// flight-recorder rings are scraped before each SIGKILL and asserted
+// non-empty; all rings are dumped as netd_flight_*.txt and the trace as
+// netd_trace.jsonl — the inputs tools/merge_flight.py joins into a
+// cross-process per-request timeline.  Bucket *values* are wall-clock
+// and never enter any assertion; only counts and partition identities do.
+//
 // Emits BENCH_netd.json, BENCH_netd_stats.json (one record per live
-// scrape), BENCH_netd_faults.json (the survivable-fleet scenario) and
-// netd_stats.prom (Prometheus text exposition of the final fleet
-// counters per scenario).  Environment knobs:
+// scrape), BENCH_netd_faults.json (the survivable-fleet scenario),
+// BENCH_netd_latency.json (per-scenario and per-epoch latency shapes),
+// netd_stats.prom (Prometheus text exposition, now with real histogram
+// families), netd_flight_*.txt and netd_trace.jsonl.  Environment knobs:
 //   WEBWAVE_SMOKE            reduced shapes (the CI smoke configuration)
 //   WEBWAVE_NETD_NODES       big-tree nodes to carve from (default
 //                            1000000; smoke 60000)
@@ -63,6 +78,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +91,8 @@
 #include "netd/cluster.h"
 #include "netd/epoch_plan.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 #include "proto/packet_sim.h"
 #include "serve/quota_snapshot.h"
 #include "tree/builders.h"
@@ -82,6 +101,35 @@
 #include "util/rng.h"
 #include "wire/codec.h"
 #include "wire/quota_wire.h"
+
+namespace {
+
+webwave::LatencyHistogram MergeHists(
+    const std::vector<webwave::LatencyHistogram>& parts) {
+  webwave::LatencyHistogram merged;
+  for (const auto& h : parts) merged.Merge(h);
+  return merged;
+}
+
+// The merge law: LatencyHistogram::Merge must be exactly a per-bucket
+// u64 add — checked against the naive sum, bucket for bucket, plus the
+// count and sum totals.
+bool MergeEqualsBucketSum(
+    const webwave::LatencyHistogram& merged,
+    const std::vector<webwave::LatencyHistogram>& parts) {
+  std::uint64_t count = 0;
+  for (int b = 0; b < webwave::LatencyHistogram::kBucketCount; ++b) {
+    std::uint64_t want = 0;
+    for (const auto& h : parts) want += h.bucket(b);
+    if (merged.bucket(b) != want) return false;
+    count += want;
+  }
+  std::uint64_t sum = 0;
+  for (const auto& h : parts) sum += h.sum();
+  return merged.count() == count && merged.sum() == sum;
+}
+
+}  // namespace
 
 int main() {
   using namespace webwave;
@@ -201,6 +249,7 @@ int main() {
                     "forwards", "gossip", "scrapes", "traced",
                     "fleet kreq/s", "oracle Mreq/s", "match"});
   BenchJson stats_json("tab_netd_stats");
+  BenchJson latency_json("tab_netd_latency");
   PrometheusWriter prom;
   bool all_match = true;
   for (const Scenario& sc : scenarios) {
@@ -254,7 +303,75 @@ int main() {
                   sc.label);
       match = false;
     }
+
+    // The latency plane.  The fleet's serve-time histograms arrive in
+    // the same v4 kStatsReply the counters do; their merge must equal
+    // the naive per-bucket sum, and the merged count is structural:
+    // every request plus every forward is exactly one kGetRequest frame.
+    const LatencyHistogram fleet_hist = MergeHists(run.server_hist);
+    if (!MergeEqualsBucketSum(fleet_hist, run.server_hist)) {
+      std::printf("ASSERT FAILED [%s]: serve histogram merge != "
+                  "per-bucket sum\n", sc.label);
+      match = false;
+    }
+    if (fleet_hist.count() !=
+        config.total_requests + run.fleet.net_forwards) {
+      std::printf("ASSERT FAILED [%s]: serve histogram count %llu != "
+                  "requests + forwards %llu\n", sc.label,
+                  static_cast<unsigned long long>(fleet_hist.count()),
+                  static_cast<unsigned long long>(config.total_requests +
+                                                  run.fleet.net_forwards));
+      match = false;
+    }
+    // The loadgen's send->reply latency, partitioned two ways — per
+    // epoch block and per replying server.  Same events, so the two
+    // partitions must merge to the identical histogram, and every
+    // request contributes exactly one reply.
+    const LatencyHistogram client_lat = MergeHists(run.latency_per_server);
+    if (MergeHists(run.latency_per_epoch) != client_lat ||
+        client_lat.count() != config.total_requests) {
+      std::printf("ASSERT FAILED [%s]: client latency partitions "
+                  "disagree (%llu recorded, %llu requests)\n", sc.label,
+                  static_cast<unsigned long long>(client_lat.count()),
+                  static_cast<unsigned long long>(config.total_requests));
+      match = false;
+    }
     all_match = all_match && match;
+
+    std::printf("latency [%s]: client p50=%llu p99=%llu max<%llu ns | "
+                "fleet serve p50=%llu p99=%llu over %llu frames | loadgen "
+                "loop stall max %.2f ms\n",
+                sc.label,
+                static_cast<unsigned long long>(client_lat.ValueAtQuantile(0.5)),
+                static_cast<unsigned long long>(client_lat.ValueAtQuantile(0.99)),
+                static_cast<unsigned long long>(client_lat.MaxValueBound()),
+                static_cast<unsigned long long>(fleet_hist.ValueAtQuantile(0.5)),
+                static_cast<unsigned long long>(fleet_hist.ValueAtQuantile(0.99)),
+                static_cast<unsigned long long>(fleet_hist.count()),
+                static_cast<double>(run.loop_max_stall_ns) / 1e6);
+
+    latency_json.BeginRun();
+    latency_json.Add("record", std::string("scenario"));
+    latency_json.Add("scenario", std::string(sc.label));
+    latency_json.Add("client_count",
+                     static_cast<long long>(client_lat.count()));
+    latency_json.Add("client_p50_ns",
+                     static_cast<long long>(client_lat.ValueAtQuantile(0.5)));
+    latency_json.Add("client_p99_ns",
+                     static_cast<long long>(client_lat.ValueAtQuantile(0.99)));
+    latency_json.Add("client_max_bound_ns",
+                     static_cast<long long>(client_lat.MaxValueBound()));
+    latency_json.Add("serve_count",
+                     static_cast<long long>(fleet_hist.count()));
+    latency_json.Add("serve_p50_ns",
+                     static_cast<long long>(fleet_hist.ValueAtQuantile(0.5)));
+    latency_json.Add("serve_p99_ns",
+                     static_cast<long long>(fleet_hist.ValueAtQuantile(0.99)));
+    latency_json.Add("serve_max_bound_ns",
+                     static_cast<long long>(fleet_hist.MaxValueBound()));
+    latency_json.Add("loop_max_stall_ns",
+                     static_cast<long long>(run.loop_max_stall_ns));
+    latency_json.Add("match", match ? 1 : 0);
 
     // One stats record per live scrape: the fleet's counter sums as the
     // scraper saw them mid-flight.
@@ -277,6 +394,14 @@ int main() {
       stats_json.Add("net_forwards",
                      static_cast<long long>(sum.net_forwards));
       stats_json.Add("gossip_sent", static_cast<long long>(sum.gossip_sent));
+      // The latency the scraper saw live at this sample, from the v4
+      // histogram section of the very same kStatsReply round.
+      const LatencyHistogram seen = MergeHists(run.samples[i].hist_per_server);
+      stats_json.Add("serve_count", static_cast<long long>(seen.count()));
+      stats_json.Add("serve_p50_ns",
+                     static_cast<long long>(seen.ValueAtQuantile(0.5)));
+      stats_json.Add("serve_p99_ns",
+                     static_cast<long long>(seen.ValueAtQuantile(0.99)));
     }
 
     // The exposition: final fleet counters, one label set per scenario.
@@ -299,6 +424,16 @@ int main() {
                     static_cast<double>(run.samples.size()));
       prom.AddGauge("webwave.fleet.trace_records", labels,
                     static_cast<double>(run.trace.size()));
+      // Real histogram families: the fleet's merged serve time, the
+      // client's observed latency, and the loadgen's event-loop health.
+      prom.AddHistogram("webwave.fleet.serve_time_ns", labels, fleet_hist);
+      prom.AddHistogram("webwave.client.latency_ns", labels, client_lat);
+      prom.AddHistogram("webwave.loadgen.loop_poll_iter_ns", labels,
+                        run.loop_poll_iter);
+      prom.AddHistogram("webwave.loadgen.loop_timer_lag_ns", labels,
+                        run.loop_timer_lag);
+      prom.AddGauge("webwave.loadgen.loop_max_stall_ns", labels,
+                    static_cast<double>(run.loop_max_stall_ns));
     }
 
     table.AddRow({sc.label,
@@ -346,6 +481,10 @@ int main() {
     fc.serving.max_failover_attempts = 8;
     fc.serving.threads = oracle_threads;
     fc.load_window_factor = 4.0;
+    // Live daemons dump their flight ring to flight_<index>.txt on clean
+    // shutdown; victims never get there — their rings arrive over the
+    // wire (kFlightRequest) at the quiesced boundary before the SIGKILL.
+    fc.flight_dir = ".";
 
     EpochPlanOptions eopt;
     eopt.epochs = epochs;
@@ -508,8 +647,186 @@ int main() {
       faults_json.Add("dropped",
                       static_cast<long long>(sum.dropped_requests));
       faults_json.Add("match", ematch ? 1 : 0);
+
+      // Per-epoch fleet latency, scraped live over wire v4: the barrier
+      // sample's histograms plus the victims' pre-kill ones give the
+      // cumulative serve-time distribution through this epoch.
+      std::vector<LatencyHistogram> parts_hist =
+          run.epoch_samples[i].hist_per_server;
+      parts_hist.insert(
+          parts_hist.end(), run.retired_hist.begin(),
+          run.retired_hist.begin() +
+              static_cast<std::ptrdiff_t>(
+                  std::min(used, run.retired_hist.size())));
+      const LatencyHistogram cum = MergeHists(parts_hist);
+      const LatencyHistogram ep_lat =
+          i < run.latency_per_epoch.size() ? run.latency_per_epoch[i]
+                                           : LatencyHistogram{};
+      latency_json.BeginRun();
+      latency_json.Add("record", std::string("epoch"));
+      latency_json.Add("scenario", std::string("faults"));
+      latency_json.Add("epoch", static_cast<long long>(i));
+      latency_json.Add("client_count",
+                       static_cast<long long>(ep_lat.count()));
+      latency_json.Add("client_p50_ns",
+                       static_cast<long long>(ep_lat.ValueAtQuantile(0.5)));
+      latency_json.Add("client_p99_ns",
+                       static_cast<long long>(ep_lat.ValueAtQuantile(0.99)));
+      latency_json.Add("client_max_bound_ns",
+                       static_cast<long long>(ep_lat.MaxValueBound()));
+      latency_json.Add("serve_count", static_cast<long long>(cum.count()));
+      latency_json.Add("serve_p50_ns",
+                       static_cast<long long>(cum.ValueAtQuantile(0.5)));
+      latency_json.Add("serve_p99_ns",
+                       static_cast<long long>(cum.ValueAtQuantile(0.99)));
+      std::printf("epoch %zu latency: client p50=%llu p99=%llu ns "
+                  "(%llu replies) | fleet serve p50=%llu p99=%llu "
+                  "(%llu frames, scraped)\n",
+                  i,
+                  static_cast<unsigned long long>(ep_lat.ValueAtQuantile(0.5)),
+                  static_cast<unsigned long long>(ep_lat.ValueAtQuantile(0.99)),
+                  static_cast<unsigned long long>(ep_lat.count()),
+                  static_cast<unsigned long long>(cum.ValueAtQuantile(0.5)),
+                  static_cast<unsigned long long>(cum.ValueAtQuantile(0.99)),
+                  static_cast<unsigned long long>(cum.count()));
+    }
+
+    // The latency plane across faults.  Live finals plus the victims'
+    // pre-kill histograms partition every kGetRequest frame the fleet
+    // ever dispatched (the boundary is quiesced, so no frame is lost to
+    // a SIGKILL), and Merge must stay a per-bucket integer add.
+    std::vector<LatencyHistogram> final_hists = run.server_hist;
+    final_hists.insert(final_hists.end(), run.retired_hist.begin(),
+                       run.retired_hist.end());
+    const LatencyHistogram fleet_hist = MergeHists(final_hists);
+    if (!MergeEqualsBucketSum(fleet_hist, final_hists)) {
+      std::printf("ASSERT FAILED [faults]: serve histogram merge != "
+                  "per-bucket sum\n");
+      match = false;
+    }
+    if (fleet_hist.count() != fc.total_requests + run.fleet.net_forwards) {
+      std::printf("ASSERT FAILED [faults]: serve histogram count %llu != "
+                  "requests + forwards %llu\n",
+                  static_cast<unsigned long long>(fleet_hist.count()),
+                  static_cast<unsigned long long>(fc.total_requests +
+                                                  run.fleet.net_forwards));
+      match = false;
+    }
+    const LatencyHistogram client_lat = MergeHists(run.latency_per_server);
+    if (MergeHists(run.latency_per_epoch) != client_lat ||
+        client_lat.count() != fc.total_requests) {
+      std::printf("ASSERT FAILED [faults]: client latency partitions "
+                  "disagree (%llu recorded, %llu requests)\n",
+                  static_cast<unsigned long long>(client_lat.count()),
+                  static_cast<unsigned long long>(fc.total_requests));
+      match = false;
+    }
+
+    // Flight recorder: killing a daemon must yield a non-empty flight
+    // dump for the victim, scraped over the wire before the SIGKILL; the
+    // end-of-run dump round covers every live daemon.
+    std::size_t victim_dumps = 0;
+    std::size_t flight_events = 0;
+    for (const NetdRunResult::FlightDump& d : run.flights) {
+      if (d.victim) ++victim_dumps;
+      flight_events += d.events.size();
+      if (d.events.empty()) {
+        std::printf("ASSERT FAILED [faults]: empty flight ring from "
+                    "server %d (%s)\n", d.server,
+                    d.victim ? "victim" : "live");
+        match = false;
+      }
+    }
+    if (victim_dumps != kills) {
+      std::printf("ASSERT FAILED [faults]: %zu victim flight dumps, "
+                  "plan killed %zu\n", victim_dumps, kills);
+      match = false;
+    }
+
+    // Dump every scraped ring to netd_flight_*.txt and the fleet trace
+    // to netd_trace.jsonl — the inputs tools/merge_flight.py joins into
+    // the cross-process per-request timeline.
+    int flight_files = 0;
+    for (std::size_t i = 0; i < run.flights.size(); ++i) {
+      const NetdRunResult::FlightDump& d = run.flights[i];
+      char name[64];
+      std::snprintf(name, sizeof(name), "netd_flight_%02zu_s%d%s.txt", i,
+                    d.server, d.victim ? "_victim" : "");
+      std::ofstream out(name);
+      out << FlightRecorder::Dump(d.events,
+                                  static_cast<std::uint8_t>(d.server));
+      if (out.good()) ++flight_files;
+    }
+    {
+      std::ofstream out("netd_trace.jsonl");
+      for (const TraceEvent& e : run.trace)
+        out << "{\"req_id\":" << e.req_id << ",\"seq\":" << e.seq
+            << ",\"node\":" << e.node << ",\"kind\":\""
+            << TraceEventKindName(e.kind) << "\",\"detail\":" << e.detail
+            << ",\"aux\":" << static_cast<int>(e.aux) << "}\n";
+    }
+    std::printf("flight plane: %zu ring dump(s) (%zu victim), %zu events, "
+                "%d netd_flight_*.txt file(s) + netd_trace.jsonl written\n",
+                run.flights.size(), victim_dumps, flight_events,
+                flight_files);
+
+    // The clean-shutdown file path: every live daemon wrote its ring to
+    // flight_<index>.txt in flight_dir, and the text form parses back.
+    int shutdown_dumps = 0;
+    for (int s = 0; s < servers; ++s) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "flight_%d.txt", s);
+      std::ifstream in(name);
+      if (!in.good()) continue;
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::vector<FlightEvent> parsed;
+      if (text.empty() || !FlightRecorder::Parse(text, &parsed) ||
+          parsed.empty()) {
+        std::printf("ASSERT FAILED [faults]: %s does not parse back\n",
+                    name);
+        match = false;
+        continue;
+      }
+      ++shutdown_dumps;
+    }
+    if (shutdown_dumps == 0) {
+      std::printf("ASSERT FAILED [faults]: no daemon wrote a clean-"
+                  "shutdown flight dump\n");
+      match = false;
     }
     all_match = all_match && match;
+
+    latency_json.BeginRun();
+    latency_json.Add("record", std::string("scenario"));
+    latency_json.Add("scenario", std::string("faults"));
+    latency_json.Add("client_count",
+                     static_cast<long long>(client_lat.count()));
+    latency_json.Add("client_p50_ns",
+                     static_cast<long long>(client_lat.ValueAtQuantile(0.5)));
+    latency_json.Add("client_p99_ns",
+                     static_cast<long long>(client_lat.ValueAtQuantile(0.99)));
+    latency_json.Add("client_max_bound_ns",
+                     static_cast<long long>(client_lat.MaxValueBound()));
+    latency_json.Add("serve_count",
+                     static_cast<long long>(fleet_hist.count()));
+    latency_json.Add("serve_p50_ns",
+                     static_cast<long long>(fleet_hist.ValueAtQuantile(0.5)));
+    latency_json.Add("serve_p99_ns",
+                     static_cast<long long>(fleet_hist.ValueAtQuantile(0.99)));
+    latency_json.Add("serve_max_bound_ns",
+                     static_cast<long long>(fleet_hist.MaxValueBound()));
+    latency_json.Add("loop_max_stall_ns",
+                     static_cast<long long>(run.loop_max_stall_ns));
+    latency_json.Add("match", match ? 1 : 0);
+
+    {
+      const PrometheusWriter::Labels labels = {{"scenario", "faults"}};
+      prom.AddHistogram("webwave.fleet.serve_time_ns", labels, fleet_hist);
+      prom.AddHistogram("webwave.client.latency_ns", labels, client_lat);
+      prom.AddGauge("webwave.fleet.flight_events", labels,
+                    static_cast<double>(flight_events));
+    }
 
     faults_json.BeginRun();
     faults_json.Add("record", std::string("fleet"));
@@ -525,6 +842,10 @@ int main() {
                     static_cast<long long>(run.fleet.shed_forwards));
     faults_json.Add("outbox_peak_bytes",
                     static_cast<long long>(outbox_peak));
+    faults_json.Add("flight_dumps",
+                    static_cast<long long>(run.flights.size()));
+    faults_json.Add("flight_events",
+                    static_cast<long long>(flight_events));
     faults_json.Add("served", static_cast<long long>(run.client_served));
     faults_json.Add("dropped", static_cast<long long>(run.client_dropped));
     faults_json.Add("failovers",
@@ -617,6 +938,7 @@ int main() {
 
   bench::WriteArtifact(json, "BENCH_netd.json");
   bench::WriteArtifact(stats_json, "BENCH_netd_stats.json");
+  bench::WriteArtifact(latency_json, "BENCH_netd_latency.json");
   const char* prom_out = "netd_stats.prom";
   std::printf("%s %s\n",
               prom.WriteFile(prom_out) ? "wrote" : "FAILED to write",

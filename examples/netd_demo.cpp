@@ -20,9 +20,18 @@
 // rejoining via Hello and re-synced by a kQuotaDelta diff — and the
 // summed counters (live finals + the victim's pre-kill scrape) still
 // equal the multi-epoch oracle bit for bit.
+//
+// The latency plane (PR 10) rides along too: every kStatsReply carries
+// the daemon's serve-time histogram, so the demo prints fleet latency
+// percentiles scraped over the wire, exposes real Prometheus histogram
+// families, and shows each SIGKILL victim's flight-recorder ring —
+// scraped at the quiesced boundary just before the kill.
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 
 #include "doc/catalog.h"
 #include "doc/placement.h"
@@ -155,6 +164,28 @@ int main() {
                       run.samples.empty() ? 0 : run.samples.size() - 1));
     prom.AddGauge("webwave.netd.trace_records", {{"phase", phase}},
                   static_cast<double>(run.trace.size()));
+
+    // The latency plane: the fleet's serve-time histograms arrive in the
+    // same v4 kStatsReply as the counters; the loadgen buckets its own
+    // send->reply times.  Timing is reported, never asserted.
+    LatencyHistogram serve, client_lat;
+    for (const LatencyHistogram& h : run.server_hist) serve.Merge(h);
+    for (const LatencyHistogram& h : run.latency_per_server)
+      client_lat.Merge(h);
+    std::printf(
+        "latency (wire-scraped): fleet serve p50=%llu p99=%llu ns over "
+        "%llu frames;\nclient send->reply p50=%llu p99=%llu ns; loadgen "
+        "loop stall max %.2f ms\n\n",
+        static_cast<unsigned long long>(serve.ValueAtQuantile(0.5)),
+        static_cast<unsigned long long>(serve.ValueAtQuantile(0.99)),
+        static_cast<unsigned long long>(serve.count()),
+        static_cast<unsigned long long>(client_lat.ValueAtQuantile(0.5)),
+        static_cast<unsigned long long>(client_lat.ValueAtQuantile(0.99)),
+        static_cast<double>(run.loop_max_stall_ns) / 1e6);
+    prom.AddHistogram("webwave.netd.serve_time_ns", {{"phase", phase}},
+                      serve);
+    prom.AddHistogram("webwave.netd.client_latency_ns", {{"phase", phase}},
+                      client_lat);
   }
 
   // --- The survivable fleet: kill + restart mid-run -------------------
@@ -230,6 +261,22 @@ int main() {
         fc.outbox_watermark_bytes,
         exact ? "EXACT through kill, restart and re-sync"
               : "COUNTER MISMATCH");
+
+    // The flight recorder: each victim's ring was scraped over the wire
+    // (kFlightRequest) at the quiesced boundary before its SIGKILL — the
+    // crash-surviving "what was it doing" record.  Show the tail.
+    for (const NetdRunResult::FlightDump& d : run.flights) {
+      if (!d.victim) continue;
+      std::printf("flight ring of SIGKILL victim daemon %d (%zu events, "
+                  "last 5):\n", d.server, d.events.size());
+      const std::size_t from = d.events.size() > 5 ? d.events.size() - 5 : 0;
+      const std::vector<FlightEvent> tail(d.events.begin() +
+                                              static_cast<std::ptrdiff_t>(from),
+                                          d.events.end());
+      std::printf("%s", FlightRecorder::Dump(
+                            tail, static_cast<std::uint8_t>(d.server))
+                            .c_str());
+    }
 
     prom.AddGauge("webwave.netd.retired", {{"phase", "survivable"}},
                   static_cast<double>(run.retired.size()));

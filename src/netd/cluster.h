@@ -20,8 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 #include "obs/trace.h"
 #include "serve/request_gen.h"
 #include "serve/serving_plane.h"
@@ -96,6 +99,13 @@ struct NetdClusterConfig {
   // window (additive +1 recovery up to `window`).  Pacing only — the
   // stream content and every admission decision are unaffected.
   double load_window_factor = 0;
+  // Latency plane (PR 10): each daemon keeps a flight-recorder ring of
+  // this many events.  `flight_dir`, when non-empty, is where a daemon
+  // dumps its ring on *clean* shutdown ("flight_<index>.txt"); victims
+  // never reach that path — their rings are scraped over the wire
+  // (kFlightRequest) at the quiesced boundary before the SIGKILL.
+  std::size_t flight_capacity = 4096;
+  std::string flight_dir;
 };
 
 // Request i of stream `seed` — a pure counter function, evaluated
@@ -178,6 +188,11 @@ bool CountersMonotone(const WireCounters& a, const WireCounters& b);
 struct NetdStatsSample {
   std::uint64_t at_completed = 0;
   std::vector<WireCounters> per_server;
+  // Each daemon's request service-time histogram from the same v4
+  // kStatsReply (empty histograms for daemons that shipped none, and for
+  // dead slots in barrier samples).  Timing payload — never part of the
+  // oracle identity assertions.
+  std::vector<LatencyHistogram> hist_per_server;
 };
 
 struct NetdRunResult {
@@ -208,6 +223,30 @@ struct NetdRunResult {
   // The epoch each restarted daemon announced in its rejoin Hello —
   // always 0 (a fresh boot serves the base table until its delta lands).
   std::vector<std::uint32_t> rejoin_hello_epochs;
+
+  // --- Latency plane (PR 10) — observability payload, never identity ---
+  // Loadgen-observed send->reply latency, bucketed per epoch block and
+  // per replying server.
+  std::vector<LatencyHistogram> latency_per_epoch;
+  std::vector<LatencyHistogram> latency_per_server;
+  // Each live daemon's final request service-time histogram (from the
+  // final stats round's v4 section), and the victims' pre-kill ones
+  // (aligned index-for-index with `retired`).
+  std::vector<LatencyHistogram> server_hist;
+  std::vector<LatencyHistogram> retired_hist;
+  // Flight-recorder rings: victims' rings scraped at the quiesced
+  // boundary before each SIGKILL, then every live daemon's ring at end
+  // of run.  Events carry the recording daemon's index in `node`.
+  struct FlightDump {
+    int server = -1;
+    bool victim = false;  // scraped ahead of a SIGKILL
+    std::vector<FlightEvent> events;
+  };
+  std::vector<FlightDump> flights;
+  // The loadgen's own event-loop stall tracking.
+  LatencyHistogram loop_poll_iter;
+  LatencyHistogram loop_timer_lag;
+  std::uint64_t loop_max_stall_ns = 0;
 };
 
 // Forks config.server_count daemons, runs the loadgen against them,

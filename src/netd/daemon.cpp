@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "util/check.h"
 #include "util/rng.h"
@@ -36,7 +38,9 @@ CacheServerDaemon::CacheServerDaemon(const NetdClusterConfig& config,
       tree_(RoutingTree::FromParents(config.parents)),
       table_(SnapshotFromBlob(config.quota_blob)),
       owner_(config.owner),
-      peers_(static_cast<std::size_t>(config.server_count)) {
+      peers_(static_cast<std::size_t>(config.server_count)),
+      flight_(&clock_, config.flight_capacity > 0 ? config.flight_capacity
+                                                  : 1) {
   WEBWAVE_REQUIRE(config.serving.block_size == 1,
                   "netd requires block_size == 1 (the order-free admission "
                   "regime) so async fleets stay bit-comparable to the oracle");
@@ -54,6 +58,17 @@ CacheServerDaemon::CacheServerDaemon(const NetdClusterConfig& config,
   reg_shed_forwards_ = registry_.Counter("netd.shed_forwards");
   reg_reconnects_ = registry_.Counter("netd.reconnects");
   reg_outbox_peak_ = registry_.Gauge("netd.outbox_peak_bytes");
+  hist_queue_delay_ = hists_.Register("netd.frame_queue_delay_ns");
+  hist_serve_ = hists_.Register("netd.serve_time_ns");
+  hist_control_ = hists_.Register("netd.control_time_ns");
+  hist_poll_iter_ = hists_.Register("netd.loop_poll_iter_ns");
+  hist_timer_lag_ = hists_.Register("netd.loop_timer_lag_ns");
+  EventLoop::LatencySink sink;
+  sink.clock = &clock_;
+  sink.poll_iter = &hists_.At(hist_poll_iter_);
+  sink.timer_lag = &hists_.At(hist_timer_lag_);
+  sink.max_stall_ns = &max_stall_ns_;
+  loop_.AttachLatencyPlane(sink);
 }
 
 CacheServerDaemon::~CacheServerDaemon() {
@@ -62,10 +77,14 @@ CacheServerDaemon::~CacheServerDaemon() {
 
 int CacheServerDaemon::Run() {
   MakeNonBlocking(listen_fd_);
+  flight_.Note(FlightEventKind::kBoot, static_cast<std::uint64_t>(index_),
+               epoch_);
   loop_.WatchRead(listen_fd_, [this] { OnAcceptable(); });
   if (config_.gossip_period_ms > 0 && config_.server_count > 1)
     ScheduleGossip();
-  return loop_.Run();
+  const int code = loop_.Run();
+  DumpFlightOnShutdown();
+  return code;
 }
 
 void CacheServerDaemon::OnAcceptable() {
@@ -83,9 +102,14 @@ void CacheServerDaemon::OnAcceptable() {
 void CacheServerDaemon::AdoptConn(int fd) {
   MakeNonBlocking(fd);
   conns_[fd] = std::make_unique<FrameConn>(fd);
+  flight_.Note(FlightEventKind::kConnUp, static_cast<std::uint64_t>(fd),
+               /*arg=*/0);  // arg 0: accepted (incoming) conn
   loop_.WatchRead(fd, [this, fd] {
     const auto it = conns_.find(fd);
     if (it == conns_.end()) return;
+    // Queue delay is measured from here: every frame this read batch
+    // dispatches waited at least since the batch began.
+    read_batch_start_ns_ = clock_.NowNanos();
     const bool alive = it->second->OnReadable(
         [this, fd](const WireMessage& m) { OnFrame(fd, m); });
     if (!alive) DropConn(fd);
@@ -96,6 +120,8 @@ void CacheServerDaemon::DropConn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   NoteOutboxPeak(*it->second);
+  flight_.Note(FlightEventKind::kConnDown, static_cast<std::uint64_t>(fd),
+               /*arg=*/0);
   loop_.Unwatch(fd);
   conns_.erase(it);  // closes the fd
 }
@@ -118,6 +144,26 @@ void CacheServerDaemon::UpdateWriteInterest(int fd) {
 }
 
 void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
+  // Queue delay: how long this frame sat behind its read batch before
+  // its handler ran.  Service time: the handler itself.  Both real
+  // wall-clock — shipped and dumped, never identity-asserted.
+  const std::uint64_t t0 = clock_.NowNanos();
+  hists_.At(hist_queue_delay_)
+      .Record(t0 >= read_batch_start_ns_ ? t0 - read_batch_start_ns_ : 0);
+  const std::uint64_t frame_detail =
+      msg.type == MsgType::kGetRequest  ? msg.get.req_id
+      : msg.type == MsgType::kGetReply  ? msg.reply.req_id
+                                        : 0;
+  flight_.Note(FlightEventKind::kFrameIn, frame_detail,
+               static_cast<std::uint32_t>(msg.type));
+  DispatchFrame(from_fd, msg);
+  const std::uint64_t t1 = clock_.NowNanos();
+  hists_
+      .At(msg.type == MsgType::kGetRequest ? hist_serve_ : hist_control_)
+      .Record(t1 >= t0 ? t1 - t0 : 0);
+}
+
+void CacheServerDaemon::DispatchFrame(int from_fd, const WireMessage& msg) {
   switch (msg.type) {
     case MsgType::kGetRequest:
       HandleRequest(from_fd, msg.get);
@@ -142,7 +188,25 @@ void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
     case MsgType::kStatsRequest: {
       const auto it = conns_.find(from_fd);
       if (it != conns_.end()) {
-        it->second->Send(Counters());
+        // v4: counters plus the request service-time histogram, so the
+        // live scraper collects fleet-wide latency for free.
+        StatsReply reply;
+        reply.counters = Counters();
+        reply.hist = WireHistogram::From(hists_.At(hist_serve_));
+        it->second->Send(reply);
+        flight_.Note(FlightEventKind::kFrameOut, 0,
+                     static_cast<std::uint32_t>(MsgType::kStatsReply));
+        UpdateWriteInterest(from_fd);
+      }
+      break;
+    }
+    case MsgType::kFlightRequest: {
+      // The flight scrape — how a victim's last milliseconds survive its
+      // SIGKILL: the loadgen drains the fleet, asks for the ring, and
+      // only kills once the reply (and the stats/trace scrapes) landed.
+      const auto it = conns_.find(from_fd);
+      if (it != conns_.end()) {
+        it->second->Send(FlightSnapshot());
         UpdateWriteInterest(from_fd);
       }
       break;
@@ -182,10 +246,13 @@ void CacheServerDaemon::OnFrame(int from_fd, const WireMessage& msg) {
       }
       break;
     case MsgType::kShutdown:
+      flight_.Note(FlightEventKind::kShutdown,
+                   static_cast<std::uint64_t>(index_), epoch_);
       loop_.Stop(0);
       break;
     case MsgType::kStatsReply:
     case MsgType::kTraceReply:
+    case MsgType::kFlightReply:
       break;  // never addressed to a daemon; ignore
   }
 }
@@ -199,6 +266,8 @@ void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
       const auto it = conns_.find(from_fd);
       if (it != conns_.end()) {
         it->second->Send(reply);
+        flight_.Note(FlightEventKind::kFrameOut, reply.req_id,
+                     static_cast<std::uint32_t>(MsgType::kGetReply));
         UpdateWriteInterest(from_fd);
       }
       break;
@@ -233,6 +302,8 @@ void CacheServerDaemon::HandleRequest(int from_fd, const GetRequest& req) {
       pending_[req.req_id] = from_fd;
       peer->Send(fwd);
       registry_.Add(reg_net_forwards_, 1);
+      flight_.Note(FlightEventKind::kFrameOut, fwd.req_id,
+                   static_cast<std::uint32_t>(MsgType::kGetRequest));
       UpdatePeerWriteInterest(target);
       break;
     }
@@ -322,9 +393,12 @@ void CacheServerDaemon::FinishConnect(int s) {
   link.attempts = 0;
   const int fd = link.conn->fd();
   link.conn->set_connecting(false);
+  flight_.Note(FlightEventKind::kConnUp, static_cast<std::uint64_t>(s),
+               /*arg=*/1);  // arg 1: outgoing peer link
   loop_.WatchRead(fd, [this, s] {
     PeerLink& l = peers_[static_cast<std::size_t>(s)];
     if (l.st != PeerLink::St::kLive || !l.conn) return;
+    read_batch_start_ns_ = clock_.NowNanos();
     const bool alive = l.conn->OnReadable(
         [this, fd2 = l.conn->fd()](const WireMessage& m) { OnFrame(fd2, m); });
     if (!alive) PeerConnDown(s);
@@ -370,6 +444,8 @@ void CacheServerDaemon::PeerConnDown(int s) {
   link.st = PeerLink::St::kIdle;
   link.attempts = 0;
   registry_.Add(reg_reconnects_, 1);
+  flight_.Note(FlightEventKind::kConnDown, static_cast<std::uint64_t>(s),
+               /*arg=*/1);
 }
 
 void CacheServerDaemon::UpdatePeerWriteInterest(int s) {
@@ -423,6 +499,8 @@ void CacheServerDaemon::ApplyQuotaDelta(const QuotaDelta& delta) {
   plane_->Refresh(table_);
   epoch_ = delta.epoch;
   plane_->SetTableVersion(epoch_);
+  flight_.Note(FlightEventKind::kEpoch, epoch_,
+               static_cast<std::uint32_t>(MsgType::kQuotaDelta));
 }
 
 void CacheServerDaemon::ApplyEpochUpdate(const EpochUpdate& update) {
@@ -438,6 +516,8 @@ void CacheServerDaemon::ApplyEpochUpdate(const EpochUpdate& update) {
   plane_->SetSegmentNodes(Span<const NodeId>(shard_.data(), shard_.size()));
   plane_->SetDownNodes(
       Span<const NodeId>(update.down.data(), update.down.size()));
+  flight_.Note(FlightEventKind::kEpoch, update.epoch,
+               static_cast<std::uint32_t>(MsgType::kEpochUpdate));
 }
 
 void CacheServerDaemon::ScheduleGossip() {
@@ -448,6 +528,8 @@ void CacheServerDaemon::ScheduleGossip() {
 }
 
 void CacheServerDaemon::GossipTick() {
+  flight_.Note(FlightEventKind::kTimerFire, gossip_epoch_,
+               /*arg=*/0);  // the gossip cadence, the daemon's steady timer
   if (shard_.empty()) return;
   LoadGossip g;
   g.node = shard_.front();
@@ -465,6 +547,27 @@ void CacheServerDaemon::NoteOutboxPeak(const FrameConn& c) {
   const std::size_t peak = c.outbox_peak();
   if (static_cast<std::int64_t>(peak) > registry_.gauge(reg_outbox_peak_))
     registry_.Set(reg_outbox_peak_, static_cast<std::int64_t>(peak));
+}
+
+FlightReply CacheServerDaemon::FlightSnapshot() {
+  FlightReply reply;
+  reply.events = flight_.Snapshot();
+  for (FlightEvent& e : reply.events)
+    e.node = static_cast<std::uint8_t>(index_);
+  return reply;
+}
+
+void CacheServerDaemon::DumpFlightOnShutdown() {
+  if (config_.flight_dir.empty()) return;
+  const std::string path = config_.flight_dir + "/flight_" +
+                           std::to_string(index_) + ".txt";
+  const std::string doc =
+      FlightRecorder::Dump(FlightSnapshot().events,
+                           static_cast<std::uint8_t>(index_));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // best-effort: a dump never fails a shutdown
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
 }
 
 WireCounters CacheServerDaemon::Counters() const {

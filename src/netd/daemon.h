@@ -40,6 +40,9 @@
 #include "netd/cluster.h"
 #include "netd/conn.h"
 #include "netd/event_loop.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 #include "obs/metric_registry.h"
 #include "wire/quota_wire.h"
 
@@ -76,6 +79,7 @@ class CacheServerDaemon {
   void DropConn(int fd);
   void UpdateWriteInterest(int fd);
   void OnFrame(int from_fd, const WireMessage& msg);
+  void DispatchFrame(int from_fd, const WireMessage& msg);
   void HandleRequest(int from_fd, const GetRequest& req);
   // The connection to peer server `s`, starting a non-blocking connect
   // (and queueing Hello) on first use.  Always returns a conn frames can
@@ -97,6 +101,9 @@ class CacheServerDaemon {
   void GossipTick();
   void NoteOutboxPeak(const FrameConn& c);
   WireCounters Counters() const;
+  // Stamps this daemon's index into a ring snapshot for the wire.
+  FlightReply FlightSnapshot();
+  void DumpFlightOnShutdown();
 
   const NetdClusterConfig& config_;
   const int index_;
@@ -135,6 +142,21 @@ class CacheServerDaemon {
   MetricRegistry::Id reg_net_forwards_{}, reg_gossip_sent_{};
   MetricRegistry::Id reg_shed_forwards_{}, reg_reconnects_{};
   MetricRegistry::Id reg_outbox_peak_{};  // gauge: high-water mark, bytes
+
+  // The latency plane (PR 10).  Daemons run in real time, so timing data
+  // is real wall-clock — it ships over the wire and into dumps but never
+  // into an identity assertion.  All histograms live in a
+  // HistogramRegistry so exposition and the wire read the same store.
+  SteadyClock clock_;
+  HistogramRegistry hists_;
+  HistogramRegistry::Id hist_queue_delay_{};  // frame read -> handler start
+  HistogramRegistry::Id hist_serve_{};        // kGetRequest service time
+  HistogramRegistry::Id hist_control_{};      // non-data frame service time
+  HistogramRegistry::Id hist_poll_iter_{};    // event-loop dispatch duration
+  HistogramRegistry::Id hist_timer_lag_{};    // timer fire lag
+  std::uint64_t max_stall_ns_ = 0;            // event-loop max-stall gauge
+  std::uint64_t read_batch_start_ns_ = 0;     // current read batch's t0
+  FlightRecorder flight_;
 };
 
 }  // namespace webwave

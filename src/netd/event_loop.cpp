@@ -99,6 +99,17 @@ void EventLoop::AdvanceWheel() {
       }
     }
     active_timers_ -= due.size();
+    // Timer lag: how far behind its slot deadline (the wheel's notion of
+    // now) real time had drifted when the timer fired.  Recorded per
+    // fired timer, through the attached clock's unit (nanoseconds).
+    if (sink_.clock != nullptr && sink_.timer_lag != nullptr &&
+        !due.empty()) {
+      const std::int64_t lag_ms = now - wheel_time_ms_;
+      const std::uint64_t lag_ns =
+          lag_ms > 0 ? static_cast<std::uint64_t>(lag_ms) * 1000000u : 0;
+      for (std::size_t i = 0; i < due.size(); ++i)
+        sink_.timer_lag->Record(lag_ns);
+    }
     for (Timer& t : due) t.cb();
     if (!running_) return;
   }
@@ -129,9 +140,18 @@ int EventLoop::Run() {
     else
       timeout = watches_.empty() ? 10 : kIdleTimeoutMs;
     const int n = ::poll(fds.data(), fds.size(), timeout);
+    // One "poll iteration" is everything between poll(2) returning and
+    // the loop sleeping again: the wheel catch-up plus every ready-fd
+    // dispatch.  Its duration is the stall a peer frame can experience
+    // behind this process, hence the max-stall gauge.
+    const std::uint64_t iter_start =
+        sink_.clock != nullptr ? sink_.clock->NowNanos() : 0;
     AdvanceWheel();
     if (!running_) break;
-    if (n <= 0) continue;
+    if (n <= 0) {
+      RecordIteration(iter_start);
+      continue;
+    }
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
       // The callback may Unwatch any fd (including its own); re-check
@@ -150,8 +170,18 @@ int EventLoop::Run() {
       }
       if (!running_) break;
     }
+    RecordIteration(iter_start);
   }
   return stop_code_;
+}
+
+void EventLoop::RecordIteration(std::uint64_t iter_start) {
+  if (sink_.clock == nullptr) return;
+  const std::uint64_t now = sink_.clock->NowNanos();
+  const std::uint64_t dur = now >= iter_start ? now - iter_start : 0;
+  if (sink_.poll_iter != nullptr) sink_.poll_iter->Record(dur);
+  if (sink_.max_stall_ns != nullptr && dur > *sink_.max_stall_ns)
+    *sink_.max_stall_ns = dur;
 }
 
 void EventLoop::Stop(int code) {

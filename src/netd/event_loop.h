@@ -22,12 +22,26 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/clock.h"
+#include "obs/latency_histogram.h"
+
 namespace webwave {
 
 class EventLoop {
  public:
   using IoCallback = std::function<void()>;
   using TimerCallback = std::function<void()>;
+
+  // The loop's latency plane: a null clock means no timing is recorded —
+  // every instrumented site is gated on one pointer test, so an
+  // unattached loop pays nothing and never falls back to a real clock.
+  struct LatencySink {
+    MonotonicClock* clock = nullptr;
+    LatencyHistogram* poll_iter = nullptr;   // dispatch duration per round
+    LatencyHistogram* timer_lag = nullptr;   // fire lag behind the deadline
+    std::uint64_t* max_stall_ns = nullptr;   // high-water dispatch duration
+  };
+  void AttachLatencyPlane(const LatencySink& sink) { sink_ = sink; }
 
   EventLoop();
 
@@ -79,6 +93,7 @@ class EventLoop {
   };
 
   void AdvanceWheel();
+  void RecordIteration(std::uint64_t iter_start);
 
   std::unordered_map<int, Watch> watches_;
   std::vector<std::vector<Timer>> wheel_;
@@ -88,6 +103,7 @@ class EventLoop {
   std::size_t active_timers_ = 0;
   bool running_ = false;
   int stop_code_ = 0;
+  LatencySink sink_;
 };
 
 }  // namespace webwave

@@ -112,6 +112,7 @@ void LoadgenClient::TrySend() {
                      config_.serving.trace_sample_shift))
       g.flags |= kGetFlagTrace;
     const int s = OwnerMap()[static_cast<std::size_t>(r.node)];
+    sent_ns_[next_] = clock_.NowNanos();
     conns_[static_cast<std::size_t>(s)]->Send(g);
     UpdateWriteInterest(s);
     ++next_;
@@ -140,6 +141,18 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
     case MsgType::kGetReply: {
       ++completed_;
       --in_flight_;
+      // Send->reply latency, attributed to the serving epoch block and
+      // to the daemon that delivered the reply.  Observability only:
+      // nothing downstream of these histograms affects pacing.
+      const auto sent = sent_ns_.find(msg.reply.req_id);
+      if (sent != sent_ns_.end()) {
+        const std::uint64_t now = clock_.NowNanos();
+        const std::uint64_t lat = now >= sent->second ? now - sent->second : 0;
+        result_->latency_per_epoch[epoch_].Record(lat);
+        result_->latency_per_server[static_cast<std::size_t>(server)].Record(
+            lat);
+        sent_ns_.erase(sent);
+      }
       if (msg.reply.result == GetResult::kServed) {
         ++result_->client_served;
         result_->client_hop_sum += msg.reply.hops;
@@ -167,11 +180,16 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
       break;
     }
     case MsgType::kStatsReply: {
+      const LatencyHistogram reply_hist =
+          msg.stats_hist.present ? msg.stats_hist.ToHistogram()
+                                 : LatencyHistogram{};
       if (scrape_outstanding_) {
         // A mid-run scrape reply (FIFO per connection; no other round
         // is ever issued while a scrape is outstanding).
         scrape_sample_.per_server[static_cast<std::size_t>(server)] =
             msg.stats;
+        scrape_sample_.hist_per_server[static_cast<std::size_t>(server)] =
+            reply_hist;
         if (++scrape_received_ == live_count_) {
           scrape_outstanding_ = false;
           result_->samples.push_back(scrape_sample_);
@@ -192,6 +210,7 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
         // victim's own FrameConn::OnReadable, and DoKillsAndRestarts
         // destroys that conn.
         result_->retired.push_back(msg.stats);
+        result_->retired_hist.push_back(reply_hist);
         if (++victim_replies_ == victim_replies_needed_)
           loop_.AddTimer(0, [this] { DoKillsAndRestarts(); });
         break;
@@ -199,21 +218,25 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
       if (boundary_ == Boundary::kBarrier) {
         barrier_sample_.per_server[static_cast<std::size_t>(server)] =
             msg.stats;
+        barrier_sample_.hist_per_server[static_cast<std::size_t>(server)] =
+            reply_hist;
         if (++barrier_received_ == live_count_) FinishBoundary();
         break;
       }
       result_->per_server[static_cast<std::size_t>(server)] = msg.stats;
+      result_->server_hist[static_cast<std::size_t>(server)] = reply_hist;
       if (++stats_received_ == live_count_) {
         // The end-of-run sample: what a scraper polling at this instant
         // would see, which by now is every live daemon's final tally.
         NetdStatsSample final_sample;
         final_sample.at_completed = completed_;
         final_sample.per_server = result_->per_server;
+        final_sample.hist_per_server = result_->server_hist;
         result_->samples.push_back(std::move(final_sample));
         if (config_.serving.trace)
           BeginTraceDump();
         else
-          Shutdown();
+          BeginFlightDump();
       }
       break;
     }
@@ -227,7 +250,25 @@ void LoadgenClient::OnFrame(int server, const WireMessage& msg) {
           loop_.AddTimer(0, [this] { DoKillsAndRestarts(); });
         break;
       }
-      if (++trace_received_ == live_count_) Shutdown();
+      if (++trace_received_ == live_count_) BeginFlightDump();
+      break;
+    }
+    case MsgType::kFlightReply: {
+      // A daemon's flight ring: scraped from a victim ahead of its
+      // SIGKILL (the crash-surviving copy), or from every live daemon at
+      // end of run.  Events arrive already stamped with the sender's
+      // node index.
+      NetdRunResult::FlightDump dump;
+      dump.server = server;
+      dump.victim = boundary_ == Boundary::kVictimStats;
+      dump.events = msg.flight.events;
+      result_->flights.push_back(std::move(dump));
+      if (boundary_ == Boundary::kVictimStats) {
+        if (++victim_replies_ == victim_replies_needed_)
+          loop_.AddTimer(0, [this] { DoKillsAndRestarts(); });
+        break;
+      }
+      if (++flight_received_ == live_count_) Shutdown();
       break;
     }
     case MsgType::kHello: {
@@ -265,6 +306,8 @@ void LoadgenClient::StartScrape() {
   scrape_sample_.at_completed = completed_;
   scrape_sample_.per_server.assign(
       static_cast<std::size_t>(config_.server_count), WireCounters{});
+  scrape_sample_.hist_per_server.assign(
+      static_cast<std::size_t>(config_.server_count), LatencyHistogram{});
   for (int s = 0; s < config_.server_count; ++s) {
     if (!live_[static_cast<std::size_t>(s)]) continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kStatsRequest);
@@ -281,8 +324,11 @@ void LoadgenClient::BeginBoundary() {
   }
   boundary_ = Boundary::kVictimStats;
   victim_replies_ = 0;
+  // Per victim: counters (+hist), flight ring, and — when tracing — the
+  // trace buffer.  All scraped at the quiesced boundary, so together
+  // they are exactly what the daemon dies knowing.
   victim_replies_needed_ =
-      ep.kill_servers.size() * (config_.serving.trace ? 2u : 1u);
+      ep.kill_servers.size() * (config_.serving.trace ? 3u : 2u);
   for (const int s : ep.kill_servers) {
     WEBWAVE_REQUIRE(live_[static_cast<std::size_t>(s)],
                     "killing a server that is already dead");
@@ -291,6 +337,8 @@ void LoadgenClient::BeginBoundary() {
     if (config_.serving.trace)
       conns_[static_cast<std::size_t>(s)]->SendControl(
           MsgType::kTraceRequest);
+    conns_[static_cast<std::size_t>(s)]->SendControl(
+        MsgType::kFlightRequest);
     UpdateWriteInterest(s);
   }
 }
@@ -358,6 +406,8 @@ void LoadgenClient::ShipEpoch() {
   barrier_sample_.at_completed = completed_;
   barrier_sample_.per_server.assign(
       static_cast<std::size_t>(config_.server_count), WireCounters{});
+  barrier_sample_.hist_per_server.assign(
+      static_cast<std::size_t>(config_.server_count), LatencyHistogram{});
 }
 
 void LoadgenClient::FinishBoundary() {
@@ -382,6 +432,15 @@ void LoadgenClient::BeginTraceDump() {
   for (int s = 0; s < config_.server_count; ++s) {
     if (!live_[static_cast<std::size_t>(s)]) continue;
     conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kTraceRequest);
+    UpdateWriteInterest(s);
+  }
+}
+
+void LoadgenClient::BeginFlightDump() {
+  flight_phase_ = true;
+  for (int s = 0; s < config_.server_count; ++s) {
+    if (!live_[static_cast<std::size_t>(s)]) continue;
+    conns_[static_cast<std::size_t>(s)]->SendControl(MsgType::kFlightRequest);
     UpdateWriteInterest(s);
   }
 }
@@ -430,6 +489,19 @@ bool LoadgenClient::Run(NetdRunResult* result) {
   result_ = result;
   result_->per_server.assign(static_cast<std::size_t>(config_.server_count),
                              WireCounters{});
+  result_->latency_per_epoch.assign(EpochCount(), LatencyHistogram{});
+  result_->latency_per_server.assign(
+      static_cast<std::size_t>(config_.server_count), LatencyHistogram{});
+  result_->server_hist.assign(static_cast<std::size_t>(config_.server_count),
+                              LatencyHistogram{});
+  // The client's own event loop reports into the result directly — its
+  // stalls are the pacing jitter every latency sample rides on.
+  EventLoop::LatencySink sink;
+  sink.clock = &clock_;
+  sink.poll_iter = &result_->loop_poll_iter;
+  sink.timer_lag = &result_->loop_timer_lag;
+  sink.max_stall_ns = &result_->loop_max_stall_ns;
+  loop_.AttachLatencyPlane(sink);
   live_.assign(static_cast<std::size_t>(config_.server_count), true);
   live_count_ = config_.server_count;
   server_epoch_.assign(static_cast<std::size_t>(config_.server_count), 0);

@@ -46,6 +46,7 @@
 #include "netd/cluster.h"
 #include "netd/conn.h"
 #include "netd/event_loop.h"
+#include "obs/clock.h"
 #include "wire/quota_wire.h"
 
 namespace webwave {
@@ -112,9 +113,10 @@ class LoadgenClient {
                                   : config_.epochs[epoch_].owner;
   }
   // The end-of-run sequence: final stats round -> trace dump (if the
-  // plane traces) -> kShutdown to every daemon.
+  // plane traces) -> flight-ring dump -> kShutdown to every daemon.
   void BeginFinalStats();
   void BeginTraceDump();
+  void BeginFlightDump();
   void Shutdown();
 
   const NetdClusterConfig& config_;
@@ -140,8 +142,16 @@ class LoadgenClient {
   bool boundary_pending_ = false;
   bool trace_phase_ = false;
   int trace_received_ = 0;
+  bool flight_phase_ = false;
+  int flight_received_ = 0;
   bool shutdown_sent_ = false;
   bool failed_ = false;
+
+  // Latency plane (PR 10): send timestamps per in-flight req_id, so a
+  // kGetReply can be bucketed into the per-epoch and per-server
+  // histograms.  Pure observation — pacing and admission never read it.
+  SteadyClock clock_;
+  std::unordered_map<std::uint64_t, std::uint64_t> sent_ns_;
 
   // Multi-epoch state.
   std::size_t epoch_ = 0;        // epoch the stream is serving under

@@ -27,11 +27,56 @@ std::string RenderNumber(double value) {
   return buf;
 }
 
+// Renders `{k="v",...}` with an optional trailing le label; empty string
+// when there is nothing to render.
+std::string RenderLabelSet(const PrometheusWriter::Labels& labels,
+                           const char* le_value) {
+  if (labels.empty() && le_value == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusWriter::SanitizeName(kv.first) + "=\"" +
+           EscapeLabelValue(kv.second) + "\"";
+  }
+  if (le_value != nullptr) {
+    if (!first) out += ',';
+    out += std::string("le=\"") + le_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 void PrometheusWriter::AddGauge(const std::string& name, const Labels& labels,
                                 double value) {
   AddSample(name, "gauge", labels, RenderNumber(value));
+}
+
+void PrometheusWriter::AddHistogram(const std::string& name,
+                                    const Labels& labels,
+                                    const LatencyHistogram& hist) {
+  HistBlock blk;
+  blk.name = SanitizeName(name);
+  std::string body;
+  std::uint64_t cum = 0;
+  for (const LatencyHistogram::SparseEntry& e : hist.ToSparse()) {
+    cum += e.count;
+    const std::string le =
+        std::to_string(LatencyHistogram::BucketHi(static_cast<int>(e.index)));
+    body += blk.name + "_bucket" + RenderLabelSet(labels, le.c_str()) + ' ' +
+            std::to_string(cum) + '\n';
+  }
+  body += blk.name + "_bucket" + RenderLabelSet(labels, "+Inf") + ' ' +
+          std::to_string(hist.count()) + '\n';
+  body += blk.name + "_sum" + RenderLabelSet(labels, nullptr) + ' ' +
+          std::to_string(hist.sum()) + '\n';
+  body += blk.name + "_count" + RenderLabelSet(labels, nullptr) + ' ' +
+          std::to_string(hist.count()) + '\n';
+  blk.body = std::move(body);
+  hist_blocks_.push_back(std::move(blk));
 }
 
 void PrometheusWriter::AddRegistry(const MetricRegistry& registry,
@@ -89,6 +134,20 @@ std::string PrometheusWriter::Render() const {
       out += ' ';
       out += samples_[j].value;
       out += '\n';
+    }
+  }
+  // Histogram families after the scalar samples, grouped by base name in
+  // first-appearance order — _bucket/_sum/_count sanitize to distinct
+  // names, so these render as pre-built blocks under one header.
+  std::vector<bool> hist_done(hist_blocks_.size(), false);
+  for (std::size_t i = 0; i < hist_blocks_.size(); ++i) {
+    if (hist_done[i]) continue;
+    out += "# TYPE " + hist_blocks_[i].name + " histogram\n";
+    for (std::size_t j = i; j < hist_blocks_.size(); ++j) {
+      if (hist_done[j] || hist_blocks_[j].name != hist_blocks_[i].name)
+        continue;
+      hist_done[j] = true;
+      out += hist_blocks_[j].body;
     }
   }
   return out;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/latency_histogram.h"
 #include "obs/metric_registry.h"
 
 namespace webwave {
@@ -26,6 +27,15 @@ class PrometheusWriter {
     AddSample(name, "counter", labels, std::to_string(value));
   }
   void AddGauge(const std::string& name, const Labels& labels, double value);
+
+  // Real `# TYPE <name> histogram` exposition: cumulative `_bucket`
+  // lines with `le` set to each non-empty bucket's exclusive upper
+  // bound, the `le="+Inf"` line, then `_sum` and `_count`.  Values are
+  // whatever unit the histogram recorded (nanoseconds by convention —
+  // name the metric accordingly, e.g. "..._ns").  Multiple calls with
+  // the same name (different labels) group under one header.
+  void AddHistogram(const std::string& name, const Labels& labels,
+                    const LatencyHistogram& hist);
 
   // Dumps every metric in the registry under the given labels.
   void AddRegistry(const MetricRegistry& registry, const Labels& labels);
@@ -44,11 +54,19 @@ class PrometheusWriter {
     Labels labels;
     std::string value;
   };
+  // A fully rendered histogram family body (the _bucket/_sum/_count
+  // lines of one AddHistogram call); blocks sharing a name render under
+  // one `# TYPE <name> histogram` header.
+  struct HistBlock {
+    std::string name;  // sanitized base name
+    std::string body;
+  };
 
   void AddSample(const std::string& name, const char* type,
                  const Labels& labels, std::string value);
 
   std::vector<Sample> samples_;
+  std::vector<HistBlock> hist_blocks_;
 };
 
 }  // namespace webwave

@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace webwave {
+
+const char* FlightEventKindName(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kFrameIn: return "frame_in";
+    case FlightEventKind::kFrameOut: return "frame_out";
+    case FlightEventKind::kConnUp: return "conn_up";
+    case FlightEventKind::kConnDown: return "conn_down";
+    case FlightEventKind::kTimerFire: return "timer_fire";
+    case FlightEventKind::kEpoch: return "epoch";
+    case FlightEventKind::kBoot: return "boot";
+    case FlightEventKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FlightEventKind KindFromName(const char* name) {
+  for (int k = 1; k <= 8; ++k) {
+    const auto kind = static_cast<FlightEventKind>(k);
+    if (std::strcmp(name, FlightEventKindName(kind)) == 0) return kind;
+  }
+  return static_cast<FlightEventKind>(0);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(MonotonicClock* clock, std::size_t capacity)
+    : clock_(clock), ring_(capacity) {
+  WEBWAVE_REQUIRE(capacity > 0, "flight recorder needs a non-zero ring");
+}
+
+void FlightRecorder::Note(FlightEventKind kind, std::uint64_t detail,
+                          std::uint32_t arg) {
+  FlightEvent& e = ring_[total_ % ring_.size()];
+  e.t_ns = clock_ ? clock_->NowNanos() : 0;
+  e.detail = detail;
+  e.arg = arg;
+  e.seq = static_cast<std::uint16_t>(total_);
+  e.kind = static_cast<std::uint8_t>(kind);
+  e.node = 0;
+  ++total_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  const std::uint64_t n = total_ < ring_.size() ? total_ : ring_.size();
+  out.reserve(n);
+  const std::uint64_t start = total_ - n;  // index of oldest surviving event
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::vector<FlightEvent>& events,
+                                 std::uint8_t node) {
+  std::string out;
+  char line[160];
+  for (const FlightEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "%" PRIu64 " %u %s %" PRIu64 " %u node=%u\n", e.t_ns,
+                  static_cast<unsigned>(e.seq),
+                  FlightEventKindName(static_cast<FlightEventKind>(e.kind)),
+                  e.detail, e.arg, static_cast<unsigned>(node));
+    out += line;
+  }
+  return out;
+}
+
+bool FlightRecorder::Parse(const std::string& text,
+                           std::vector<FlightEvent>* out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    FlightEvent e;
+    char name[32];
+    unsigned seq = 0, arg = 0, node = 0;
+    if (std::sscanf(line.c_str(),
+                    "%" SCNu64 " %u %31s %" SCNu64 " %u node=%u", &e.t_ns,
+                    &seq, name, &e.detail, &arg, &node) != 6) {
+      return false;
+    }
+    const FlightEventKind kind = KindFromName(name);
+    if (kind == static_cast<FlightEventKind>(0)) return false;
+    e.seq = static_cast<std::uint16_t>(seq);
+    e.arg = arg;
+    e.kind = static_cast<std::uint8_t>(kind);
+    e.node = static_cast<std::uint8_t>(node);
+    out->push_back(e);
+  }
+  return true;
+}
+
+}  // namespace webwave

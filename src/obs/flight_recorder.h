@@ -1,0 +1,88 @@
+// A crash-surviving flight recorder: a fixed-size ring of compact events
+// a daemon stamps as it runs (frame in/out, conn up/down, timer fires,
+// epoch transitions).  The ring is cheap enough to leave on in
+// production paths; when a daemon dies the loadgen scrapes the ring over
+// the wire (kFlightRequest / kFlightReply) *before* the SIGKILL, and on
+// clean shutdown the daemon dumps the ring to a per-daemon text file.
+//
+// Timestamps come from the injected MonotonicClock — a FakeClock makes
+// the ring's content a pure function of the event sequence, which is how
+// the deterministic tests pin it.  A null clock stamps zeros but still
+// records the event sequence (the ordering half of the data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace webwave {
+
+// Compact 24-byte event, fixed-width so the wire form (kFlightReply) is
+// a flat array, like TraceEvent.
+enum class FlightEventKind : std::uint8_t {
+  kFrameIn = 1,    // detail = req_id or 0, arg = MsgType
+  kFrameOut = 2,   // detail = req_id or 0, arg = MsgType
+  kConnUp = 3,     // detail = peer index or fd, arg = role
+  kConnDown = 4,   // detail = peer index or fd, arg = role
+  kTimerFire = 5,  // detail = timer id
+  kEpoch = 6,      // detail = new epoch
+  kBoot = 7,       // detail = node index
+  kShutdown = 8,   // detail = node index
+};
+
+const char* FlightEventKindName(FlightEventKind k);
+
+struct FlightEvent {
+  std::uint64_t t_ns = 0;    // MonotonicClock nanoseconds (0 if no clock)
+  std::uint64_t detail = 0;  // kind-specific payload (req_id, epoch, ...)
+  std::uint32_t arg = 0;     // secondary payload (msg type, role, ...)
+  std::uint16_t seq = 0;     // low 16 bits of the running event counter
+  std::uint8_t kind = 0;     // FlightEventKind
+  std::uint8_t node = 0;     // recording daemon's index (stamped at dump)
+
+  bool operator==(const FlightEvent& o) const {
+    return t_ns == o.t_ns && detail == o.detail && arg == o.arg &&
+           seq == o.seq && kind == o.kind && node == o.node;
+  }
+  bool operator!=(const FlightEvent& o) const { return !(*this == o); }
+};
+
+class FlightRecorder {
+ public:
+  // `clock` may be null (events stamp t_ns = 0); `capacity` is the ring
+  // size — once full, each new event overwrites the oldest.
+  FlightRecorder(MonotonicClock* clock, std::size_t capacity);
+
+  void Note(FlightEventKind kind, std::uint64_t detail, std::uint32_t arg = 0);
+
+  // The ring's contents oldest -> newest (at most `capacity` events, the
+  // newest ones when the ring has wrapped).
+  std::vector<FlightEvent> Snapshot() const;
+
+  std::uint64_t recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  // Text dump, one event per line:
+  //   "<t_ns> <seq> <kind-name> <detail> <arg> node=<node>"
+  // `node` stamps the recording daemon's index into every line (and into
+  // the parsed events) so merged timelines keep provenance.
+  static std::string Dump(const std::vector<FlightEvent>& events,
+                          std::uint8_t node);
+  std::string Dump(std::uint8_t node) const { return Dump(Snapshot(), node); }
+
+  // Parses a Dump() back into events (appending to *out).  Returns false
+  // on any malformed line.
+  static bool Parse(const std::string& text, std::vector<FlightEvent>* out);
+
+ private:
+  MonotonicClock* clock_;
+  std::vector<FlightEvent> ring_;
+  std::uint64_t total_ = 0;  // events ever recorded; ring head = total_ % size
+};
+
+}  // namespace webwave

@@ -1,5 +1,12 @@
 // A fixed-bin histogram for run-time distributions (hit depth, degree
 // distributions, response times).
+//
+// This is the *analysis* histogram: double-weighted, fixed equal-width
+// bins over a caller-chosen [lo, hi), built for offline shaping of
+// simulation outputs (CDF queries, ASCII rendering).  Latency and other
+// timing telemetry use obs::LatencyHistogram instead — log-linear u64
+// buckets, per-worker shards, wire-serializable and mergeable across
+// processes.  src/obs/README.md spells out which to use where.
 #pragma once
 
 #include <string>

@@ -39,15 +39,16 @@ std::size_t PayloadSizeOf(MsgType type) {
       return MessageCodec::kLoadGossipSize;
     case MsgType::kHello:
       return MessageCodec::kHelloSize;
-    case MsgType::kStatsReply:
-      return MessageCodec::kCountersSize;
     case MsgType::kStatsRequest:
     case MsgType::kShutdown:
     case MsgType::kTraceRequest:
+    case MsgType::kFlightRequest:
       return 0;
+    case MsgType::kStatsReply:  // v4: counters + optional histogram section
     case MsgType::kTraceReply:
     case MsgType::kQuotaDelta:
     case MsgType::kEpochUpdate:
+    case MsgType::kFlightReply:
       return kVariablePayload;
   }
   return static_cast<std::size_t>(-1);
@@ -76,6 +77,30 @@ bool ValidEpochUpdatePayload(std::uint32_t stated) {
       MessageCodec::kEpochUpdatePrologueSize +
       MessageCodec::kMaxEpochUpdateNodes * (4 + 8);
   return stated >= MessageCodec::kEpochUpdatePrologueSize && stated <= kMax;
+}
+
+// A v4 kStatsReply is either the bare 104 B counters or the counters
+// plus a histogram section holding a whole number of entries within the
+// cap.
+bool ValidStatsPayload(std::uint32_t stated) {
+  if (stated == MessageCodec::kCountersSize) return true;
+  const std::size_t prologue_end =
+      MessageCodec::kCountersSize + MessageCodec::kHistPrologueSize;
+  if (stated < prologue_end) return false;
+  const std::size_t body = stated - prologue_end;
+  return body % MessageCodec::kHistEntrySize == 0 &&
+         body / MessageCodec::kHistEntrySize <= MessageCodec::kMaxHistEntries;
+}
+
+// A kFlightReply stated length is valid iff it holds a whole number of
+// records after the count word, within the anti-DoS cap (same shape as
+// kTraceReply).
+bool ValidFlightPayload(std::uint32_t stated) {
+  if (stated < 4) return false;
+  const std::uint32_t body = stated - 4;
+  return body % MessageCodec::kFlightEventSize == 0 &&
+         body / MessageCodec::kFlightEventSize <=
+             MessageCodec::kMaxFlightRecords;
 }
 
 }  // namespace
@@ -144,6 +169,51 @@ std::size_t MessageCodec::Encode(const WireCounters& m,
       m.outbox_peak_bytes};
   for (int i = 0; i < 13; ++i) PutU64(p + 8 * i, fields[i]);
   return kHeaderSize + kCountersSize;
+}
+
+std::size_t MessageCodec::Encode(const StatsReply& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t payload = kCountersSize + kHistPrologueSize +
+                              m.hist.buckets.size() * kHistEntrySize;
+  const std::size_t at = BeginFrame(MsgType::kStatsReply, payload, out);
+  std::uint8_t* p = out->data() + at;
+  const WireCounters& c = m.counters;
+  const std::uint64_t fields[13] = {
+      c.requests,        c.cache_served, c.home_served,
+      c.hop_sum,         c.failed_attempts, c.failovers,
+      c.dropped_requests, c.backoff_slots, c.net_forwards,
+      c.gossip_sent,     c.shed_forwards, c.reconnects,
+      c.outbox_peak_bytes};
+  for (int i = 0; i < 13; ++i) PutU64(p + 8 * i, fields[i]);
+  p += kCountersSize;
+  PutU32(p, static_cast<std::uint32_t>(m.hist.buckets.size()));
+  PutU64(p + 4, m.hist.sum);
+  p += kHistPrologueSize;
+  for (const LatencyHistogram::SparseEntry& e : m.hist.buckets) {
+    PutU32(p, e.index);
+    PutU64(p + 4, e.count);
+    p += kHistEntrySize;
+  }
+  return kHeaderSize + payload;
+}
+
+std::size_t MessageCodec::Encode(const FlightReply& m,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t payload = 4 + m.events.size() * kFlightEventSize;
+  const std::size_t at = BeginFrame(MsgType::kFlightReply, payload, out);
+  std::uint8_t* p = out->data() + at;
+  PutU32(p, static_cast<std::uint32_t>(m.events.size()));
+  p += 4;
+  for (const FlightEvent& e : m.events) {
+    PutU64(p, e.t_ns);
+    PutU64(p + 8, e.detail);
+    PutU32(p + 16, e.arg);
+    PutU16(p + 20, e.seq);
+    p[22] = e.kind;
+    p[23] = e.node;
+    p += kFlightEventSize;
+  }
+  return kHeaderSize + payload;
 }
 
 std::size_t MessageCodec::Encode(const std::vector<TraceEvent>& m,
@@ -243,6 +313,8 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
     const bool plausible =
         t == MsgType::kTraceReply    ? ValidTracePayload(stated)
         : t == MsgType::kQuotaDelta  ? ValidDeltaPayload(stated)
+        : t == MsgType::kStatsReply  ? ValidStatsPayload(stated)
+        : t == MsgType::kFlightReply ? ValidFlightPayload(stated)
                                      : ValidEpochUpdatePayload(stated);
     if (!plausible) return DecodeStatus::kError;
   } else if (stated != want_payload) {
@@ -295,6 +367,59 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
           &out->stats.shed_forwards,   &out->stats.reconnects,
           &out->stats.outbox_peak_bytes};
       for (int i = 0; i < 13; ++i) *fields[i] = GetU64(p + 8 * i);
+      out->stats_hist = WireHistogram{};
+      if (stated > kCountersSize) {
+        // The v4 histogram section: entry count + sum, then strictly
+        // ascending (index, count) pairs — hardened like kQuotaDelta.
+        const std::uint8_t* h = p + kCountersSize;
+        const std::uint32_t count = GetU32(h);
+        if (count > kMaxHistEntries) return DecodeStatus::kError;
+        if (kCountersSize + kHistPrologueSize +
+                static_cast<std::size_t>(count) * kHistEntrySize != stated)
+          return DecodeStatus::kError;
+        out->stats_hist.present = true;
+        out->stats_hist.sum = GetU64(h + 4);
+        out->stats_hist.buckets.clear();
+        out->stats_hist.buckets.reserve(count);
+        const std::uint8_t* r = h + kHistPrologueSize;
+        std::int64_t prev = -1;
+        for (std::uint32_t i = 0; i < count; ++i, r += kHistEntrySize) {
+          LatencyHistogram::SparseEntry e;
+          e.index = GetU32(r);
+          e.count = GetU64(r + 4);
+          // Indices strictly ascending within the fixed bucket layout;
+          // a zero count is a non-canonical encoding.
+          if (static_cast<std::int64_t>(e.index) <= prev ||
+              e.index >= static_cast<std::uint32_t>(
+                             LatencyHistogram::kBucketCount) ||
+              e.count == 0)
+            return DecodeStatus::kError;
+          prev = static_cast<std::int64_t>(e.index);
+          out->stats_hist.buckets.push_back(e);
+        }
+      }
+      break;
+    }
+    case MsgType::kFlightReply: {
+      const std::uint32_t count = GetU32(p);
+      if (4 + static_cast<std::size_t>(count) * kFlightEventSize != stated)
+        return DecodeStatus::kError;
+      out->flight.events.clear();
+      out->flight.events.reserve(count);
+      const std::uint8_t* r = p + 4;
+      for (std::uint32_t i = 0; i < count; ++i, r += kFlightEventSize) {
+        FlightEvent e;
+        e.t_ns = GetU64(r);
+        e.detail = GetU64(r + 8);
+        e.arg = GetU32(r + 16);
+        e.seq = GetU16(r + 20);
+        if (r[22] < static_cast<std::uint8_t>(FlightEventKind::kFrameIn) ||
+            r[22] > static_cast<std::uint8_t>(FlightEventKind::kShutdown))
+          return DecodeStatus::kError;
+        e.kind = r[22];
+        e.node = r[23];
+        out->flight.events.push_back(e);
+      }
       break;
     }
     case MsgType::kTraceReply: {
@@ -400,6 +525,7 @@ MessageCodec::DecodeStatus MessageCodec::Decode(const std::uint8_t* data,
     case MsgType::kStatsRequest:
     case MsgType::kShutdown:
     case MsgType::kTraceRequest:
+    case MsgType::kFlightRequest:
       break;
   }
   *consumed = kHeaderSize + stated;
@@ -430,6 +556,10 @@ const char* MsgTypeName(MsgType type) {
       return "quota-delta";
     case MsgType::kEpochUpdate:
       return "epoch-update";
+    case MsgType::kFlightRequest:
+      return "flight-request";
+    case MsgType::kFlightReply:
+      return "flight-reply";
   }
   return "?";
 }

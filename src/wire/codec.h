@@ -90,7 +90,12 @@ class MessageCodec {
   // WireCounters grew shed_forwards/reconnects/outbox_peak_bytes
   // (80 -> 104 B), and the kQuotaDelta / kEpochUpdate epoch-control
   // frames were added.
-  static constexpr std::uint8_t kVersion = 3;
+  // v4: kStatsReply became variable length — the 104 B counters may be
+  // followed by an optional latency-histogram section (u32 entry count,
+  // u64 sum, then (u32 bucket index, u64 count) pairs, indices strictly
+  // ascending, counts non-zero) — and the kFlightRequest / kFlightReply
+  // flight-recorder scrape frames were added.
+  static constexpr std::uint8_t kVersion = 4;
   static constexpr std::size_t kHeaderSize = 8;
 
   // Fixed payload widths of the data-plane messages.
@@ -114,6 +119,17 @@ class MessageCodec {
   // count, reserved), then down nodes (4 B) and (node, owner) pairs (8 B).
   static constexpr std::size_t kEpochUpdatePrologueSize = 16;
   static constexpr std::size_t kMaxEpochUpdateNodes = 1u << 22;
+  // kStatsReply v4 histogram section: a 12 B prologue (u32 sparse entry
+  // count, u64 sum of recorded values) then 12 B (u32 index, u64 count)
+  // entries.  The cap is comfortably above LatencyHistogram::kBucketCount
+  // (976) — a count above it is garbage, not a bigger histogram.
+  static constexpr std::size_t kHistPrologueSize = 12;
+  static constexpr std::size_t kHistEntrySize = 12;
+  static constexpr std::size_t kMaxHistEntries = 1u << 12;
+  // kFlightReply: a u32 record count followed by count fixed-width
+  // FlightEvent records, like kTraceReply.
+  static constexpr std::size_t kFlightEventSize = 24;
+  static constexpr std::size_t kMaxFlightRecords = 1u << 20;
 
   // Appends one frame (header + payload) to *out; returns bytes appended.
   static std::size_t Encode(const GetRequest& m, std::vector<std::uint8_t>* out);
@@ -121,6 +137,12 @@ class MessageCodec {
   static std::size_t Encode(const LoadGossip& m, std::vector<std::uint8_t>* out);
   static std::size_t Encode(const Hello& m, std::vector<std::uint8_t>* out);
   static std::size_t Encode(const WireCounters& m,
+                            std::vector<std::uint8_t>* out);
+  // kStatsReply with the v4 histogram section appended to the counters.
+  static std::size_t Encode(const StatsReply& m,
+                            std::vector<std::uint8_t>* out);
+  // kFlightReply: the daemon's flight-recorder ring.
+  static std::size_t Encode(const FlightReply& m,
                             std::vector<std::uint8_t>* out);
   // kTraceReply: the daemon's accumulated TraceEvent records.
   static std::size_t Encode(const std::vector<TraceEvent>& m,

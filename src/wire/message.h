@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 #include "obs/trace.h"
 #include "tree/routing_tree.h"
 
@@ -49,6 +51,9 @@ enum class MsgType : std::uint8_t {
   // Epoch control plane (multi-epoch closed loop) ------------------------
   kQuotaDelta = 22,
   kEpochUpdate = 23,
+  // Latency plane (v4): flight-recorder scrape -----------------------------
+  kFlightRequest = 24,
+  kFlightReply = 25,
 };
 
 enum class GetResult : std::uint8_t {
@@ -178,6 +183,55 @@ struct WireCounters {
   }
 };
 
+// The optional histogram section of a v4 kStatsReply: one latency
+// histogram in LatencyHistogram's exact sparse form (strictly ascending
+// bucket indices, non-zero u64 counts) plus the u64 sum of recorded
+// values.  A plain 104 B kStatsReply (no section) still decodes —
+// `present` distinguishes "daemon shipped a histogram" from "counters
+// only", so counters-only peers interoperate unchanged.
+struct WireHistogram {
+  bool present = false;
+  std::uint64_t sum = 0;
+  std::vector<LatencyHistogram::SparseEntry> buckets;
+
+  bool operator==(const WireHistogram& o) const {
+    return present == o.present && sum == o.sum && buckets == o.buckets;
+  }
+
+  LatencyHistogram ToHistogram() const {
+    return LatencyHistogram::FromSparse(buckets, sum);
+  }
+  static WireHistogram From(const LatencyHistogram& h) {
+    WireHistogram w;
+    w.present = true;
+    w.sum = h.sum();
+    w.buckets = h.ToSparse();
+    return w;
+  }
+};
+
+// The full v4 kStatsReply: counters plus the daemon's request
+// service-time histogram.  Encode(StatsReply) emits the histogram
+// section; Encode(WireCounters) keeps emitting the bare 104 B form.
+struct StatsReply {
+  WireCounters counters;
+  WireHistogram hist;
+
+  bool operator==(const StatsReply& o) const {
+    return counters == o.counters && hist == o.hist;
+  }
+};
+
+// kFlightReply — a daemon's flight-recorder ring, oldest to newest, as a
+// flat array of fixed-width FlightEvent records (obs/flight_recorder.h).
+// A wrapper struct rather than a bare vector so the Encode overload set
+// stays unambiguous next to kTraceReply's std::vector<TraceEvent>.
+struct FlightReply {
+  std::vector<FlightEvent> events;
+
+  bool operator==(const FlightReply& o) const { return events == o.events; }
+};
+
 // One changed cell of a quota-table delta: the (doc, rate, frac) triple
 // exactly as it appears in the target snapshot's CSR row.
 struct QuotaDeltaCell {
@@ -255,9 +309,11 @@ struct WireMessage {
   LoadGossip gossip;
   Hello hello;
   WireCounters stats;                // kStatsReply
+  WireHistogram stats_hist;          // kStatsReply (v4 optional section)
   std::vector<TraceEvent> trace;     // kTraceReply
   QuotaDelta delta;                  // kQuotaDelta
   EpochUpdate epoch_update;          // kEpochUpdate
+  FlightReply flight;                // kFlightReply
 };
 
 }  // namespace webwave

@@ -18,6 +18,8 @@
 #include "fault/fault_schedule.h"
 #include "obs/clock.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency_histogram.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "serve/epoch_driver.h"
@@ -380,6 +382,246 @@ TEST(PrometheusWriter, RendersTypedGroupedEscapedSamples) {
   EXPECT_NE(text.find("fleet_load{quote=\"a\\\"b\\\\c\"} 1.5"),
             std::string::npos)
       << text;
+}
+
+// LatencyHistogram --------------------------------------------------------
+
+TEST(LatencyHistogram, BucketLawBracketsEveryValue) {
+  // The linear region: unit-width buckets, index == value.
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketOf(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::BucketLo(static_cast<int>(v)), v);
+  }
+  // Bucket lower bounds ascend strictly, and each bucket's lower bound
+  // maps back to itself — the boundaries partition the u64 range.
+  for (int b = 0; b + 1 < LatencyHistogram::kBucketCount; ++b)
+    EXPECT_LT(LatencyHistogram::BucketLo(b), LatencyHistogram::BucketLo(b + 1))
+        << "bucket " << b;
+  for (int b = 0; b < LatencyHistogram::kBucketCount; ++b)
+    EXPECT_EQ(LatencyHistogram::BucketOf(LatencyHistogram::BucketLo(b)), b);
+  // A counter-seeded sweep across every magnitude lands inside
+  // [BucketLo, BucketHi) (the last bucket's hi saturates, so UINT64_MAX
+  // sits on its exclusive bound).
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    std::uint64_t s = 0x9e3779b97f4a7c15ULL * (i + 1);
+    const std::uint64_t v = SplitMix64(s) >> (i % 64);
+    const int b = LatencyHistogram::BucketOf(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LatencyHistogram::kBucketCount);
+    EXPECT_GE(v, LatencyHistogram::BucketLo(b));
+    EXPECT_TRUE(v < LatencyHistogram::BucketHi(b) ||
+                b == LatencyHistogram::kBucketCount - 1)
+        << "value " << v;
+  }
+  EXPECT_EQ(LatencyHistogram::BucketOf(~std::uint64_t{0}),
+            LatencyHistogram::kBucketCount - 1);
+}
+
+TEST(LatencyHistogram, QuantilesReturnBucketLowerBounds) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  h.Record(10);
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  // 1000 lands in the bucket [992, 1024).
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(h.sum(), 10u + 100u * 1000u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 10u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 992u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 992u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 992u);
+  EXPECT_EQ(h.MaxValueBound(), 1024u);
+}
+
+TEST(LatencyHistogram, MergeIsPerBucketIntegerAdd) {
+  LatencyHistogram a, b;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    std::uint64_t s = i * 0x9e3779b97f4a7c15ULL + 1;
+    a.Record(SplitMix64(s) >> (i % 50));
+    std::uint64_t t = i * 0x9e3779b97f4a7c15ULL + 2;
+    b.Record(SplitMix64(t) >> ((i + 7) % 50));
+  }
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), a.count() + b.count());
+  EXPECT_EQ(merged.sum(), a.sum() + b.sum());
+  for (int k = 0; k < LatencyHistogram::kBucketCount; ++k)
+    ASSERT_EQ(merged.bucket(k), a.bucket(k) + b.bucket(k)) << "bucket " << k;
+}
+
+TEST(LatencyHistogram, SparseFormRoundTripsBitExactly) {
+  LatencyHistogram empty;
+  EXPECT_TRUE(LatencyHistogram::FromSparse(empty.ToSparse(), empty.sum()) ==
+              empty);
+  LatencyHistogram h;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    std::uint64_t s = i * 0x9e3779b97f4a7c15ULL + 9;
+    h.Record(SplitMix64(s) >> (i % 60));
+  }
+  const std::vector<LatencyHistogram::SparseEntry> sparse = h.ToSparse();
+  // Strictly ascending indices, no zero counts — the canonical encoding.
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_NE(sparse[i].count, 0u);
+    if (i > 0) EXPECT_GT(sparse[i].index, sparse[i - 1].index);
+  }
+  EXPECT_TRUE(LatencyHistogram::FromSparse(sparse, h.sum()) == h);
+}
+
+TEST(LatencyHistogram, ShardFoldBitIdenticalAtAnyThreadCount) {
+  // The value each stream index contributes — a pure function, so the
+  // serial histogram is the reference no matter how work is partitioned.
+  const std::size_t kItems = 20000;
+  const auto value = [](std::size_t i) {
+    std::uint64_t s = 0x9e3779b97f4a7c15ULL * (i + 1) + 3;
+    return SplitMix64(s) >> (i % 52);
+  };
+  LatencyHistogram serial;
+  for (std::size_t i = 0; i < kItems; ++i) serial.Record(value(i));
+
+  for (const int threads : {1, 2, 8}) {
+    LatencyHistogram h;
+    WorkerPool pool(threads);
+    std::vector<LatencyHistogram::Shard> shards;
+    for (int w = 0; w < pool.thread_count(); ++w)
+      shards.push_back(h.MakeShard());
+    pool.ParallelFor(kItems, [&](int worker, std::size_t begin,
+                                 std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        shards[static_cast<std::size_t>(worker)].Record(value(i));
+    });
+    h.FoldAll(&shards);
+    EXPECT_TRUE(h == serial) << "threads " << threads;
+    // Folding zeroes the shards: folding again must be a no-op.
+    h.FoldAll(&shards);
+    EXPECT_TRUE(h == serial) << "threads " << threads;
+  }
+}
+
+TEST(HistogramRegistry, RegistrationIsIdempotent) {
+  HistogramRegistry reg;
+  const auto a = reg.Register("netd.serve_time_ns");
+  const auto b = reg.Register("netd.serve_time_ns");
+  EXPECT_EQ(a, b);
+  const auto c = reg.Register("netd.frame_queue_delay_ns");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.NameOf(a), "netd.serve_time_ns");
+  reg.At(a).Record(5);
+  EXPECT_EQ(reg.At(a).count(), 1u);
+  EXPECT_EQ(reg.At(c).count(), 0u);
+}
+
+// FlightRecorder ----------------------------------------------------------
+
+TEST(FlightRecorder, RingWraparoundKeepsTheNewestEvents) {
+  FakeClock clock;
+  FlightRecorder fr(&clock, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    clock.Advance(100);
+    fr.Note(FlightEventKind::kTimerFire, i);
+  }
+  EXPECT_EQ(fr.recorded(), 10u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  EXPECT_EQ(fr.capacity(), 4u);
+  const std::vector<FlightEvent> snap = fr.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest -> newest, and exactly the last four notes survive.
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::uint64_t i = 6 + k;
+    EXPECT_EQ(snap[k].detail, i);
+    EXPECT_EQ(snap[k].seq, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(snap[k].t_ns, (i + 1) * 100);
+    EXPECT_EQ(snap[k].kind,
+              static_cast<std::uint8_t>(FlightEventKind::kTimerFire));
+  }
+}
+
+TEST(FlightRecorder, DumpAndParseRoundTrip) {
+  FakeClock clock;
+  FlightRecorder fr(&clock, 16);
+  clock.Set(1234);
+  fr.Note(FlightEventKind::kBoot, 3);
+  clock.Advance(1000);
+  fr.Note(FlightEventKind::kFrameIn, 42, 10);
+  clock.Advance(1);
+  fr.Note(FlightEventKind::kFrameOut, 42, 11);
+  fr.Note(FlightEventKind::kConnDown, 2, 1);
+  fr.Note(FlightEventKind::kShutdown, 3);
+
+  const std::string text = fr.Dump(3);
+  std::vector<FlightEvent> parsed;
+  ASSERT_TRUE(FlightRecorder::Parse(text, &parsed));
+  std::vector<FlightEvent> want = fr.Snapshot();
+  for (FlightEvent& e : want) e.node = 3;  // Dump stamps provenance
+  ASSERT_EQ(parsed.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(parsed[i], want[i]) << "line " << i;
+
+  EXPECT_FALSE(FlightRecorder::Parse("not a flight line\n", &parsed));
+}
+
+TEST(FlightRecorder, ContentIsAPureFunctionOfTheEventSequence) {
+  // Behind a FakeClock the ring's bytes are fully determined by the
+  // note sequence: two recorders fed identically dump identical text.
+  const auto drive = [](FlightRecorder* fr, FakeClock* clock) {
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      clock->Advance(7 + i % 13);
+      fr->Note(static_cast<FlightEventKind>(1 + i % 8), i,
+               static_cast<std::uint32_t>(i % 5));
+    }
+  };
+  FakeClock c1, c2;
+  FlightRecorder a(&c1, 64), b(&c2, 64);
+  drive(&a, &c1);
+  drive(&b, &c2);
+  EXPECT_EQ(a.Dump(5), b.Dump(5));
+  ASSERT_EQ(a.Snapshot().size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(a.Snapshot()[i], b.Snapshot()[i]);
+}
+
+// Prometheus histogram exposition -----------------------------------------
+
+TEST(PrometheusWriter, HistogramExpositionMatchesHandWrittenGolden) {
+  // 3 twice (bucket [3,4)), 100 once ([100,104)), 5000 once ([4864,5120)).
+  LatencyHistogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(100);
+  h.Record(5000);
+  PrometheusWriter w;
+  w.AddHistogram("netd.serve_time_ns", {{"server", "0"}}, h);
+  const std::string golden =
+      "# TYPE netd_serve_time_ns histogram\n"
+      "netd_serve_time_ns_bucket{server=\"0\",le=\"4\"} 2\n"
+      "netd_serve_time_ns_bucket{server=\"0\",le=\"104\"} 3\n"
+      "netd_serve_time_ns_bucket{server=\"0\",le=\"5120\"} 4\n"
+      "netd_serve_time_ns_bucket{server=\"0\",le=\"+Inf\"} 4\n"
+      "netd_serve_time_ns_sum{server=\"0\"} 5106\n"
+      "netd_serve_time_ns_count{server=\"0\"} 4\n";
+  EXPECT_EQ(w.Render(), golden);
+}
+
+TEST(PrometheusWriter, HistogramFamiliesGroupUnderOneTypeHeader) {
+  LatencyHistogram a, b;
+  a.Record(1);
+  b.Record(2);
+  PrometheusWriter w;
+  w.AddGauge("fleet.load", {}, 2.0);
+  w.AddHistogram("netd.serve_time_ns", {{"server", "0"}}, a);
+  w.AddHistogram("netd.serve_time_ns", {{"server", "1"}}, b);
+  const std::string text = w.Render();
+  // One histogram TYPE header even when sampled per-server, and the
+  // scalar section renders ahead of the histogram families.
+  const std::string header = "# TYPE netd_serve_time_ns histogram";
+  EXPECT_NE(text.find(header), std::string::npos) << text;
+  EXPECT_EQ(text.find(header), text.rfind(header)) << text;
+  EXPECT_NE(text.find("netd_serve_time_ns_bucket{server=\"0\",le=\"2\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("netd_serve_time_ns_bucket{server=\"1\",le=\"3\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_LT(text.find("# TYPE fleet_load gauge"), text.find(header));
 }
 
 }  // namespace

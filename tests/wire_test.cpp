@@ -521,6 +521,201 @@ TEST(WireCodec, DoubleFieldsRoundTripBitExactly) {
   }
 }
 
+// Counter-seeded latency histogram: n recorded values spanning the
+// linear buckets through the high octaves.
+LatencyHistogram RandomHistogram(std::uint64_t seed, std::size_t n) {
+  LatencyHistogram h;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t shift = Draw(seed, i, 1) % 48;
+    h.Record(Draw(seed, i, 2) >> shift);
+  }
+  return h;
+}
+
+FlightEvent RandomFlightEvent(std::uint64_t seed, std::uint64_t i) {
+  FlightEvent e;
+  e.t_ns = Draw(seed, i, 1);
+  e.detail = Draw(seed, i, 2);
+  e.arg = static_cast<std::uint32_t>(Draw(seed, i, 3));
+  e.seq = static_cast<std::uint16_t>(Draw(seed, i, 4));
+  e.kind = static_cast<std::uint8_t>(1 + Draw(seed, i, 5) % 8);
+  e.node = static_cast<std::uint8_t>(Draw(seed, i, 6));
+  return e;
+}
+
+// The v4 kStatsReply: counters plus the sparse histogram section
+// round-trip byte-exactly, and the decoded section reconstructs the
+// recorded histogram bucket-for-bucket.
+TEST(WireCodec, StatsReplyWithHistogramRoundTripsByteExactly) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{37}, std::size_t{800}}) {
+    const LatencyHistogram h = RandomHistogram(51, n);
+    StatsReply m;
+    m.counters = RandomCounters(52, n);
+    m.hist = WireHistogram::From(h);
+    std::vector<std::uint8_t> buf;
+    const std::size_t len = MessageCodec::Encode(m, &buf);
+    ASSERT_EQ(len, buf.size());
+    ASSERT_EQ(len, MessageCodec::kHeaderSize + MessageCodec::kCountersSize +
+                       MessageCodec::kHistPrologueSize +
+                       m.hist.buckets.size() * MessageCodec::kHistEntrySize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, len);
+    EXPECT_EQ(out.type, MsgType::kStatsReply);
+    EXPECT_EQ(out.stats, m.counters);
+    ASSERT_TRUE(out.stats_hist.present);
+    EXPECT_EQ(out.stats_hist, m.hist);
+    EXPECT_TRUE(out.stats_hist.ToHistogram() == h);
+    // Re-encoding the decode reproduces the exact byte string.
+    StatsReply again;
+    again.counters = out.stats;
+    again.hist = out.stats_hist;
+    std::vector<std::uint8_t> buf2;
+    MessageCodec::Encode(again, &buf2);
+    EXPECT_EQ(buf2, buf);
+  }
+}
+
+// The pre-v4 bare counters frame stays on the wire (it is what a
+// histogram-less peer would send) and decodes with no section present.
+TEST(WireCodec, BareCountersStatsReplyStillDecodes) {
+  const WireCounters c = RandomCounters(53, 3);
+  std::vector<std::uint8_t> buf;
+  const std::size_t len = MessageCodec::Encode(c, &buf);
+  ASSERT_EQ(len, MessageCodec::kHeaderSize + MessageCodec::kCountersSize);
+  WireMessage out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.stats, c);
+  EXPECT_FALSE(out.stats_hist.present);
+  EXPECT_TRUE(out.stats_hist.buckets.empty());
+}
+
+TEST(WireCodec, StatsReplyHistogramPrefixesNeedMoreAndCorruptionErrors) {
+  StatsReply m;
+  m.counters = RandomCounters(54, 0);
+  m.hist = WireHistogram::From(RandomHistogram(54, 40));
+  ASSERT_GE(m.hist.buckets.size(), 2u);
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(m, &frame);
+
+  // Every strict prefix of the variable-length frame is kNeedMore.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireMessage out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(MessageCodec::Decode(frame.data(), cut, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+
+  WireMessage out;
+  std::size_t consumed = 0;
+  const std::size_t sect = MessageCodec::kHeaderSize +
+                           MessageCodec::kCountersSize;
+  const std::size_t entry0 = sect + MessageCodec::kHistPrologueSize;
+
+  // An entry count disagreeing with the stated payload length is kError.
+  auto bad = frame;
+  bad[sect] ^= 0x01;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Indices must ascend strictly: copy entry 0's index over entry 1's.
+  bad = frame;
+  std::memcpy(bad.data() + entry0 + MessageCodec::kHistEntrySize,
+              bad.data() + entry0, 4);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // An index outside the fixed bucket layout is kError.
+  bad = frame;
+  PutU32(bad.data() + entry0,
+         static_cast<std::uint32_t>(LatencyHistogram::kBucketCount));
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // A zero count is a non-canonical encoding, hence kError.
+  bad = frame;
+  std::memset(bad.data() + entry0 + 4, 0, 8);
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // Stated lengths that are neither the bare counters nor a whole
+  // histogram section within the cap die on the bare header.
+  const std::uint32_t cap_over = static_cast<std::uint32_t>(
+      MessageCodec::kCountersSize + MessageCodec::kHistPrologueSize +
+      (MessageCodec::kMaxHistEntries + 1) * MessageCodec::kHistEntrySize);
+  for (const std::uint32_t stated :
+       {103u, 105u, 115u, 117u, cap_over}) {
+    const auto h = RawHeader(MsgType::kStatsReply, stated);
+    EXPECT_EQ(MessageCodec::Decode(h.data(), h.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "stated " << stated;
+  }
+}
+
+TEST(WireCodec, FlightReplyRoundTripsIncludingEmpty) {
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{17}, std::size_t{300}}) {
+    FlightReply m;
+    for (std::size_t i = 0; i < count; ++i)
+      m.events.push_back(RandomFlightEvent(55, i));
+    std::vector<std::uint8_t> buf;
+    const std::size_t len = MessageCodec::Encode(m, &buf);
+    ASSERT_EQ(len, buf.size());
+    ASSERT_EQ(len, MessageCodec::kHeaderSize + 4 +
+                       count * MessageCodec::kFlightEventSize);
+    WireMessage out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(MessageCodec::Decode(buf.data(), buf.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, len);
+    EXPECT_EQ(out.type, MsgType::kFlightReply);
+    ASSERT_EQ(out.flight.events.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(out.flight.events[i], m.events[i]) << "record " << i;
+  }
+}
+
+TEST(WireCodec, FlightReplyPrefixesNeedMoreAndCorruptionErrors) {
+  FlightReply m;
+  for (std::size_t i = 0; i < 5; ++i)
+    m.events.push_back(RandomFlightEvent(56, i));
+  std::vector<std::uint8_t> frame;
+  MessageCodec::Encode(m, &frame);
+
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireMessage out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(MessageCodec::Decode(frame.data(), cut, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+
+  // A record count disagreeing with the stated payload length is kError.
+  auto bad = frame;
+  bad[MessageCodec::kHeaderSize] ^= 0x01;
+  WireMessage out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+
+  // An out-of-range event kind inside a record is kError.
+  bad = frame;
+  bad[MessageCodec::kHeaderSize + 4 + 22] = 0;  // record 0's kind byte
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+  bad[MessageCodec::kHeaderSize + 4 + 22] = 9;
+  EXPECT_EQ(MessageCodec::Decode(bad.data(), bad.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
 // Every strict prefix of every frame type must be kNeedMore or kError —
 // never kOk, and in particular never a short frame accepted as complete.
 TEST(WireCodec, EveryOneByteTruncationIsRejected) {
@@ -551,6 +746,16 @@ TEST(WireCodec, EveryOneByteTruncationIsRejected) {
   MessageCodec::Encode(RandomQuotaDelta(26, 0, 4), &frames.back());
   frames.emplace_back();
   MessageCodec::Encode(RandomEpochUpdate(27, 0, 2, 3), &frames.back());
+  StatsReply v4;
+  v4.counters = RandomCounters(28, 0);
+  v4.hist = WireHistogram::From(RandomHistogram(28, 25));
+  frames.emplace_back();
+  MessageCodec::Encode(v4, &frames.back());
+  FlightReply flight;
+  flight.events.push_back(RandomFlightEvent(29, 0));
+  flight.events.push_back(RandomFlightEvent(29, 1));
+  frames.emplace_back();
+  MessageCodec::Encode(flight, &frames.back());
 
   for (const auto& frame : frames) {
     for (std::size_t cut = 0; cut < frame.size(); ++cut) {

@@ -53,6 +53,10 @@ RULES = {
     # throughputs are tracked.
     "tab_netd_faults": (("record", "epoch", "servers", "epochs"),
                         ("req_per_sec", "oracle_req_per_sec")),
+    # The latency plane: records carry wall-clock percentiles, which are
+    # NEVER compared against a baseline — coverage-matched only, so a
+    # scenario or epoch that silently stops reporting latency shows up.
+    "tab_netd_latency": (("record", "scenario", "epoch"), ()),
     "micro_step_blocked": (("nodes", "docs", "lane_block"),
                            ("lane_steps_per_sec",)),
 }
@@ -63,6 +67,10 @@ RULES = {
 JSONL_ARTIFACTS = (
     "BENCH_serving_timeline.jsonl",
     "BENCH_trace_sample.jsonl",
+    # tab_netd's raw trace stream and the merge_flight.py join of it with
+    # the scraped flight rings (CI produces the latter after the bench).
+    "netd_trace.jsonl",
+    "netd_timeline.jsonl",
 )
 
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Join netd flight-recorder rings with the fleet trace stream into a
+cross-process, per-request JSON-lines timeline.
+
+Inputs:
+  --trace FILE     the fleet's sampled trace as JSON lines (one TraceEvent
+                   per line: req_id, seq, node, kind, detail, aux) — the
+                   stream tab_netd writes as netd_trace.jsonl.
+  FLIGHT...        any number of flight-ring dumps in FlightRecorder::Dump
+                   text form ("<t_ns> <seq> <kind> <detail> <arg>
+                   node=<n>") — the netd_flight_*.txt files scraped over
+                   the wire (victims included) plus any flight_<i>.txt a
+                   daemon wrote on clean shutdown.
+
+Output (--out, default stdout): one JSON line per traced request,
+ascending req_id:
+
+  {"req_id": N,
+   "hops":  [ ... trace events in seq order ... ],
+   "wire":  [ ... matching frame_in/frame_out flight events ... ]}
+
+The `hops` list is the request's complete walk in causal order — seq is
+assigned in walk order by the serving core, so sorting by seq needs no
+clocks and is exact even across processes.  The `wire` list is the
+best-effort transport view: every frame_in/frame_out flight event whose
+detail equals the req_id, ordered by (t_ns, node, seq).  Flight rings are
+bounded, so old requests may have no surviving wire events (wire: []) —
+the hops are still complete, because the trace plane is unbounded and
+oracle-checked.  CLOCK_MONOTONIC is machine-wide, which is what makes
+t_ns comparable across the forked daemons on one host.
+
+Exit status is non-zero if any input fails to parse, or (with --require-
+wire-events > 0) if fewer than that many traced requests carry wire
+evidence — the smoke guard CI uses to prove the join actually joined.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# MsgType numbering from src/wire/message.h, for readable wire events.
+MSG_NAMES = {
+    1: "get_request", 2: "get_reply", 3: "load_gossip",
+    16: "hello", 17: "stats_request", 18: "stats_reply", 19: "shutdown",
+    20: "trace_request", 21: "trace_reply", 22: "quota_delta",
+    23: "epoch_update", 24: "flight_request", 25: "flight_reply",
+}
+
+FLIGHT_KINDS = {
+    "frame_in", "frame_out", "conn_up", "conn_down", "timer_fire",
+    "epoch", "boot", "shutdown", "unknown",
+}
+
+
+def parse_trace(path):
+    """netd_trace.jsonl -> {req_id: [event dict, ...]} (unsorted)."""
+    per_req = defaultdict(list)
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+                per_req[int(ev["req_id"])].append(ev)
+            except (ValueError, KeyError, TypeError):
+                raise SystemExit(f"{path}:{lineno}: bad trace line")
+    return per_req
+
+
+def parse_flight(path):
+    """One FlightRecorder::Dump file -> [event dict, ...]."""
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            # "<t_ns> <seq> <kind> <detail> <arg> node=<n>"
+            if len(parts) != 6 or not parts[5].startswith("node="):
+                raise SystemExit(f"{path}:{lineno}: bad flight line")
+            try:
+                ev = {
+                    "t_ns": int(parts[0]),
+                    "seq": int(parts[1]),
+                    "kind": parts[2],
+                    "detail": int(parts[3]),
+                    "arg": int(parts[4]),
+                    "node": int(parts[5][len("node="):]),
+                }
+            except ValueError:
+                raise SystemExit(f"{path}:{lineno}: bad flight line")
+            if ev["kind"] not in FLIGHT_KINDS:
+                raise SystemExit(f"{path}:{lineno}: unknown event kind "
+                                 f"{ev['kind']!r}")
+            events.append(ev)
+    return events
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trace", required=True,
+                    help="trace stream as JSON lines (netd_trace.jsonl)")
+    ap.add_argument("--out", default="-",
+                    help="output timeline path (default stdout)")
+    ap.add_argument("--require-wire-events", type=int, default=0,
+                    help="fail unless at least this many traced requests "
+                         "have surviving wire evidence in the rings")
+    ap.add_argument("flights", nargs="*",
+                    help="flight ring dumps (netd_flight_*.txt, "
+                         "flight_<i>.txt)")
+    args = ap.parse_args()
+
+    per_req = parse_trace(args.trace)
+
+    # Frame events by req_id.  detail holds the req_id for get_request /
+    # get_reply frames and 0 for everything else; req_id 0 is a real
+    # request, so only index frames whose MsgType is a data-plane GET.
+    wire_by_req = defaultdict(list)
+    total_flight = 0
+    for path in args.flights:
+        for ev in parse_flight(path):
+            total_flight += 1
+            if ev["kind"] in ("frame_in", "frame_out") and \
+                    ev["arg"] in (1, 2):
+                ev = dict(ev)
+                ev["msg"] = MSG_NAMES[ev["arg"]]
+                wire_by_req[ev["detail"]].append(ev)
+
+    out = sys.stdout if args.out == "-" else open(
+        args.out, "w", encoding="utf-8")
+    with_wire = 0
+    for req_id in sorted(per_req):
+        hops = sorted(per_req[req_id], key=lambda e: int(e["seq"]))
+        wire = sorted(wire_by_req.get(req_id, ()),
+                      key=lambda e: (e["t_ns"], e["node"], e["seq"]))
+        if wire:
+            with_wire += 1
+        out.write(json.dumps({"req_id": req_id, "hops": hops,
+                              "wire": wire}) + "\n")
+    if out is not sys.stdout:
+        out.close()
+
+    print(f"merged {len(per_req)} traced request(s), {total_flight} flight "
+          f"event(s) from {len(args.flights)} ring(s); {with_wire} "
+          f"request(s) carry wire evidence", file=sys.stderr)
+    if args.require_wire_events > 0 and with_wire < args.require_wire_events:
+        print(f"FAIL: only {with_wire} traced request(s) have wire "
+              f"evidence (need {args.require_wire_events})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
